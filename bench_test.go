@@ -1,0 +1,191 @@
+// Benchmark harness regenerating the paper's §4 experiment programme
+// (DESIGN.md, experiments E1–E7 and ablations A1–A4). Each benchmark
+// reports, besides ns/op, the statistics the coDB statistical module
+// collects: data messages (msgs/op), shipped volume (bytes/op), and the
+// longest update propagation path (maxpath).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package codb
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"codb/internal/experiment"
+	"codb/internal/topo"
+)
+
+func reportUpdateMetrics(b *testing.B, res experiment.Result) {
+	b.Helper()
+	b.ReportMetric(float64(res.TotalMsgs), "msgs/op")
+	b.ReportMetric(float64(res.TotalBytes), "xferbytes/op")
+	b.ReportMetric(float64(res.MaxPath), "maxpath")
+	b.ReportMetric(float64(res.NewTuples), "newtuples/op")
+}
+
+func runUpdateBench(b *testing.B, p experiment.Params) {
+	b.Helper()
+	ctx := context.Background()
+	var last experiment.Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunUpdate(ctx, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportUpdateMetrics(b, last)
+}
+
+// E1–E4: global update across topologies and network sizes. One run
+// measures the update's total execution time (E1); the reported metrics
+// carry messages per rule (E2), data volume (E3) and longest propagation
+// path (E4).
+func BenchmarkUpdateTopology(b *testing.B) {
+	shapes := []topo.Shape{topo.Chain, topo.Ring, topo.Star, topo.Tree, topo.Random}
+	for _, shape := range shapes {
+		for _, n := range []int{4, 8, 16, 32} {
+			b.Run(fmt.Sprintf("%s/n=%d", shape, n), func(b *testing.B) {
+				runUpdateBench(b, experiment.Params{
+					Shape: shape, Nodes: n, TuplesPerNode: 250, Overlap: 0.1, Seed: 42,
+				})
+			})
+		}
+	}
+}
+
+// E1 (scaling in data size): chain of 8, growing per-node cardinality.
+func BenchmarkUpdateDataScale(b *testing.B) {
+	for _, tuples := range []int{100, 500, 1000, 2000} {
+		b.Run(fmt.Sprintf("tuples=%d", tuples), func(b *testing.B) {
+			runUpdateBench(b, experiment.Params{
+				Shape: topo.Chain, Nodes: 8, TuplesPerNode: tuples, Seed: 43,
+			})
+		})
+	}
+}
+
+// E5: query-time fetching vs local query after a global update — the
+// paper's core motivation for materialisation.
+func BenchmarkQueryColdVsMaterialised(b *testing.B) {
+	p := experiment.Params{Shape: topo.Chain, Nodes: 8, TuplesPerNode: 500, Seed: 44}
+	ctx := context.Background()
+	b.Run("cold-distributed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := experiment.RunQueryCold(ctx, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Answers), "answers")
+		}
+	})
+	b.Run("materialised-local", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := experiment.RunQueryMaterialised(ctx, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// res.Wall covers only the local query; surface it.
+			b.ReportMetric(float64(res.Wall.Nanoseconds()), "localquery-ns")
+			b.ReportMetric(float64(res.Answers), "answers")
+		}
+	})
+}
+
+// E6: dynamic topology change at runtime via the super-peer.
+func BenchmarkDynamicReconfig(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		net, err := experiment.Build(experiment.Params{
+			Shape: topo.Chain, Nodes: 8, TuplesPerNode: 100, Seed: 45,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Reconfigure to a star mid-life, then update: must terminate and
+		// materialise under the new shape.
+		starCfg, err := topo.Build(topo.Star, 8, topo.Options{Version: 2})
+		if err != nil {
+			net.Close()
+			b.Fatal(err)
+		}
+		for _, pr := range net.Peers {
+			if err := pr.ApplyConfig(starCfg, 2); err != nil {
+				net.Close()
+				b.Fatal(err)
+			}
+		}
+		if _, err := net.Peers[net.Origin].RunUpdate(ctx); err != nil {
+			net.Close()
+			b.Fatal(err)
+		}
+		net.Close()
+	}
+}
+
+// E7: cyclic rule graphs — rings with copy rules and with existential
+// rules (the fix-point case the paper highlights).
+func BenchmarkCyclicFixpoint(b *testing.B) {
+	for _, n := range []int{3, 6, 12} {
+		b.Run(fmt.Sprintf("copy-ring/n=%d", n), func(b *testing.B) {
+			runUpdateBench(b, experiment.Params{
+				Shape: topo.Ring, Nodes: n, TuplesPerNode: 100, Seed: 46,
+			})
+		})
+		b.Run(fmt.Sprintf("existential-ring/n=%d", n), func(b *testing.B) {
+			runUpdateBench(b, experiment.Params{
+				Shape: topo.Ring, Nodes: n, TuplesPerNode: 100, Seed: 46,
+				Existential: true, MaxDepth: 8,
+			})
+		})
+	}
+}
+
+// A1: semi-naive delta propagation vs naive full re-evaluation.
+func BenchmarkAblationSemiNaive(b *testing.B) {
+	base := experiment.Params{Shape: topo.Ring, Nodes: 8, TuplesPerNode: 300, Seed: 47}
+	b.Run("semi-naive", func(b *testing.B) { runUpdateBench(b, base) })
+	naive := base
+	naive.Naive = true
+	b.Run("naive", func(b *testing.B) { runUpdateBench(b, naive) })
+}
+
+// A2: per-link sent caches (duplicate suppression) on vs off. Projection
+// rules with key-clashing data re-derive the same imported tuple from many
+// distinct source tuples — exactly what the sent caches suppress.
+func BenchmarkAblationDedup(b *testing.B) {
+	base := experiment.Params{
+		Shape: topo.Chain, Nodes: 6, TuplesPerNode: 400,
+		Rule: topo.ProjectionRule, KeyClash: 0.8, Seed: 48,
+	}
+	b.Run("dedup", func(b *testing.B) { runUpdateBench(b, base) })
+	off := base
+	off.DisableDedup = true
+	b.Run("no-dedup", func(b *testing.B) { runUpdateBench(b, off) })
+}
+
+// A3: hash join vs nested-loop join, on join rules (self-join bodies) over
+// a small value domain so the joins have partners.
+func BenchmarkAblationJoin(b *testing.B) {
+	base := experiment.Params{
+		Shape: topo.Chain, Nodes: 3, TuplesPerNode: 400,
+		Rule: topo.JoinRule, Domain: 200, Seed: 49,
+	}
+	b.Run("hash", func(b *testing.B) { runUpdateBench(b, base) })
+	nested := base
+	nested.NestedLoop = true
+	b.Run("nested-loop", func(b *testing.B) { runUpdateBench(b, nested) })
+}
+
+// A4: marked-null cost — copy rules vs existential rules on the same
+// topology and data.
+func BenchmarkAblationNulls(b *testing.B) {
+	base := experiment.Params{Shape: topo.Tree, Nodes: 7, TuplesPerNode: 300, Seed: 50}
+	b.Run("copy-rules", func(b *testing.B) { runUpdateBench(b, base) })
+	ex := base
+	ex.Existential = true
+	b.Run("existential-rules", func(b *testing.B) { runUpdateBench(b, ex) })
+}

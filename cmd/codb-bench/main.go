@@ -1,0 +1,206 @@
+// Command codb-bench runs the paper's §4 experiment programme end to end
+// and prints one table per experiment (E1–E7) plus the ablations (A1–A4).
+// It is the scripted counterpart of the super-peer demo: networks in
+// different topologies are started, coordination rules established, updates
+// run, and the aggregated statistics reported.
+//
+// Usage:
+//
+//	codb-bench                 # run every experiment
+//	codb-bench -exp E1,E4      # run a subset
+//	codb-bench -nodes 4,8,16   # override the network sizes
+//	codb-bench -tuples 500     # override per-node cardinality
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"codb/internal/experiment"
+	"codb/internal/topo"
+)
+
+var (
+	expFlag    = flag.String("exp", "all", "comma-separated experiments to run (E1..E7,A1..A4 or 'all')")
+	nodesFlag  = flag.String("nodes", "4,8,16,32", "comma-separated network sizes")
+	tuplesFlag = flag.Int("tuples", 250, "tuples per node")
+	seedFlag   = flag.Int64("seed", 42, "workload seed")
+	timeout    = flag.Duration("timeout", 5*time.Minute, "per-run timeout")
+)
+
+func main() {
+	flag.Parse()
+	sizes, err := parseSizes(*nodesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "codb-bench:", err)
+		os.Exit(2)
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.ToUpper(strings.TrimSpace(e))] = true
+	}
+	all := want["ALL"]
+	run := func(name string) bool { return all || want[name] }
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	if run("E1") || run("E2") || run("E3") || run("E4") {
+		topologySweep(ctx, sizes)
+	}
+	if run("E5") {
+		queryVsMaterialised(ctx)
+	}
+	if run("E6") {
+		dynamicReconfig(ctx)
+	}
+	if run("E7") {
+		cyclicFixpoint(ctx)
+	}
+	if run("A1") {
+		ablation(ctx, "A1: semi-naive vs naive re-evaluation",
+			experiment.Params{Shape: topo.Ring, Nodes: 8, TuplesPerNode: *tuplesFlag, Seed: *seedFlag},
+			func(p *experiment.Params) { p.Naive = true }, "naive")
+	}
+	if run("A2") {
+		ablation(ctx, "A2: sent-cache duplicate suppression on/off (projection rules)",
+			experiment.Params{Shape: topo.Chain, Nodes: 6, TuplesPerNode: *tuplesFlag,
+				Rule: topo.ProjectionRule, KeyClash: 0.8, Seed: *seedFlag},
+			func(p *experiment.Params) { p.DisableDedup = true }, "no-dedup")
+	}
+	if run("A3") {
+		ablation(ctx, "A3: hash join vs nested-loop join (join rules)",
+			experiment.Params{Shape: topo.Chain, Nodes: 3, TuplesPerNode: 2 * *tuplesFlag,
+				Rule: topo.JoinRule, Domain: 200, Seed: *seedFlag},
+			func(p *experiment.Params) { p.NestedLoop = true }, "nested-loop")
+	}
+	if run("A4") {
+		ablation(ctx, "A4: copy rules vs existential (marked-null) rules",
+			experiment.Params{Shape: topo.Tree, Nodes: 7, TuplesPerNode: *tuplesFlag, Seed: *seedFlag},
+			func(p *experiment.Params) { p.Existential = true }, "existential")
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func must(res experiment.Result, err error) experiment.Result {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "codb-bench:", err)
+		os.Exit(1)
+	}
+	return res
+}
+
+// topologySweep is E1–E4: one update per (shape, size), reporting wall
+// time, messages, volume and longest propagation path.
+func topologySweep(ctx context.Context, sizes []int) {
+	fmt.Println("== E1–E4: global update across topologies")
+	fmt.Println("   (E1 wall time; E2 messages; E3 volume; E4 longest propagation path)")
+	fmt.Println(experiment.Header())
+	for _, shape := range []topo.Shape{topo.Chain, topo.Ring, topo.Star, topo.Tree, topo.Grid, topo.Random} {
+		for _, n := range sizes {
+			res := must(experiment.RunUpdate(ctx, experiment.Params{
+				Shape: shape, Nodes: n, TuplesPerNode: *tuplesFlag, Overlap: 0.1, Seed: *seedFlag,
+			}))
+			fmt.Println(experiment.Render(res))
+		}
+	}
+	fmt.Println()
+}
+
+// queryVsMaterialised is E5.
+func queryVsMaterialised(ctx context.Context) {
+	fmt.Println("== E5: query-time fetching vs local query after global update")
+	fmt.Printf("%-9s %5s %9s %13s %9s\n", "topology", "nodes", "mode", "wall(ms)", "answers")
+	for _, n := range []int{4, 8, 16} {
+		p := experiment.Params{Shape: topo.Chain, Nodes: n, TuplesPerNode: *tuplesFlag, Seed: *seedFlag}
+		cold := must(experiment.RunQueryCold(ctx, p))
+		fmt.Printf("%-9s %5d %9s %13.3f %9d\n", p.Shape, n, "cold", float64(cold.Wall.Nanoseconds())/1e6, cold.Answers)
+		warm := must(experiment.RunQueryMaterialised(ctx, p))
+		fmt.Printf("%-9s %5d %9s %13.3f %9d\n", p.Shape, n, "local", float64(warm.Wall.Nanoseconds())/1e6, warm.Answers)
+	}
+	fmt.Println()
+}
+
+// dynamicReconfig is E6: rebuild the topology at runtime, then update.
+func dynamicReconfig(ctx context.Context) {
+	fmt.Println("== E6: dynamic topology change at runtime (chain -> star), then update")
+	fmt.Printf("%5s %15s %12s\n", "nodes", "reconfig(ms)", "update(ms)")
+	for _, n := range []int{4, 8, 16} {
+		net, err := experiment.Build(experiment.Params{
+			Shape: topo.Chain, Nodes: n, TuplesPerNode: *tuplesFlag, Seed: *seedFlag,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "codb-bench:", err)
+			os.Exit(1)
+		}
+		starCfg, err := topo.Build(topo.Star, n, topo.Options{Version: 2})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "codb-bench:", err)
+			os.Exit(1)
+		}
+		t0 := time.Now()
+		for _, pr := range net.Peers {
+			if err := pr.ApplyConfig(starCfg, 2); err != nil {
+				fmt.Fprintln(os.Stderr, "codb-bench:", err)
+				os.Exit(1)
+			}
+		}
+		reconfig := time.Since(t0)
+		t1 := time.Now()
+		if _, err := net.Peers[net.Origin].RunUpdate(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "codb-bench:", err)
+			os.Exit(1)
+		}
+		update := time.Since(t1)
+		net.Close()
+		fmt.Printf("%5d %15.3f %12.3f\n", n, float64(reconfig.Nanoseconds())/1e6, float64(update.Nanoseconds())/1e6)
+	}
+	fmt.Println()
+}
+
+// cyclicFixpoint is E7.
+func cyclicFixpoint(ctx context.Context) {
+	fmt.Println("== E7: cyclic coordination rules (fix-point computation)")
+	fmt.Println(experiment.Header())
+	for _, n := range []int{3, 6, 12} {
+		res := must(experiment.RunUpdate(ctx, experiment.Params{
+			Shape: topo.Ring, Nodes: n, TuplesPerNode: *tuplesFlag, Seed: *seedFlag,
+		}))
+		fmt.Println(experiment.Render(res))
+		ex := must(experiment.RunUpdate(ctx, experiment.Params{
+			Shape: topo.Ring, Nodes: n, TuplesPerNode: *tuplesFlag, Seed: *seedFlag,
+			Existential: true, MaxDepth: 8,
+		}))
+		fmt.Println(experiment.Render(ex) + "  (existential)")
+	}
+	fmt.Println()
+}
+
+// ablation runs a baseline and a variant and prints both rows.
+func ablation(ctx context.Context, title string, base experiment.Params, vary func(*experiment.Params), label string) {
+	fmt.Println("==", title)
+	fmt.Println(experiment.Header())
+	res := must(experiment.RunUpdate(ctx, base))
+	fmt.Println(experiment.Render(res) + "  (baseline)")
+	variant := base
+	vary(&variant)
+	vres := must(experiment.RunUpdate(ctx, variant))
+	fmt.Println(experiment.Render(vres) + "  (" + label + ")")
+	fmt.Println()
+}

@@ -1,0 +1,121 @@
+// Command codb-peer runs one coDB node as an OS process over TCP — the
+// deployment the paper's JXTA peers correspond to. Peers are configured
+// from a shared configuration file (schemas, rules, addresses) or
+// dynamically by a super-peer broadcast.
+//
+// Usage:
+//
+//	codb-peer -name N1 -config net.codb            # address from the file
+//	codb-peer -name N2 -config net.codb -data ./n2 # durable storage
+//	codb-peer -name N3 -listen 127.0.0.1:7003      # wait for broadcasts
+//
+// The process runs until interrupted. With -mediator the node has no local
+// database (operations execute in the wrapper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"codb/internal/config"
+	"codb/internal/core"
+	"codb/internal/peer"
+	"codb/internal/relation"
+	"codb/internal/storage"
+	"codb/internal/transport"
+)
+
+func main() {
+	name := flag.String("name", "", "node name (required)")
+	listen := flag.String("listen", "", "listen address (defaults to the address in -config)")
+	cfgPath := flag.String("config", "", "network configuration file")
+	dataDir := flag.String("data", "", "durable storage directory (empty = in-memory)")
+	mediator := flag.Bool("mediator", false, "run without a local database")
+	verbose := flag.Bool("v", false, "verbose logging")
+	flag.Parse()
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "codb-peer: -name is required")
+		os.Exit(2)
+	}
+
+	var cfg *config.Config
+	if *cfgPath != "" {
+		text, err := os.ReadFile(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err = config.Parse(string(text))
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	addr := *listen
+	if addr == "" && cfg != nil {
+		if decl := cfg.Node(*name); decl != nil {
+			addr = decl.Addr
+		}
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+
+	tr, err := transport.NewTCP(*name, addr)
+	if err != nil {
+		fatal(err)
+	}
+
+	var wrapper core.Wrapper
+	if *mediator {
+		schema := relation.NewSchema()
+		if cfg != nil {
+			if decl := cfg.Node(*name); decl != nil {
+				schema = decl.Schema
+			}
+		}
+		wrapper = core.NewMediatorWrapper(schema)
+	} else {
+		db, err := storage.Open(storage.Options{Dir: *dataDir})
+		if err != nil {
+			fatal(err)
+		}
+		defer db.Close()
+		wrapper = core.NewStoreWrapper(db)
+	}
+
+	logLevel := slog.LevelWarn
+	if *verbose {
+		logLevel = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel}))
+
+	opts := peer.Options{Name: *name, Transport: tr, Wrapper: wrapper, Logger: logger}
+	if cfg != nil {
+		opts.Directory = cfg.Directory()
+	}
+	p, err := peer.New(opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer p.Stop()
+	if cfg != nil {
+		if err := p.ApplyConfig(cfg, cfg.Version); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("codb-peer %s listening on %s\n", *name, tr.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("codb-peer: shutting down")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "codb-peer:", err)
+	os.Exit(1)
+}

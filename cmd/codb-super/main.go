@@ -1,0 +1,97 @@
+// Command codb-super runs the super-peer against a TCP deployment of
+// codb-peer processes: it broadcasts a coordination-rules file (initially
+// and at runtime, changing the topology), triggers global updates on chosen
+// nodes, and collects the final statistical report (paper §4).
+//
+// Usage:
+//
+//	codb-super -config net.codb -update N0          # broadcast, update, stats
+//	codb-super -config net2.codb                    # re-broadcast (reconfig)
+//	codb-super -config net.codb -stats              # stats only
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"codb/internal/config"
+	"codb/internal/superpeer"
+	"codb/internal/transport"
+)
+
+func main() {
+	cfgPath := flag.String("config", "", "network configuration file (required)")
+	updateAt := flag.String("update", "", "run a global update initiated at this node")
+	statsOnly := flag.Bool("stats", false, "only collect and print statistics")
+	version := flag.Int("version", 0, "broadcast version (defaults to the file's)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "operation timeout")
+	flag.Parse()
+	if *cfgPath == "" {
+		fmt.Fprintln(os.Stderr, "codb-super: -config is required")
+		os.Exit(2)
+	}
+	text, err := os.ReadFile(*cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := config.Parse(string(text))
+	if err != nil {
+		fatal(err)
+	}
+	if *version != 0 {
+		cfg.Version = *version
+	}
+
+	tr, err := transport.NewTCP("super", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	sp, err := superpeer.New(superpeer.Options{
+		Transport: tr,
+		Directory: cfg.Directory(),
+		Addr:      tr.Addr(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer sp.Stop()
+	sp.SetConfig(cfg)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	if !*statsOnly {
+		if err := sp.Broadcast(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("codb-super: broadcast configuration v%d to %d peers\n", cfg.Version, len(cfg.Nodes))
+		// Give the flood a moment to settle before commanding updates.
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	if *updateAt != "" {
+		start := time.Now()
+		rep, err := sp.StartUpdate(ctx, *updateAt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("codb-super: update %s at %s finished in %v (longest path %d)\n",
+			rep.SID, *updateAt, time.Since(start).Round(time.Millisecond), rep.LongestPath)
+	}
+
+	statsCtx, statsCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer statsCancel()
+	byNode, err := sp.CollectStats(statsCtx, len(cfg.Nodes))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "codb-super: partial statistics:", err)
+	}
+	fmt.Print(superpeer.Render(superpeer.AggregateSessions(byNode)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "codb-super:", err)
+	os.Exit(1)
+}

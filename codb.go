@@ -1,0 +1,436 @@
+// Package codb is a from-scratch Go implementation of the coDB peer-to-peer
+// database system (Franconi, Kuper, Lopatenko, Zaihrayeu: "Queries and
+// Updates in the coDB Peer to Peer Database System", VLDB 2004).
+//
+// A coDB network is a set of autonomous relational databases with
+// heterogeneous schemas, interconnected by GLAV coordination rules —
+// inclusions of conjunctive queries, possibly with existential variables in
+// the head, possibly cyclic. Each node can be queried in its own schema;
+// data is fetched from acquaintances at query time, or materialised ahead
+// of time by the distributed global update algorithm, which terminates even
+// on cyclic rule graphs.
+//
+// The Network type runs a whole P2P network inside one process (each peer a
+// goroutine actor, connected by an in-process bus), which is the easiest
+// way to use the library and how the paper's demo experiments run:
+//
+//	nw := codb.NewNetwork()
+//	defer nw.Close()
+//	nw.MustAddPeer("hospital", "patient(id int, name string)")
+//	nw.MustAddPeer("clinic", "visitor(id int, name string)")
+//	nw.MustAddRule("r1", `hospital.patient(x, n) <- clinic.visitor(x, n)`)
+//	nw.Insert("clinic", "visitor", codb.Row(codb.Int(1), codb.Str("ann")))
+//	nw.Update(context.Background(), "hospital")
+//	rows, _ := nw.LocalQuery("hospital", `ans(n) :- patient(x, n)`, codb.AllAnswers)
+//
+// Multi-process deployments use the same peers over TCP; see cmd/codb-peer
+// and cmd/codb-super.
+package codb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"codb/internal/config"
+	"codb/internal/core"
+	"codb/internal/cq"
+	"codb/internal/msg"
+	"codb/internal/peer"
+	"codb/internal/relation"
+	"codb/internal/storage"
+	"codb/internal/superpeer"
+	"codb/internal/transport"
+)
+
+// Re-exported building blocks, so library users need only this package.
+type (
+	// Value is one typed attribute value (int, float, string, bool, or a
+	// marked null).
+	Value = relation.Value
+	// Tuple is one relational tuple.
+	Tuple = relation.Tuple
+	// Report is the per-session statistics record of the paper's
+	// statistical module.
+	Report = msg.UpdateReport
+	// QueryMode selects all-answers or certain-answers semantics.
+	QueryMode = core.QueryMode
+	// Peer is a running coDB node.
+	Peer = peer.Peer
+	// SuperPeer coordinates experiments: rule broadcasts, remote updates,
+	// statistics aggregation.
+	SuperPeer = superpeer.SuperPeer
+	// Aggregate is a cross-node per-session statistics summary.
+	Aggregate = superpeer.Aggregate
+)
+
+// Query modes.
+const (
+	// AllAnswers streams every derived answer, marked nulls included.
+	AllAnswers = core.AllAnswers
+	// CertainAnswers drops answers containing marked nulls.
+	CertainAnswers = core.CertainAnswers
+)
+
+// Value constructors.
+var (
+	// Int builds an integer value.
+	Int = relation.Int
+	// Float builds a float value.
+	Float = relation.Float
+	// Str builds a string value.
+	Str = relation.Str
+	// Bool builds a boolean value.
+	Bool = relation.Bool
+	// Null builds a marked null with the given label.
+	Null = relation.Null
+)
+
+// Row builds a tuple from values.
+func Row(vs ...Value) Tuple { return Tuple(vs) }
+
+// Network is an in-process coDB network: peers as goroutine actors on a
+// shared bus. Safe for concurrent use.
+type Network struct {
+	mu    sync.Mutex
+	bus   *transport.Bus
+	peers map[string]*peer.Peer
+	super *superpeer.SuperPeer
+	opts  NetworkOptions
+}
+
+// NetworkOptions tune every peer of the network (ablation toggles included).
+type NetworkOptions struct {
+	// MaxDepth bounds the chase's null derivation depth (0 = default,
+	// negative = unlimited); see core.Config.
+	MaxDepth int
+	// NestedLoopJoin switches the CQ evaluator to nested loops (A3).
+	NestedLoopJoin bool
+	// DisableDedup turns off the per-link sent caches (A2).
+	DisableDedup bool
+	// Naive disables semi-naive delta evaluation (A1).
+	Naive bool
+}
+
+// NewNetwork creates an empty in-process network.
+func NewNetwork() *Network { return NewNetworkWithOptions(NetworkOptions{}) }
+
+// NewNetworkWithOptions creates an empty network with algorithm toggles.
+func NewNetworkWithOptions(opts NetworkOptions) *Network {
+	return &Network{bus: transport.NewBus(), peers: make(map[string]*peer.Peer), opts: opts}
+}
+
+func (nw *Network) peerOptions(name string, w core.Wrapper) peer.Options {
+	eval := cq.EvalOptions{}
+	if nw.opts.NestedLoopJoin {
+		eval.Strategy = cq.NestedLoop
+	}
+	return peer.Options{
+		Name:         name,
+		Wrapper:      w,
+		MaxDepth:     nw.opts.MaxDepth,
+		Eval:         eval,
+		DisableDedup: nw.opts.DisableDedup,
+		Naive:        nw.opts.Naive,
+	}
+}
+
+// AddPeer starts a peer with an in-memory database whose shared schema is
+// given as relation declarations, e.g. "emp(id int, name string)".
+func (nw *Network) AddPeer(name string, relations ...string) (*Peer, error) {
+	return nw.addPeer(name, "", relations...)
+}
+
+// AddDurablePeer starts a peer whose database persists under dir (WAL +
+// snapshots; state is recovered on restart).
+func (nw *Network) AddDurablePeer(name, dir string, relations ...string) (*Peer, error) {
+	return nw.addPeer(name, dir, relations...)
+}
+
+func (nw *Network) addPeer(name, dir string, relations ...string) (*Peer, error) {
+	db, err := storage.Open(storage.Options{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	for _, decl := range relations {
+		def, err := parseRelDecl(decl)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		if db.Rel(def.Name) != nil {
+			continue // recovered from disk
+		}
+		if err := db.DefineRelation(def); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	return nw.join(name, core.NewStoreWrapper(db))
+}
+
+// AddMediator starts a peer without a local database: the schema must still
+// be declared, and all operations execute in the wrapper (paper Figure 1's
+// dashed LDB).
+func (nw *Network) AddMediator(name string, relations ...string) (*Peer, error) {
+	schema := relation.NewSchema()
+	for _, decl := range relations {
+		def, err := parseRelDecl(decl)
+		if err != nil {
+			return nil, err
+		}
+		if err := schema.Add(def); err != nil {
+			return nil, err
+		}
+	}
+	return nw.join(name, core.NewMediatorWrapper(schema))
+}
+
+func (nw *Network) join(name string, w core.Wrapper) (*Peer, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if _, dup := nw.peers[name]; dup {
+		return nil, fmt.Errorf("codb: peer %q already exists", name)
+	}
+	tr, err := nw.bus.Join(name)
+	if err != nil {
+		return nil, err
+	}
+	opts := nw.peerOptions(name, w)
+	opts.Transport = tr
+	p, err := peer.New(opts)
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	nw.peers[name] = p
+	return p, nil
+}
+
+// MustAddPeer is AddPeer panicking on error.
+func (nw *Network) MustAddPeer(name string, relations ...string) *Peer {
+	p, err := nw.AddPeer(name, relations...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Peer returns a running peer by name (nil if absent).
+func (nw *Network) Peer(name string) *Peer {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.peers[name]
+}
+
+// Peers lists the network's peer names.
+func (nw *Network) Peers() []string {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	out := make([]string, 0, len(nw.peers))
+	for name := range nw.peers {
+		out = append(out, name)
+	}
+	return out
+}
+
+// RemovePeer stops a peer and removes it from the network (it "disappears",
+// as the paper's dynamic networks allow).
+func (nw *Network) RemovePeer(name string) {
+	nw.mu.Lock()
+	p := nw.peers[name]
+	delete(nw.peers, name)
+	nw.mu.Unlock()
+	if p != nil {
+		p.Stop()
+	}
+}
+
+// AddRule declares a GLAV coordination rule on both endpoints, e.g.
+// `target.rel(x) <- source.rel(x), x > 0`.
+func (nw *Network) AddRule(id, text string) error {
+	rule, err := cq.ParseRule(id, text)
+	if err != nil {
+		return err
+	}
+	tgt, src := nw.Peer(rule.Target), nw.Peer(rule.Source)
+	if tgt == nil || src == nil {
+		return fmt.Errorf("codb: rule %s links %s <- %s but both peers must exist", id, rule.Target, rule.Source)
+	}
+	if err := tgt.AddRule(id, text); err != nil {
+		return err
+	}
+	return src.AddRule(id, text)
+}
+
+// MustAddRule is AddRule panicking on error.
+func (nw *Network) MustAddRule(id, text string) {
+	if err := nw.AddRule(id, text); err != nil {
+		panic(err)
+	}
+}
+
+// Insert adds rows to a peer's local relation.
+func (nw *Network) Insert(node, rel string, rows ...Tuple) error {
+	p := nw.Peer(node)
+	if p == nil {
+		return fmt.Errorf("codb: unknown peer %q", node)
+	}
+	return p.Insert(rel, rows...)
+}
+
+// Update runs a global update initiated at origin and returns the
+// initiator's report. After it completes, every reachable node has
+// materialised all data implied by the coordination rules, and local
+// queries need no network access.
+func (nw *Network) Update(ctx context.Context, origin string) (Report, error) {
+	p := nw.Peer(origin)
+	if p == nil {
+		return Report{}, fmt.Errorf("codb: unknown peer %q", origin)
+	}
+	return p.RunUpdate(ctx)
+}
+
+// ScopedUpdate runs a query-dependent update (paper §2): it materialises,
+// at origin and along the way, only the data transitively relevant to the
+// given relations of the origin's schema.
+func (nw *Network) ScopedUpdate(ctx context.Context, origin string, rels ...string) (Report, error) {
+	p := nw.Peer(origin)
+	if p == nil {
+		return Report{}, fmt.Errorf("codb: unknown peer %q", origin)
+	}
+	return p.RunScopedUpdate(ctx, rels)
+}
+
+// Query runs a distributed query at the node: answered from local data
+// immediately, with transitively relevant remote data fetched through the
+// coordination rules for the duration of the query.
+func (nw *Network) Query(ctx context.Context, node, query string, mode QueryMode) ([]Tuple, error) {
+	p := nw.Peer(node)
+	if p == nil {
+		return nil, fmt.Errorf("codb: unknown peer %q", node)
+	}
+	q, err := cq.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return p.Query(ctx, q, mode)
+}
+
+// QueryStream is Query with streaming results: answers arrive on the first
+// channel as they are discovered; the second channel delivers the session
+// report when the query completes.
+func (nw *Network) QueryStream(node, query string, mode QueryMode) (<-chan Tuple, <-chan Report, error) {
+	p := nw.Peer(node)
+	if p == nil {
+		return nil, nil, fmt.Errorf("codb: unknown peer %q", node)
+	}
+	q, err := cq.ParseQuery(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.QueryStream(q, mode)
+}
+
+// LocalQuery evaluates a query against a node's local database only.
+func (nw *Network) LocalQuery(node, query string, mode QueryMode) ([]Tuple, error) {
+	p := nw.Peer(node)
+	if p == nil {
+		return nil, fmt.Errorf("codb: unknown peer %q", node)
+	}
+	q, err := cq.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return p.LocalQuery(q, mode)
+}
+
+// SuperPeer returns (starting on first use) the network's super-peer.
+func (nw *Network) SuperPeer() (*SuperPeer, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.super != nil {
+		return nw.super, nil
+	}
+	tr, err := nw.bus.Join("super")
+	if err != nil {
+		return nil, err
+	}
+	sp, err := superpeer.New(superpeer.Options{Transport: tr})
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	dir := make(map[string]string, len(nw.peers))
+	for name := range nw.peers {
+		dir[name] = ""
+	}
+	sp.Peer().SetDirectory(dir)
+	nw.super = sp
+	return sp, nil
+}
+
+// Close stops every peer (and the super-peer).
+func (nw *Network) Close() {
+	nw.mu.Lock()
+	peers := nw.peers
+	nw.peers = make(map[string]*peer.Peer)
+	super := nw.super
+	nw.super = nil
+	nw.mu.Unlock()
+	for _, p := range peers {
+		p.Stop()
+	}
+	if super != nil {
+		super.Stop()
+	}
+}
+
+// NewNetworkFromConfig builds a whole in-process network from a
+// configuration file: one in-memory peer per declared node, all rules
+// installed on both endpoints.
+func NewNetworkFromConfig(text string) (*Network, error) {
+	return NewNetworkFromConfigWithOptions(text, NetworkOptions{})
+}
+
+// NewNetworkFromConfigWithOptions is NewNetworkFromConfig with algorithm
+// toggles.
+func NewNetworkFromConfigWithOptions(text string, opts NetworkOptions) (*Network, error) {
+	cfg, err := config.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	nw := NewNetworkWithOptions(opts)
+	for _, node := range cfg.Nodes {
+		db := storage.MustOpenMem()
+		if err := db.DefineSchema(node.Schema); err != nil {
+			nw.Close()
+			return nil, err
+		}
+		if _, err := nw.join(node.Name, core.NewStoreWrapper(db)); err != nil {
+			nw.Close()
+			return nil, err
+		}
+	}
+	for _, r := range cfg.Rules {
+		if err := nw.AddRule(r.ID, r.Text); err != nil {
+			nw.Close()
+			return nil, err
+		}
+	}
+	return nw, nil
+}
+
+// ParseConfig parses a configuration file (for tools building on the
+// library).
+func ParseConfig(text string) (*config.Config, error) { return config.Parse(text) }
+
+// parseRelDecl parses "emp(id int, name string)".
+func parseRelDecl(decl string) (*relation.RelDef, error) {
+	cfg, err := config.Parse("node tmp\n rel " + decl + "\nend\n")
+	if err != nil {
+		return nil, fmt.Errorf("codb: bad relation declaration %q: %v", decl, err)
+	}
+	names := cfg.Nodes[0].Schema.Names()
+	return cfg.Nodes[0].Schema.Rel(names[0]), nil
+}

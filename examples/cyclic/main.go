@@ -1,0 +1,69 @@
+// Cyclic coordination rules: two university registries mirror each other
+// (a copy cycle), and a third peer derives supervision facts with an
+// existential variable — every student has *some* supervisor, represented
+// by a marked null. The global update computes the fix-point and
+// terminates despite the cycle; certain-answer queries hide the nulls,
+// all-answer queries expose them.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"codb"
+)
+
+func main() {
+	nw := codb.NewNetwork()
+	defer nw.Close()
+
+	nw.MustAddPeer("trento", "student(id int, name string)")
+	nw.MustAddPeer("bolzano", "student(id int, name string)")
+	nw.MustAddPeer("registry", "supervised(sid int, prof string)")
+
+	// The cycle: each university imports the other's students.
+	nw.MustAddRule("t_from_b", `trento.student(x, n) <- bolzano.student(x, n)`)
+	nw.MustAddRule("b_from_t", `bolzano.student(x, n) <- trento.student(x, n)`)
+	// Existential rule: every Trento student is supervised by someone.
+	nw.MustAddRule("sup", `registry.supervised(x, p) <- trento.student(x, n)`)
+
+	nw.Insert("trento", "student", codb.Row(codb.Int(1), codb.Str("ada")))
+	nw.Insert("bolzano", "student", codb.Row(codb.Int(2), codb.Str("kurt")))
+
+	ctx := context.Background()
+	rep, err := nw.Update(ctx, "registry")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("update terminated on the cyclic network (longest path %d)\n\n", rep.LongestPath)
+
+	for _, uni := range []string{"trento", "bolzano"} {
+		rows, err := nw.LocalQuery(uni, `ans(x, n) :- student(x, n)`, codb.AllAnswers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s students after the fix-point:\n", uni)
+		for _, r := range rows {
+			fmt.Println(" ", r)
+		}
+	}
+
+	all, err := nw.LocalQuery("registry", `ans(x, p) :- supervised(x, p)`, codb.AllAnswers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsupervision facts (all answers — note the marked nulls ⊥):")
+	for _, r := range all {
+		fmt.Println(" ", r)
+	}
+
+	certain, err := nw.LocalQuery("registry", `ans(x) :- supervised(x, p)`, codb.CertainAnswers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwho is certainly supervised (nulls projected away):")
+	for _, r := range certain {
+		fmt.Println(" ", r)
+	}
+}

@@ -1,0 +1,56 @@
+// Mediator node: the broker peer has no Local Database (the dashed LDB of
+// the paper's Figure 1) — only a shared schema. All relational operations
+// execute in its Wrapper over transient data, yet it still connects two
+// databases that have no rule between each other, translating schemas on
+// the way through.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"codb"
+)
+
+func main() {
+	nw := codb.NewNetwork()
+	defer nw.Close()
+
+	// A warehouse with SKU-keyed stock and a shop with product listings;
+	// the broker's schema bridges the two vocabularies.
+	nw.MustAddPeer("shop", "product(sku int, title string)")
+	if _, err := nw.AddMediator("broker", "item(sku int, label string)"); err != nil {
+		log.Fatal(err)
+	}
+	nw.MustAddPeer("warehouse", "stock(sku int, descr string, qty int)")
+
+	// warehouse -> broker -> shop, with renaming at each hop.
+	nw.MustAddRule("b_from_w", `broker.item(s, d) <- warehouse.stock(s, d, q), q > 0`)
+	nw.MustAddRule("s_from_b", `shop.product(s, l) <- broker.item(s, l)`)
+
+	nw.Insert("warehouse", "stock",
+		codb.Row(codb.Int(100), codb.Str("lamp"), codb.Int(3)),
+		codb.Row(codb.Int(101), codb.Str("desk"), codb.Int(0)), // out of stock
+		codb.Row(codb.Int(102), codb.Str("chair"), codb.Int(9)),
+	)
+
+	ctx := context.Background()
+	if _, err := nw.Update(ctx, "shop"); err != nil {
+		log.Fatal(err)
+	}
+
+	rows, err := nw.LocalQuery("shop", `ans(s, t) :- product(s, t)`, codb.AllAnswers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("products at the shop, imported through the storage-less broker:")
+	for _, r := range rows {
+		fmt.Println(" ", r)
+	}
+
+	// The broker held the data only transiently, in its wrapper.
+	broker := nw.Peer("broker")
+	fmt.Printf("\nbroker wrapper currently holds %d item tuples (transient, no LDB)\n",
+		broker.Count("item"))
+}

@@ -1,0 +1,211 @@
+package chase
+
+import (
+	"strings"
+	"testing"
+
+	"codb/internal/cq"
+	"codb/internal/relation"
+)
+
+func mustApplier(t *testing.T, rule *cq.Rule, opts Options) *Applier {
+	t.Helper()
+	a, err := NewApplier(rule, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestCopyRuleNoExistentials(t *testing.T) {
+	r := cq.MustParseRule("r1", `A.p(x, y) <- B.q(x, y)`)
+	a := mustApplier(t, r, Options{})
+	facts := a.Facts([]relation.Tuple{
+		{relation.Int(1), relation.Str("a")},
+		{relation.Int(2), relation.Str("b")},
+	})
+	if len(facts) != 2 {
+		t.Fatalf("facts = %v", facts)
+	}
+	if facts[0].Rel != "p" || !facts[0].Tuple.Equal(relation.Tuple{relation.Int(1), relation.Str("a")}) {
+		t.Errorf("fact 0 = %v", facts[0])
+	}
+}
+
+func TestExistentialMinting(t *testing.T) {
+	r := cq.MustParseRule("r1", `A.p(x, z) <- B.q(x)`)
+	a := mustApplier(t, r, Options{})
+	facts := a.Facts([]relation.Tuple{{relation.Int(1)}, {relation.Int(2)}})
+	if len(facts) != 2 {
+		t.Fatalf("facts = %v", facts)
+	}
+	z1, z2 := facts[0].Tuple[1], facts[1].Tuple[1]
+	if !z1.IsNull() || !z2.IsNull() {
+		t.Fatalf("existential positions not nulls: %v %v", z1, z2)
+	}
+	if z1 == z2 {
+		t.Error("distinct frontier bindings must mint distinct nulls")
+	}
+	if NullDepth(z1) != 1 {
+		t.Errorf("fresh null depth = %d, want 1", NullDepth(z1))
+	}
+}
+
+func TestMintingIsDeterministicAcrossAppliers(t *testing.T) {
+	r1 := cq.MustParseRule("r1", `A.p(x, z) <- B.q(x)`)
+	r2 := cq.MustParseRule("r1", `A.p(x, z) <- B.q(x)`)
+	a1 := mustApplier(t, r1, Options{})
+	a2 := mustApplier(t, r2, Options{})
+	b := []relation.Tuple{{relation.Int(7)}}
+	f1 := a1.Facts(b)
+	f2 := a2.Facts(b)
+	if f1[0].Tuple[1] != f2[0].Tuple[1] {
+		t.Errorf("independent appliers minted different nulls: %v vs %v", f1[0].Tuple[1], f2[0].Tuple[1])
+	}
+	// Different rule ID ⇒ different null.
+	r3 := cq.MustParseRule("r2", `A.p(x, z) <- B.q(x)`)
+	a3 := mustApplier(t, r3, Options{})
+	if a3.Facts(b)[0].Tuple[1] == f1[0].Tuple[1] {
+		t.Error("different rules must mint different nulls")
+	}
+}
+
+func TestMemoReturnsSameFacts(t *testing.T) {
+	r := cq.MustParseRule("r1", `A.p(x, z) <- B.q(x)`)
+	a := mustApplier(t, r, Options{})
+	b := relation.Tuple{relation.Int(1)}
+	f1 := a.Facts([]relation.Tuple{b})
+	f2 := a.Facts([]relation.Tuple{b})
+	if f1[0].Tuple[1] != f2[0].Tuple[1] {
+		t.Error("re-delivery minted a new null")
+	}
+}
+
+func TestSharedExistentialAcrossHeadAtoms(t *testing.T) {
+	r := cq.MustParseRule("r1", `A.boss(x, z), A.emp(z) <- B.worker(x)`)
+	a := mustApplier(t, r, Options{})
+	facts := a.Facts([]relation.Tuple{{relation.Int(1)}})
+	if len(facts) != 2 {
+		t.Fatalf("facts = %v", facts)
+	}
+	if facts[0].Tuple[1] != facts[1].Tuple[0] {
+		t.Error("existential must be shared across head atoms of one firing")
+	}
+}
+
+func TestDepthGrowsThroughNullChains(t *testing.T) {
+	r := cq.MustParseRule("r1", `A.p(x, z) <- B.q(x)`)
+	a := mustApplier(t, r, Options{})
+	// A frontier binding containing a depth-3 null yields depth-4 nulls.
+	deep := relation.Null("d3~abcdef")
+	facts := a.Facts([]relation.Tuple{{deep}})
+	if got := NullDepth(facts[0].Tuple[1]); got != 4 {
+		t.Errorf("depth = %d, want 4", got)
+	}
+}
+
+func TestDepthBoundSkips(t *testing.T) {
+	r := cq.MustParseRule("r1", `A.p(x, z) <- B.q(x)`)
+	a := mustApplier(t, r, Options{MaxDepth: 2})
+	deep := relation.Null("d2~ffff")
+	facts := a.Facts([]relation.Tuple{{deep}})
+	if len(facts) != 0 {
+		t.Errorf("facts past depth bound = %v", facts)
+	}
+	if a.Skipped != 1 {
+		t.Errorf("Skipped = %d", a.Skipped)
+	}
+	// Re-delivery of a skipped binding does not double count.
+	a.Facts([]relation.Tuple{{deep}})
+	if a.Skipped != 1 {
+		t.Errorf("Skipped after re-delivery = %d", a.Skipped)
+	}
+	// Non-existential rules ignore the bound.
+	rc := cq.MustParseRule("rc", `A.p(x) <- B.q(x)`)
+	ac := mustApplier(t, rc, Options{MaxDepth: 1})
+	if got := ac.Facts([]relation.Tuple{{deep}}); len(got) != 1 {
+		t.Errorf("copy rule blocked by depth bound: %v", got)
+	}
+}
+
+func TestNullDepthParsing(t *testing.T) {
+	cases := map[string]int{
+		"d1~ab":  1,
+		"d12~ab": 12,
+		"other":  0,
+		"d~ab":   0,
+		"dx~ab":  0,
+		"":       0,
+		"d-3~ab": 0,
+	}
+	for label, want := range cases {
+		if got := NullDepth(relation.Null(label)); got != want {
+			t.Errorf("NullDepth(%q) = %d, want %d", label, got, want)
+		}
+	}
+	if NullDepth(relation.Int(5)) != 0 {
+		t.Error("non-null depth must be 0")
+	}
+}
+
+func TestMalformedBindingSkipped(t *testing.T) {
+	r := cq.MustParseRule("r1", `A.p(x, y) <- B.q(x, y)`)
+	a := mustApplier(t, r, Options{})
+	facts := a.Facts([]relation.Tuple{{relation.Int(1)}}) // arity 1, frontier needs 2
+	if len(facts) != 0 || a.Skipped != 1 {
+		t.Errorf("malformed binding: facts=%v skipped=%d", facts, a.Skipped)
+	}
+}
+
+func TestBindingsAndApply(t *testing.T) {
+	in := relation.NewInstance()
+	in.Insert("q", relation.Tuple{relation.Int(1), relation.Str("keep")})
+	in.Insert("q", relation.Tuple{relation.Int(2), relation.Str("drop")})
+	r := cq.MustParseRule("r1", `A.p(x) <- B.q(x, s), s = "keep"`)
+	a := mustApplier(t, r, Options{})
+	bindings, err := Bindings(r, in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bindings) != 1 || bindings[0][0] != relation.Int(1) {
+		t.Errorf("bindings = %v", bindings)
+	}
+	facts, err := Apply(r, in, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 1 || facts[0].String() != "p(1)" {
+		t.Errorf("facts = %v", facts)
+	}
+}
+
+func TestBindingsDelta(t *testing.T) {
+	in := relation.NewInstance()
+	in.Insert("q", relation.Tuple{relation.Int(1)})
+	in.Insert("q", relation.Tuple{relation.Int(2)})
+	r := cq.MustParseRule("r1", `A.p(x) <- B.q(x)`)
+	delta := []relation.Tuple{{relation.Int(2)}}
+	bindings, err := BindingsDelta(r, in, "q", delta, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bindings) != 1 || bindings[0][0] != relation.Int(2) {
+		t.Errorf("delta bindings = %v", bindings)
+	}
+}
+
+func TestConstantInHead(t *testing.T) {
+	r := cq.MustParseRule("r1", `A.p(x, "fixed") <- B.q(x)`)
+	a := mustApplier(t, r, Options{})
+	facts := a.Facts([]relation.Tuple{{relation.Int(1)}})
+	if facts[0].Tuple[1] != relation.Str("fixed") {
+		t.Errorf("facts = %v", facts)
+	}
+}
+
+func TestFactString(t *testing.T) {
+	f := Fact{Rel: "p", Tuple: relation.Tuple{relation.Int(1), relation.Null("d1~ab")}}
+	if !strings.HasPrefix(f.String(), "p(1, ") {
+		t.Errorf("String = %q", f.String())
+	}
+}

@@ -1,0 +1,264 @@
+// Package config defines the coordination-rules file format the super-peer
+// reads and broadcasts (paper §4: "that peer can read coordination rules
+// for all peers from a file and broadcast this file to all peers on the
+// network"). A configuration lists the peers (name, optional dial address,
+// shared schema) and the GLAV coordination rules between them.
+//
+// The format is line-oriented:
+//
+//	# comment
+//	version 3
+//	node A addr 127.0.0.1:7001
+//	  rel emp(id int, name string)
+//	  rel dept(name string, mgr string)
+//	end
+//	node B
+//	  rel person(id int, name string)
+//	end
+//	rule r1: A.emp(x, n) <- B.person(x, n), x > 0
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"codb/internal/cq"
+	"codb/internal/msg"
+	"codb/internal/relation"
+)
+
+// Node declares one peer.
+type Node struct {
+	Name   string
+	Addr   string // dial address; empty for in-process deployments
+	Schema *relation.Schema
+}
+
+// Rule declares one coordination rule (kept in concrete syntax; Parsed
+// gives the AST).
+type Rule struct {
+	ID   string
+	Text string
+}
+
+// Config is a parsed configuration file.
+type Config struct {
+	Version int
+	Nodes   []Node
+	Rules   []Rule
+}
+
+// Node returns the declaration of the named node, or nil.
+func (c *Config) Node(name string) *Node {
+	for i := range c.Nodes {
+		if c.Nodes[i].Name == name {
+			return &c.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// RuleDefs converts the rules to the wire form used by broadcasts.
+func (c *Config) RuleDefs() []msg.RuleDef {
+	defs := make([]msg.RuleDef, len(c.Rules))
+	for i, r := range c.Rules {
+		defs[i] = msg.RuleDef{ID: r.ID, Text: r.Text}
+	}
+	return defs
+}
+
+// Directory returns the node -> address map (nodes without addresses
+// omitted).
+func (c *Config) Directory() map[string]string {
+	dir := make(map[string]string)
+	for _, n := range c.Nodes {
+		if n.Addr != "" {
+			dir[n.Name] = n.Addr
+		}
+	}
+	return dir
+}
+
+// Validate checks internal consistency: unique node names and rule IDs,
+// rules referencing declared nodes and relations with correct arity.
+func (c *Config) Validate() error {
+	nodes := make(map[string]*relation.Schema)
+	for _, n := range c.Nodes {
+		if _, dup := nodes[n.Name]; dup {
+			return fmt.Errorf("config: duplicate node %s", n.Name)
+		}
+		nodes[n.Name] = n.Schema
+	}
+	ids := make(map[string]bool)
+	for _, r := range c.Rules {
+		if ids[r.ID] {
+			return fmt.Errorf("config: duplicate rule %s", r.ID)
+		}
+		ids[r.ID] = true
+		rule, err := cq.ParseRule(r.ID, r.Text)
+		if err != nil {
+			return err
+		}
+		for nodeName, atoms := range map[string][]cq.Atom{rule.Target: rule.Head, rule.Source: rule.Body} {
+			schema, ok := nodes[nodeName]
+			if !ok {
+				return fmt.Errorf("config: rule %s references undeclared node %s", r.ID, nodeName)
+			}
+			for _, a := range atoms {
+				def := schema.Rel(a.Rel)
+				if def == nil {
+					return fmt.Errorf("config: rule %s: node %s has no relation %s", r.ID, nodeName, a.Rel)
+				}
+				if def.Arity() != len(a.Terms) {
+					return fmt.Errorf("config: rule %s: %s.%s has arity %d, atom has %d terms",
+						r.ID, nodeName, a.Rel, def.Arity(), len(a.Terms))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// String serialises the configuration back to the file format.
+func (c *Config) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "version %d\n", c.Version)
+	for _, n := range c.Nodes {
+		b.WriteString("node ")
+		b.WriteString(n.Name)
+		if n.Addr != "" {
+			b.WriteString(" addr ")
+			b.WriteString(n.Addr)
+		}
+		b.WriteByte('\n')
+		if n.Schema != nil {
+			for _, relName := range n.Schema.Names() {
+				fmt.Fprintf(&b, "  rel %s\n", n.Schema.Rel(relName))
+			}
+		}
+		b.WriteString("end\n")
+	}
+	for _, r := range c.Rules {
+		fmt.Fprintf(&b, "rule %s: %s\n", r.ID, r.Text)
+	}
+	return b.String()
+}
+
+// SortedRuleIDs returns the rule IDs in sorted order.
+func (c *Config) SortedRuleIDs() []string {
+	ids := make([]string, len(c.Rules))
+	for i, r := range c.Rules {
+		ids[i] = r.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Parse reads a configuration from its textual form.
+func Parse(text string) (*Config, error) {
+	cfg := &Config{}
+	var cur *Node
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("config: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, "version "):
+			if cur != nil {
+				return nil, errf("version inside node block")
+			}
+			if _, err := fmt.Sscanf(line, "version %d", &cfg.Version); err != nil {
+				return nil, errf("bad version line %q", line)
+			}
+		case strings.HasPrefix(line, "node "):
+			if cur != nil {
+				return nil, errf("nested node block")
+			}
+			fields := strings.Fields(line)
+			n := Node{Schema: relation.NewSchema()}
+			switch len(fields) {
+			case 2:
+				n.Name = fields[1]
+			case 4:
+				if fields[2] != "addr" {
+					return nil, errf("expected 'addr', got %q", fields[2])
+				}
+				n.Name, n.Addr = fields[1], fields[3]
+			default:
+				return nil, errf("bad node line %q", line)
+			}
+			cfg.Nodes = append(cfg.Nodes, n)
+			cur = &cfg.Nodes[len(cfg.Nodes)-1]
+		case line == "end":
+			if cur == nil {
+				return nil, errf("'end' outside node block")
+			}
+			cur = nil
+		case strings.HasPrefix(line, "rel "):
+			if cur == nil {
+				return nil, errf("'rel' outside node block")
+			}
+			def, err := parseRelDecl(strings.TrimSpace(line[4:]))
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			if err := cur.Schema.Add(def); err != nil {
+				return nil, errf("%v", err)
+			}
+		case strings.HasPrefix(line, "rule "):
+			if cur != nil {
+				return nil, errf("'rule' inside node block")
+			}
+			rest := strings.TrimSpace(line[5:])
+			colon := strings.IndexByte(rest, ':')
+			if colon <= 0 {
+				return nil, errf("bad rule line %q (want 'rule id: text')", line)
+			}
+			id := strings.TrimSpace(rest[:colon])
+			text := strings.TrimSpace(rest[colon+1:])
+			if _, err := cq.ParseRule(id, text); err != nil {
+				return nil, errf("%v", err)
+			}
+			cfg.Rules = append(cfg.Rules, Rule{ID: id, Text: text})
+		default:
+			return nil, errf("unrecognised line %q", line)
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("config: unterminated node block for %s", cur.Name)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// parseRelDecl parses "emp(id int, name string)".
+func parseRelDecl(s string) (*relation.RelDef, error) {
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("bad relation declaration %q", s)
+	}
+	def := &relation.RelDef{Name: strings.TrimSpace(s[:open])}
+	inner := s[open+1 : len(s)-1]
+	for _, part := range strings.Split(inner, ",") {
+		fields := strings.Fields(strings.TrimSpace(part))
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bad attribute %q in %q (want 'name type')", part, s)
+		}
+		typ, err := relation.ParseType(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		def.Attrs = append(def.Attrs, relation.Attr{Name: fields[0], Type: typ})
+	}
+	return def, nil
+}

@@ -1,0 +1,129 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+# demo network
+version 3
+node A addr 127.0.0.1:7001
+  rel emp(id int, name string)
+  rel dept(name string, mgr string)
+end
+node B
+  rel person(id int, name string)
+end
+rule r1: A.emp(x, n) <- B.person(x, n), x > 0
+`
+
+func TestParseSample(t *testing.T) {
+	cfg, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Version != 3 {
+		t.Errorf("Version = %d", cfg.Version)
+	}
+	if len(cfg.Nodes) != 2 || len(cfg.Rules) != 1 {
+		t.Fatalf("nodes=%d rules=%d", len(cfg.Nodes), len(cfg.Rules))
+	}
+	a := cfg.Node("A")
+	if a == nil || a.Addr != "127.0.0.1:7001" || a.Schema.Len() != 2 {
+		t.Errorf("node A = %+v", a)
+	}
+	if cfg.Node("B").Addr != "" {
+		t.Error("node B should have no address")
+	}
+	if cfg.Node("ghost") != nil {
+		t.Error("ghost node found")
+	}
+	if got := cfg.Directory(); len(got) != 1 || got["A"] == "" {
+		t.Errorf("Directory = %v", got)
+	}
+	if got := cfg.RuleDefs(); len(got) != 1 || got[0].ID != "r1" {
+		t.Errorf("RuleDefs = %v", got)
+	}
+	if got := cfg.SortedRuleIDs(); len(got) != 1 || got[0] != "r1" {
+		t.Errorf("SortedRuleIDs = %v", got)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cfg, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := Parse(cfg.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v\ntext:\n%s", err, cfg.String())
+	}
+	if cfg2.String() != cfg.String() {
+		t.Errorf("round trip:\n%s\nvs\n%s", cfg.String(), cfg2.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"node A\nrel r(x int)", // unterminated
+		"end",
+		"rel r(x int)",
+		"node A\nnode B\nend\nend", // nested
+		"version x",
+		"node A addr\nend",           // bad node line
+		"node A\nrel r()\nend",       // bad rel
+		"node A\nrel r(x blob)\nend", // bad type
+		"node A\nrel r(x)\nend",      // missing type
+		"rule broken",                // no colon
+		"nonsense line",
+		"node A\n  version 2\nend",               // version in block
+		"node A\nend\nrule r1: A.r(x) <- B.r(x)", // undeclared node B
+		"node A\n rel r(x int)\nend\nnode B\n rel r(x int)\nend\nrule r1: A.z(x) <- B.r(x)",                            // unknown relation
+		"node A\n rel r(x int)\nend\nnode B\n rel r(x int)\nend\nrule r1: A.r(x, y) <- B.r(x)",                         // arity
+		"node A\n rel r(x int)\nend\nnode A\n rel r(x int)\nend",                                                       // duplicate node
+		"node A\n rel r(x int)\nend\nnode B\n rel r(x int)\nend\nrule r1: A.r(x) <- B.r(x)\nrule r1: A.r(x) <- B.r(x)", // duplicate rule id
+	}
+	for _, text := range bad {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse accepted:\n%s", text)
+		}
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	cfg, err := Parse("# all comments\n\n   \nversion 1\n# more\nnode A # trailing\n rel r(x int)\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Nodes) != 1 || cfg.Nodes[0].Name != "A" {
+		t.Errorf("nodes = %+v", cfg.Nodes)
+	}
+}
+
+func TestMultiRuleConfig(t *testing.T) {
+	text := `version 1
+node A
+  rel r(x int, y int)
+end
+node B
+  rel r(x int, y int)
+end
+node C
+  rel r(x int, y int)
+end
+rule rAB: A.r(x, y) <- B.r(x, y)
+rule rBC: B.r(x, y) <- C.r(x, y)
+rule rCA: C.r(x, y) <- A.r(x, y)
+`
+	cfg, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Rules) != 3 {
+		t.Errorf("rules = %d", len(cfg.Rules))
+	}
+	if !strings.Contains(cfg.String(), "rule rCA: C.r(x, y) <- A.r(x, y)") {
+		t.Errorf("String lost a rule:\n%s", cfg.String())
+	}
+}

@@ -1,0 +1,309 @@
+// Package console implements the interactive command interpreter behind
+// cmd/codb-shell — the reproduction of the paper's query interface and
+// peer-discovery windows (Figures 2 and 3). It is a separate package so the
+// command handling is unit-testable against in-process networks.
+package console
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"codb"
+	"codb/internal/superpeer"
+)
+
+// Console interprets shell commands against a network.
+type Console struct {
+	nw  *codb.Network
+	out io.Writer
+	// Timeout bounds updates and queries (default 5 minutes).
+	Timeout time.Duration
+	// ReadFile loads configuration files for `reload` (default os.ReadFile).
+	ReadFile func(path string) ([]byte, error)
+}
+
+// New builds a console over a network, printing to out.
+func New(nw *codb.Network, out io.Writer) *Console {
+	return &Console{nw: nw, out: out, Timeout: 5 * time.Minute, ReadFile: os.ReadFile}
+}
+
+func (c *Console) printf(format string, args ...any) {
+	fmt.Fprintf(c.out, format, args...)
+}
+
+// Execute runs one command line. It returns false when the session should
+// end (quit/exit); errors are printed, not returned, matching interactive
+// use.
+func (c *Console) Execute(line string) bool {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return true
+	}
+	fields := strings.Fields(line)
+	cmd := fields[0]
+	rest := strings.TrimSpace(strings.TrimPrefix(line, cmd))
+	switch cmd {
+	case "quit", "exit":
+		return false
+	case "help":
+		c.printf("query|certain|local <node> <query>; update <node>; scoped <node> <rel,...>;\n")
+		c.printf("insert <node> <rel> v…; show <node> <rel>; peers <node>; report <node>;\n")
+		c.printf("stats; reload <file>; topology; quit\n")
+	case "query", "certain", "local":
+		c.runQuery(cmd, rest)
+	case "update":
+		c.runUpdate(rest)
+	case "scoped":
+		c.runScoped(fields[1:])
+	case "insert":
+		c.runInsert(fields[1:])
+	case "show":
+		c.runShow(fields[1:])
+	case "peers":
+		c.runPeers(fields[1:])
+	case "report":
+		c.runReport(fields[1:])
+	case "stats":
+		c.runStats()
+	case "reload":
+		c.runReload(fields[1:])
+	case "topology":
+		c.runTopology()
+	default:
+		c.printf("unknown command %q (try help)\n", cmd)
+	}
+	return true
+}
+
+func (c *Console) ctx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), c.Timeout)
+}
+
+func splitNode(rest string) (string, string, bool) {
+	fields := strings.SplitN(rest, " ", 2)
+	if len(fields) != 2 {
+		return "", "", false
+	}
+	return fields[0], strings.TrimSpace(fields[1]), true
+}
+
+func (c *Console) runQuery(cmd, rest string) {
+	node, q, ok := splitNode(rest)
+	if !ok {
+		c.printf("usage: %s <node> <query>\n", cmd)
+		return
+	}
+	mode := codb.AllAnswers
+	if cmd == "certain" {
+		mode = codb.CertainAnswers
+	}
+	start := time.Now()
+	if cmd == "local" {
+		rows, err := c.nw.LocalQuery(node, q, mode)
+		if err != nil {
+			c.printf("error: %v\n", err)
+			return
+		}
+		for _, r := range rows {
+			c.printf("  %s\n", r)
+		}
+		c.printf("%d answers in %v\n", len(rows), time.Since(start).Round(time.Microsecond))
+		return
+	}
+	answers, done, err := c.nw.QueryStream(node, q, mode)
+	if err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	n := 0
+	for row := range answers {
+		n++
+		c.printf("  %s\n", row)
+	}
+	rep := <-done
+	c.printf("%d answers in %v (%d msgs received)\n",
+		n, time.Since(start).Round(time.Microsecond), totalMsgs(rep))
+}
+
+func totalMsgs(rep codb.Report) int {
+	n := 0
+	for _, v := range rep.MsgsPerRule {
+		n += v
+	}
+	return n
+}
+
+func (c *Console) runUpdate(node string) {
+	if node == "" {
+		c.printf("usage: update <node>\n")
+		return
+	}
+	ctx, cancel := c.ctx()
+	defer cancel()
+	start := time.Now()
+	rep, err := c.nw.Update(ctx, node)
+	if err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	c.printf("update %s complete in %v: %d new tuples at origin, longest path %d\n",
+		rep.SID, time.Since(start).Round(time.Microsecond), rep.NewTuples, rep.LongestPath)
+}
+
+func (c *Console) runScoped(args []string) {
+	if len(args) != 2 {
+		c.printf("usage: scoped <node> <rel[,rel...]>\n")
+		return
+	}
+	ctx, cancel := c.ctx()
+	defer cancel()
+	rels := strings.Split(args[1], ",")
+	rep, err := c.nw.ScopedUpdate(ctx, args[0], rels...)
+	if err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	c.printf("scoped update %s complete (%s)\n", rep.SID, strings.Join(rels, ", "))
+}
+
+func (c *Console) runInsert(args []string) {
+	if len(args) < 3 {
+		c.printf("usage: insert <node> <rel> v1 v2 ...\n")
+		return
+	}
+	var row codb.Tuple
+	for _, tok := range args[2:] {
+		row = append(row, ParseValue(tok))
+	}
+	if err := c.nw.Insert(args[0], args[1], row); err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	c.printf("ok\n")
+}
+
+// ParseValue interprets a shell token as a typed value: true/false,
+// integers, floats, "quoted" or bare strings.
+func ParseValue(tok string) codb.Value {
+	switch tok {
+	case "true":
+		return codb.Bool(true)
+	case "false":
+		return codb.Bool(false)
+	}
+	if strings.HasPrefix(tok, `"`) {
+		return codb.Str(strings.Trim(tok, `"`))
+	}
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return codb.Int(int(n))
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return codb.Float(f)
+	}
+	return codb.Str(tok)
+}
+
+func (c *Console) runShow(args []string) {
+	if len(args) != 2 {
+		c.printf("usage: show <node> <rel>\n")
+		return
+	}
+	p := c.nw.Peer(args[0])
+	if p == nil {
+		c.printf("unknown peer %s\n", args[0])
+		return
+	}
+	rows := p.Tuples(args[1])
+	for _, r := range rows {
+		c.printf("  %s\n", r)
+	}
+	c.printf("%d tuples\n", len(rows))
+}
+
+func (c *Console) runPeers(args []string) {
+	if len(args) != 1 {
+		c.printf("usage: peers <node>\n")
+		return
+	}
+	p := c.nw.Peer(args[0])
+	if p == nil {
+		c.printf("unknown peer %s\n", args[0])
+		return
+	}
+	out, in := p.Links()
+	c.printf("pipes:      %v\n", p.Pipes())
+	c.printf("outgoing:   %v\n", out)
+	c.printf("incoming:   %v\n", in)
+	c.printf("discovered: %v\n", p.Discovered())
+}
+
+func (c *Console) runReport(args []string) {
+	if len(args) != 1 {
+		c.printf("usage: report <node>\n")
+		return
+	}
+	p := c.nw.Peer(args[0])
+	if p == nil {
+		c.printf("unknown peer %s\n", args[0])
+		return
+	}
+	for _, rep := range p.Reports() {
+		dur := time.Duration(rep.EndUnixNano - rep.StartUnixNano)
+		c.printf("  %s %s origin=%s dur=%v new=%d sent=%dB queried=%v sentTo=%v\n",
+			rep.SID, rep.Kind, rep.Origin, dur.Round(time.Microsecond),
+			rep.NewTuples, rep.SentBytes, rep.Queried, rep.SentTo)
+	}
+}
+
+func (c *Console) runStats() {
+	sp, err := c.nw.SuperPeer()
+	if err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	byNode, _ := sp.CollectStats(ctx, len(c.nw.Peers()))
+	c.printf("%s", superpeer.Render(superpeer.AggregateSessions(byNode)))
+}
+
+func (c *Console) runReload(args []string) {
+	if len(args) != 1 {
+		c.printf("usage: reload <config-file>\n")
+		return
+	}
+	text, err := c.ReadFile(args[0])
+	if err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	cfg, err := codb.ParseConfig(string(text))
+	if err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	sp, err := c.nw.SuperPeer()
+	if err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	sp.SetConfig(cfg)
+	if err := sp.Broadcast(); err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	c.printf("broadcast sent; topology will adapt as peers process it\n")
+}
+
+func (c *Console) runTopology() {
+	for _, name := range c.nw.Peers() {
+		p := c.nw.Peer(name)
+		out, in := p.Links()
+		c.printf("  %-10s outgoing=%v incoming=%v\n", name, out, in)
+	}
+}

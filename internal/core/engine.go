@@ -1,0 +1,543 @@
+package core
+
+import (
+	"fmt"
+
+	"codb/internal/chase"
+	"codb/internal/cq"
+	"codb/internal/msg"
+	"codb/internal/relation"
+)
+
+// StartUpdate initiates a global update from this node with the given
+// session ID (mint one with msg.NewSID). The returned messages must be
+// shipped before the caller processes further events.
+func (n *Node) StartUpdate(sid string) (Result, error) {
+	var r Result
+	if _, dup := n.sessions[sid]; dup {
+		return r, fmt.Errorf("core: session %s already exists", sid)
+	}
+	s := n.newSession(sid, msg.KindUpdate, n.cfg.Self)
+	n.ds.Start(sid)
+	n.joinUpdate(s, &r)
+	n.closeCheck(s, &r)
+	n.flushDS(s, &r)
+	return r, nil
+}
+
+// QueryMode selects answer semantics for distributed queries.
+type QueryMode uint8
+
+const (
+	// AllAnswers streams every derived answer, marked nulls included.
+	AllAnswers QueryMode = iota
+	// CertainAnswers suppresses answers containing marked nulls (naive
+	// evaluation of naive tables).
+	CertainAnswers
+)
+
+// StartQuery initiates a distributed query session at this node: the query
+// is answered from local data immediately (Result.Answers) and the session
+// fetches the transitively relevant remote data, streaming further answers
+// through subsequent Handle calls.
+func (n *Node) StartQuery(sid string, q *cq.Query, mode QueryMode) (Result, error) {
+	var r Result
+	if _, dup := n.sessions[sid]; dup {
+		return r, fmt.Errorf("core: session %s already exists", sid)
+	}
+	if err := q.Validate(); err != nil {
+		return r, err
+	}
+	s := n.newSession(sid, msg.KindQuery, n.cfg.Self)
+	s.query = q
+	s.certain = mode == CertainAnswers
+	s.answerKeys = make(map[string]bool)
+	n.ds.Start(sid)
+
+	// Answer from local data immediately (paper §3).
+	n.streamAnswers(s, &r)
+
+	// Propagate along the relevant outgoing links, path label [self].
+	relevant := cq.Closure(q.Relations(), n.Outgoing())
+	n.requestQueryLinks(s, relevant, []string{n.cfg.Self}, &r)
+	n.closeCheck(s, &r)
+	n.flushDS(s, &r)
+	return r, nil
+}
+
+// StartScopedUpdate initiates a query-dependent update (paper §2): like a
+// distributed query it propagates only along the outgoing links
+// transitively relevant to the given relations, with path labels — but like
+// a global update it materialises the fetched data into the local databases
+// along the way, so subsequent queries over those relations are local.
+func (n *Node) StartScopedUpdate(sid string, rels []string) (Result, error) {
+	var r Result
+	if _, dup := n.sessions[sid]; dup {
+		return r, fmt.Errorf("core: session %s already exists", sid)
+	}
+	if len(rels) == 0 {
+		return r, fmt.Errorf("core: scoped update needs at least one relation")
+	}
+	s := n.newSession(sid, msg.KindScoped, n.cfg.Self)
+	n.ds.Start(sid)
+	relevant := cq.Closure(rels, n.Outgoing())
+	n.requestQueryLinks(s, relevant, []string{n.cfg.Self}, &r)
+	n.closeCheck(s, &r)
+	n.flushDS(s, &r)
+	return r, nil
+}
+
+// LocalQuery evaluates a query against the local database only (no
+// session), as nodes do after a global update has materialised everything.
+func (n *Node) LocalQuery(q *cq.Query, mode QueryMode) ([]relation.Tuple, error) {
+	answers, err := cq.Eval(q, n.cfg.Wrapper, n.cfg.Eval)
+	if err != nil {
+		return nil, err
+	}
+	if mode == CertainAnswers {
+		answers = cq.FilterCertain(answers)
+	}
+	return answers, nil
+}
+
+// Handle dispatches one inbound envelope to the appropriate handler.
+func (n *Node) Handle(env msg.Envelope) Result {
+	switch p := env.Payload.(type) {
+	case *msg.SessionRequest:
+		return n.handleRequest(env.From, p)
+	case *msg.SessionData:
+		return n.handleData(env.From, p)
+	case *msg.SessionAck:
+		return n.handleAck(env.From, p)
+	case *msg.LinkClose:
+		return n.handleLinkClose(env.From, p)
+	case *msg.SessionDone:
+		return n.handleDone(env.From, p)
+	default:
+		return Result{}
+	}
+}
+
+// joinUpdate performs the once-per-session join actions of a global update:
+// evaluate and export every incoming link, then flood the session to all
+// acquaintances (duplicate-suppressed).
+func (n *Node) joinUpdate(s *session, r *Result) {
+	if s.joined {
+		return
+	}
+	s.joined = true
+	for _, rule := range n.Incoming() {
+		n.exportFull(s, rule, rule.Target, r)
+	}
+	if !s.flooded {
+		s.flooded = true
+		for _, acq := range n.Acquaintances() {
+			var defs []msg.RuleDef
+			for _, o := range n.Outgoing() {
+				if o.Source == acq {
+					defs = append(defs, msg.RuleDef{ID: o.ID, Text: n.RuleText(o.ID)})
+				}
+			}
+			req := &msg.SessionRequest{
+				SID:    s.sid,
+				Kind:   msg.KindUpdate,
+				Origin: s.origin,
+				Path:   []string{n.cfg.Self},
+				Rules:  defs,
+			}
+			r.send(acq, req)
+			n.ds.Sent(s.sid, 1)
+			if len(defs) > 0 {
+				s.noteQueried(acq)
+			}
+		}
+	}
+}
+
+// requestQueryLinks sends query-session requests for the given outgoing
+// links, honouring the path label ("a node does not propagate a query
+// request, if its ID is contained in the label").
+func (n *Node) requestQueryLinks(s *session, links []*cq.Rule, path []string, r *Result) {
+	bySource := make(map[string][]msg.RuleDef)
+	for _, o := range links {
+		if s.requestedOut[o.ID] || containsStr(path, o.Source) {
+			continue
+		}
+		s.requestedOut[o.ID] = true
+		bySource[o.Source] = append(bySource[o.Source], msg.RuleDef{ID: o.ID, Text: n.RuleText(o.ID)})
+	}
+	for src, defs := range bySource {
+		req := &msg.SessionRequest{
+			SID:    s.sid,
+			Kind:   s.kind,
+			Origin: s.origin,
+			Path:   path,
+			Rules:  defs,
+		}
+		r.send(src, req)
+		n.ds.Sent(s.sid, 1)
+		s.noteQueried(src)
+	}
+}
+
+// handleRequest processes a session request from an acquaintance.
+func (n *Node) handleRequest(from string, req *msg.SessionRequest) Result {
+	var r Result
+	s, _ := n.getSession(req.SID, req.Kind, req.Origin)
+	n.ds.Received(req.SID, from)
+	if s.done {
+		// Stale request after completion: just acknowledge.
+		n.flushDS(s, &r)
+		return r
+	}
+
+	switch req.Kind {
+	case msg.KindUpdate:
+		// Adopt rules we did not know (the request carries definitions,
+		// paper §2); they become part of the topology.
+		for _, d := range req.Rules {
+			if _, known := n.rules[d.ID]; known {
+				continue
+			}
+			if rule, err := cq.ParseRule(d.ID, d.Text); err == nil && rule.Source == n.cfg.Self {
+				_ = n.addParsedRule(rule, d.Text)
+			}
+		}
+		n.joinUpdate(s, &r)
+		// Export any requested link the join pass did not cover (rules
+		// adopted just now are covered by joinUpdate only if joined here;
+		// re-run export for listed rules explicitly — exportFull is
+		// idempotent per session).
+		for _, d := range req.Rules {
+			if rs, ok := n.rules[d.ID]; ok && rs.rule.Source == n.cfg.Self {
+				n.exportFull(s, rs.rule, rs.rule.Target, &r)
+			}
+		}
+
+	case msg.KindQuery, msg.KindScoped:
+		var listed []*cq.Rule
+		for _, d := range req.Rules {
+			rule := n.ruleOf(s, d.ID)
+			if rule == nil {
+				parsed, err := cq.ParseRule(d.ID, d.Text)
+				if err != nil || parsed.Source != n.cfg.Self {
+					continue
+				}
+				if s.extra == nil {
+					s.extra = make(map[string]*cq.Rule)
+				}
+				s.extra[d.ID] = parsed
+				rule = parsed
+			}
+			if rule.Source != n.cfg.Self {
+				continue
+			}
+			listed = append(listed, rule)
+			s.activeIncoming[rule.ID] = rule.Target
+			n.exportFull(s, rule, rule.Target, &r)
+		}
+		// Forward to the outgoing links relevant to what was requested.
+		var relevant []*cq.Rule
+		for _, o := range n.Outgoing() {
+			for _, in := range listed {
+				if cq.DependsOn(in, o) {
+					relevant = append(relevant, o)
+					break
+				}
+			}
+		}
+		n.requestQueryLinks(s, relevant, append(append([]string{}, req.Path...), n.cfg.Self), &r)
+	}
+	n.closeCheck(s, &r)
+	n.flushDS(s, &r)
+	return r
+}
+
+// handleData processes frontier bindings arriving on one of our outgoing
+// links.
+func (n *Node) handleData(from string, d *msg.SessionData) Result {
+	var r Result
+	s, _ := n.getSession(d.SID, d.Kind, d.Origin)
+	n.ds.Received(d.SID, from)
+	if s.done {
+		n.flushDS(s, &r)
+		return r
+	}
+
+	// Stats (paper §4: messages and volume per coordination rule, longest
+	// update propagation path).
+	s.rep.MsgsPerRule[d.RuleID]++
+	s.rep.BytesPerRule[d.RuleID] += d.Size()
+	s.rep.TuplesPerRule[d.RuleID] += len(d.Bindings)
+	if len(d.Path) > s.rep.LongestPath {
+		s.rep.LongestPath = len(d.Path)
+	}
+
+	// Data can be the first contact with an update session; join before
+	// anything else so this node exports and floods too.
+	if s.kind == msg.KindUpdate {
+		n.joinUpdate(s, &r)
+	}
+
+	rs := n.rules[d.RuleID]
+	applier := n.appliers[d.RuleID]
+	if rs == nil || applier == nil || rs.rule.Target != n.cfg.Self {
+		// Unknown or foreign rule (topology changed mid-session): the
+		// message is still acknowledged so termination is preserved.
+		n.closeCheck(s, &r)
+		n.flushDS(s, &r)
+		return r
+	}
+
+	// Chase: instantiate heads, insert, collect the per-relation deltas.
+	skippedBefore := applier.Skipped
+	facts := applier.Facts(d.Bindings)
+	s.rep.SkippedDepth += applier.Skipped - skippedBefore
+	v := n.sessionView(s)
+	byRel := make(map[string][]relation.Tuple)
+	for _, f := range facts {
+		byRel[f.Rel] = append(byRel[f.Rel], f.Tuple)
+	}
+	fresh := make(map[string][]relation.Tuple)
+	for rel, ts := range byRel {
+		fs, err := v.insertMany(rel, ts)
+		if err != nil {
+			continue // schema violation from a remote peer: drop, keep going
+		}
+		if len(fs) > 0 {
+			fresh[rel] = fs
+			s.rep.NewTuples += len(fs)
+		}
+	}
+
+	// Propagate the delta through the dependent incoming links (semi-naive
+	// step; the Naive toggle re-evaluates fully for the A1 ablation).
+	if len(fresh) > 0 {
+		path := append(append([]string{}, d.Path...), n.cfg.Self)
+		switch s.kind {
+		case msg.KindUpdate:
+			for _, in := range n.Incoming() {
+				n.exportDelta(s, in, in.Target, fresh, path, &r)
+			}
+		case msg.KindQuery, msg.KindScoped:
+			for id, requester := range s.activeIncoming {
+				if in := n.ruleOf(s, id); in != nil {
+					n.exportDelta(s, in, requester, fresh, path, &r)
+				}
+			}
+		}
+		// A query origin re-evaluates and streams new answers.
+		if s.query != nil {
+			n.streamAnswers(s, &r)
+		}
+	}
+	n.closeCheck(s, &r)
+	n.flushDS(s, &r)
+	return r
+}
+
+func (n *Node) handleAck(from string, a *msg.SessionAck) Result {
+	var r Result
+	s := n.sessions[a.SID]
+	n.ds.AckReceived(a.SID, a.N)
+	if s == nil {
+		return r
+	}
+	n.flushDS(s, &r)
+	return r
+}
+
+func (n *Node) handleDone(from string, d *msg.SessionDone) Result {
+	var r Result
+	s := n.sessions[d.SID]
+	if s == nil || s.done {
+		return r
+	}
+	n.finalize(s, false, &r)
+	// Forward the completion flood once (dedup via s.done).
+	for _, acq := range n.Acquaintances() {
+		if acq != from {
+			r.send(acq, &msg.SessionDone{SID: d.SID, Origin: d.Origin})
+		}
+	}
+	n.ds.Drop(d.SID)
+	return r
+}
+
+// exportFull runs the initial full evaluation of an incoming link and ships
+// the bindings to the importer. Idempotent per session.
+func (n *Node) exportFull(s *session, rule *cq.Rule, to string, r *Result) {
+	if s.evaluated[rule.ID] {
+		return
+	}
+	s.evaluated[rule.ID] = true
+	bindings, err := chase.Bindings(rule, n.sessionView(s), n.chaseOpts())
+	if err != nil {
+		return
+	}
+	n.sendData(s, rule, to, bindings, []string{n.cfg.Self}, r)
+}
+
+// exportDelta re-evaluates an incoming link against the fresh tuples and
+// ships any new bindings.
+func (n *Node) exportDelta(s *session, rule *cq.Rule, to string, fresh map[string][]relation.Tuple, path []string, r *Result) {
+	reads := rule.BodyRelations()
+	v := n.sessionView(s)
+	var bindings []relation.Tuple
+	if n.cfg.Naive {
+		// A1 ablation: recompute the link in full.
+		touched := false
+		for _, rel := range reads {
+			if len(fresh[rel]) > 0 {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			return
+		}
+		bs, err := chase.Bindings(rule, v, n.chaseOpts())
+		if err != nil {
+			return
+		}
+		bindings = bs
+	} else {
+		seen := make(map[string]bool)
+		for _, rel := range reads {
+			delta := fresh[rel]
+			if len(delta) == 0 {
+				continue
+			}
+			bs, err := chase.BindingsDelta(rule, v, rel, delta, n.chaseOpts())
+			if err != nil {
+				continue
+			}
+			for _, b := range bs {
+				k := b.Key()
+				if !seen[k] {
+					seen[k] = true
+					bindings = append(bindings, b)
+				}
+			}
+		}
+	}
+	n.sendData(s, rule, to, bindings, path, r)
+}
+
+// sendData filters against the link's sent cache and ships one data batch.
+func (n *Node) sendData(s *session, rule *cq.Rule, to string, bindings []relation.Tuple, path []string, r *Result) {
+	if !n.cfg.DisableDedup {
+		sent := s.sentSet(rule.ID)
+		kept := bindings[:0:0]
+		for _, b := range bindings {
+			k := b.Key()
+			if !sent[k] {
+				sent[k] = true
+				kept = append(kept, b)
+			}
+		}
+		bindings = kept
+	}
+	if len(bindings) == 0 {
+		return
+	}
+	s.seqOut[rule.ID]++
+	data := &msg.SessionData{
+		SID:      s.sid,
+		Kind:     s.kind,
+		Origin:   s.origin,
+		RuleID:   rule.ID,
+		Bindings: bindings,
+		Path:     path,
+		Seq:      s.seqOut[rule.ID],
+	}
+	r.send(to, data)
+	n.ds.Sent(s.sid, 1)
+	s.rep.SentMsgs++
+	s.rep.SentBytes += data.Size()
+	s.noteSentTo(to)
+}
+
+// streamAnswers re-evaluates a query origin's query and emits answers not
+// yet streamed.
+func (n *Node) streamAnswers(s *session, r *Result) {
+	answers, err := cq.Eval(s.query, n.sessionView(s), n.cfg.Eval)
+	if err != nil {
+		return
+	}
+	r.AnswersSID = s.sid
+	for _, a := range answers {
+		if s.certain && a.HasNull() {
+			continue
+		}
+		k := a.Key()
+		if !s.answerKeys[k] {
+			s.answerKeys[k] = true
+			r.Answers = append(r.Answers, a)
+		}
+	}
+}
+
+// flushDS emits pending acknowledgements and, at the initiator, detects
+// termination and floods the completion notice.
+func (n *Node) flushDS(s *session, r *Result) {
+	acks, terminated := n.ds.Flush(s.sid)
+	for _, a := range acks {
+		r.send(a.To, &msg.SessionAck{SID: s.sid, N: a.N})
+	}
+	if terminated && !s.done {
+		n.finalize(s, true, r)
+		for _, acq := range n.Acquaintances() {
+			r.send(acq, &msg.SessionDone{SID: s.sid, Origin: s.origin})
+		}
+		n.ds.Drop(s.sid)
+	}
+}
+
+// finalize completes a session at this node: force-close surviving links
+// (the quiescence condition), stamp the report, and surface it.
+func (n *Node) finalize(s *session, initiator bool, r *Result) {
+	s.done = true
+	n.forceCloseAll(s)
+	s.rep.EndUnixNano = n.cfg.Clock()
+	n.recordReport(s.rep)
+	s.overlay = nil // release query overlay
+	r.Finished = append(r.Finished, Finished{SID: s.sid, Initiator: initiator, Report: s.rep})
+}
+
+// CompensateLost self-acknowledges n basic messages of a session whose
+// delivery failed (the receiving peer left the network). Without this a
+// departed peer would leave the initiator's deficit forever nonzero; with
+// it, sessions terminate even on dynamic networks, as the paper requires.
+// The caller must then process the returned messages as usual.
+func (n *Node) CompensateLost(sid string, lost int) Result {
+	var r Result
+	s := n.sessions[sid]
+	if s == nil || lost <= 0 {
+		return r
+	}
+	n.ds.AckReceived(sid, lost)
+	n.flushDS(s, &r)
+	return r
+}
+
+// ruleOf resolves a rule by ID against the node's rules and the session's
+// query-local extras.
+func (n *Node) ruleOf(s *session, id string) *cq.Rule {
+	if rs, ok := n.rules[id]; ok {
+		return rs.rule
+	}
+	if s.extra != nil {
+		return s.extra[id]
+	}
+	return nil
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"codb/internal/msg"
+)
+
+// scopedUpdate drives a query-dependent update through the simulator.
+func (s *sim) scopedUpdate(origin string, rels ...string) msg.UpdateReport {
+	sid := msg.NewSID(origin)
+	res, err := s.nodes[origin].StartScopedUpdate(sid, rels)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	s.dispatch(origin, res, sid)
+	s.run()
+	for _, f := range s.finished[origin] {
+		if f.SID == sid && f.Initiator {
+			return f.Report
+		}
+	}
+	s.t.Fatalf("scoped update %s did not complete at %s", sid, origin)
+	return msg.UpdateReport{}
+}
+
+func TestScopedUpdateMaterialisesOnlyRelevant(t *testing.T) {
+	s := newSim(t)
+	s.addNode("A", "r/1", "z/1")
+	s.addNode("B", "r/1", "z/1")
+	s.rule("rr", `A.r(x) <- B.r(x)`)
+	s.rule("rz", `A.z(x) <- B.z(x)`)
+	s.seed("B", "r", []int{1})
+	s.seed("B", "z", []int{9})
+
+	rep := s.scopedUpdate("A", "r")
+	if rep.Kind != msg.KindScoped {
+		t.Errorf("kind = %v", rep.Kind)
+	}
+	a := s.instanceOf("A")
+	if !a.Has("r", intRow(1)) {
+		t.Error("relevant relation r not materialised")
+	}
+	if a.Has("z", intRow(9)) {
+		t.Error("irrelevant relation z was materialised")
+	}
+	// Unlike a query, the data persists in the LDB.
+	if s.nodes["A"].Wrapper().Count("r") != 1 {
+		t.Error("scoped update did not commit to the LDB")
+	}
+}
+
+func TestScopedUpdateTransitiveAndPersistsAtIntermediates(t *testing.T) {
+	s := newSim(t)
+	s.addNode("A", "r/1")
+	s.addNode("B", "r/1")
+	s.addNode("C", "r/1")
+	s.rule("r1", `A.r(x) <- B.r(x)`)
+	s.rule("r2", `B.r(x) <- C.r(x)`)
+	s.seed("C", "r", []int{5})
+
+	s.scopedUpdate("A", "r")
+
+	if !s.instanceOf("A").Has("r", intRow(5)) {
+		t.Error("origin missing transitive data")
+	}
+	// The intermediate node materialised too (it is an update, not a
+	// query overlay).
+	if !s.instanceOf("B").Has("r", intRow(5)) {
+		t.Error("intermediate node did not materialise")
+	}
+}
+
+func TestScopedUpdateRespectsPathLabels(t *testing.T) {
+	// Cycle A<->B: terminates (path labels stop re-entry).
+	s := newSim(t)
+	s.addNode("A", "r/1")
+	s.addNode("B", "r/1")
+	s.rule("r1", `A.r(x) <- B.r(x)`)
+	s.rule("r2", `B.r(x) <- A.r(x)`)
+	s.seed("B", "r", []int{1})
+	s.scopedUpdate("A", "r")
+	if !s.instanceOf("A").Has("r", intRow(1)) {
+		t.Error("cyclic scoped update lost data")
+	}
+}
+
+func TestScopedUpdateValidation(t *testing.T) {
+	s := newSim(t)
+	s.addNode("A", "r/1")
+	if _, err := s.nodes["A"].StartScopedUpdate("x", nil); err == nil {
+		t.Error("empty relation list accepted")
+	}
+	if _, err := s.nodes["A"].StartScopedUpdate("x", []string{"r"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.nodes["A"].StartScopedUpdate("x", []string{"r"}); err == nil {
+		t.Error("duplicate sid accepted")
+	}
+}
+
+func TestScopedUpdateNoRelevantLinks(t *testing.T) {
+	s := newSim(t)
+	s.addNode("A", "r/1", "z/1")
+	s.addNode("B", "z/1")
+	s.rule("rz", `A.z(x) <- B.z(x)`)
+	rep := s.scopedUpdate("A", "r") // nothing relevant: finishes at once
+	if rep.SentMsgs != 0 {
+		t.Errorf("sent %d messages for an empty scope", rep.SentMsgs)
+	}
+}

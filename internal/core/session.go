@@ -1,0 +1,186 @@
+package core
+
+import (
+	"codb/internal/cq"
+	"codb/internal/msg"
+	"codb/internal/relation"
+)
+
+// session is this node's state for one global update or distributed query.
+type session struct {
+	sid    string
+	kind   msg.Kind
+	origin string
+
+	// joined is set once this node has performed its join actions
+	// (initial exports and flood forwarding).
+	joined bool
+	// flooded is set once the session has been propagated to the
+	// acquaintances (duplicate suppression of the update flood).
+	flooded bool
+
+	// evaluated marks incoming links whose initial full evaluation has
+	// run in this session.
+	evaluated map[string]bool
+	// sent holds, per incoming link, the frontier-binding keys already
+	// shipped (the paper's "we delete from Ri those tuples which have
+	// been already sent").
+	sent map[string]map[string]bool
+	// seqOut numbers outgoing data batches per rule.
+	seqOut map[string]int
+
+	// Query-mode state.
+	query *cq.Query // non-nil at the origin of a query session
+	// overlay is the per-session sink for query sessions (never committed
+	// to the LDB); nil for update sessions.
+	overlay relation.Instance
+	// activeIncoming maps incoming rule IDs to the requesting importer,
+	// for query sessions (updates push to every incoming link's target).
+	activeIncoming map[string]string
+	// requestedOut marks outgoing links this node has already requested
+	// in a query session.
+	requestedOut map[string]bool
+	// answerKeys dedups streamed answers at a query origin.
+	answerKeys map[string]bool
+	certain    bool // drop answers containing nulls
+	// extra holds rules learned from query requests, session-locally (they
+	// belong to the requester's topology, not ours).
+	extra map[string]*cq.Rule
+
+	// Link-state protocol (reporting; see close.go).
+	outClosed map[string]bool // outgoing links closed (exporter notified us)
+	inClosed  map[string]bool // incoming links we have closed
+
+	// Stats under construction.
+	rep msg.UpdateReport
+
+	done bool
+}
+
+func (n *Node) newSession(sid string, kind msg.Kind, origin string) *session {
+	s := &session{
+		sid:            sid,
+		kind:           kind,
+		origin:         origin,
+		evaluated:      make(map[string]bool),
+		sent:           make(map[string]map[string]bool),
+		seqOut:         make(map[string]int),
+		activeIncoming: make(map[string]string),
+		requestedOut:   make(map[string]bool),
+		outClosed:      make(map[string]bool),
+		inClosed:       make(map[string]bool),
+		rep: msg.UpdateReport{
+			SID:           sid,
+			Kind:          kind,
+			Origin:        origin,
+			StartUnixNano: n.cfg.Clock(),
+			MsgsPerRule:   make(map[string]int),
+			BytesPerRule:  make(map[string]int),
+			TuplesPerRule: make(map[string]int),
+		},
+	}
+	if kind == msg.KindQuery {
+		s.overlay = relation.NewInstance()
+	}
+	n.sessions[sid] = s
+	return s
+}
+
+// getSession returns (creating if needed) the session, reporting whether it
+// already existed.
+func (n *Node) getSession(sid string, kind msg.Kind, origin string) (*session, bool) {
+	if s, ok := n.sessions[sid]; ok {
+		return s, true
+	}
+	return n.newSession(sid, kind, origin), false
+}
+
+// sentSet returns the sent cache for one incoming link.
+func (s *session) sentSet(ruleID string) map[string]bool {
+	m := s.sent[ruleID]
+	if m == nil {
+		m = make(map[string]bool)
+		s.sent[ruleID] = m
+	}
+	return m
+}
+
+// noteQueried records an acquaintance this node requested data from.
+func (s *session) noteQueried(node string) {
+	for _, q := range s.rep.Queried {
+		if q == node {
+			return
+		}
+	}
+	s.rep.Queried = append(s.rep.Queried, node)
+}
+
+// noteSentTo records a node this node shipped results to.
+func (s *session) noteSentTo(node string) {
+	for _, q := range s.rep.SentTo {
+		if q == node {
+			return
+		}
+	}
+	s.rep.SentTo = append(s.rep.SentTo, node)
+}
+
+// view is what rule evaluation reads: the LDB for update sessions, the LDB
+// plus the session overlay for query sessions.
+type view struct {
+	base    Wrapper
+	overlay relation.Instance // nil for update sessions
+}
+
+func (n *Node) sessionView(s *session) view {
+	return view{base: n.cfg.Wrapper, overlay: s.overlay}
+}
+
+// Scan implements cq.Source over base ∪ overlay.
+func (v view) Scan(rel string, fn func(relation.Tuple) bool) {
+	stopped := false
+	v.base.Scan(rel, func(t relation.Tuple) bool {
+		if !fn(t) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped || v.overlay == nil {
+		return
+	}
+	for _, t := range v.overlay.Tuples(rel) {
+		if v.base.Has(rel, t) {
+			continue // shadowed: already visited via base
+		}
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// has reports presence in base ∪ overlay.
+func (v view) has(rel string, t relation.Tuple) bool {
+	if v.base.Has(rel, t) {
+		return true
+	}
+	return v.overlay != nil && v.overlay.Has(rel, t)
+}
+
+// insertMany inserts into the session sink (LDB or overlay) and returns the
+// genuinely new tuples.
+func (v view) insertMany(rel string, ts []relation.Tuple) ([]relation.Tuple, error) {
+	if v.overlay == nil {
+		return v.base.InsertMany(rel, ts)
+	}
+	var fresh []relation.Tuple
+	for _, t := range ts {
+		if v.base.Has(rel, t) {
+			continue
+		}
+		if v.overlay.Insert(rel, t) {
+			fresh = append(fresh, t)
+		}
+	}
+	return fresh, nil
+}

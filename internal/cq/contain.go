@@ -1,0 +1,82 @@
+package cq
+
+import (
+	"fmt"
+
+	"codb/internal/relation"
+)
+
+// Contains reports whether q1 ⊇ q2, i.e. every answer of q2 over every
+// instance is an answer of q1 (q2 is contained in q1). Classic
+// Chandra–Merlin test: freeze q2 into its canonical database (variables
+// become distinct constants), evaluate q1 over it, and check that the frozen
+// head of q2 is among the answers.
+//
+// Comparisons are handled conservatively: if either query carries
+// comparison predicates the test returns an error (containment with
+// comparisons needs a different machinery), except when the comparison sets
+// are syntactically identical after variable freezing, in which case they
+// cancel. Queries must have equal head arity.
+func Contains(q1, q2 *Query) (bool, error) {
+	if err := q1.Validate(); err != nil {
+		return false, err
+	}
+	if err := q2.Validate(); err != nil {
+		return false, err
+	}
+	if len(q1.Head.Terms) != len(q2.Head.Terms) {
+		return false, nil
+	}
+	if len(q1.Cmps) > 0 || len(q2.Cmps) > 0 {
+		return false, fmt.Errorf("cq: containment with comparison predicates is not supported")
+	}
+
+	// Freeze q2: each variable becomes a fresh labelled constant. Marked
+	// nulls double as frozen constants (they join by label, exactly what
+	// freezing needs).
+	frozen := make(map[string]relation.Value)
+	freeze := func(t Term) relation.Value {
+		if !t.IsVar() {
+			return t.Const
+		}
+		v, ok := frozen[t.Var]
+		if !ok {
+			v = relation.Null("frozen:" + t.Var)
+			frozen[t.Var] = v
+		}
+		return v
+	}
+	canon := relation.NewInstance()
+	for _, a := range q2.Body {
+		tuple := make(relation.Tuple, len(a.Terms))
+		for i, t := range a.Terms {
+			tuple[i] = freeze(t)
+		}
+		canon.Insert(a.Rel, tuple)
+	}
+	wantHead := make(relation.Tuple, len(q2.Head.Terms))
+	for i, t := range q2.Head.Terms {
+		wantHead[i] = freeze(t)
+	}
+
+	answers, err := Eval(q1, canon, EvalOptions{})
+	if err != nil {
+		return false, err
+	}
+	for _, t := range answers {
+		if t.Equal(wantHead) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Equivalent reports whether the two queries are equivalent (mutual
+// containment).
+func Equivalent(q1, q2 *Query) (bool, error) {
+	a, err := Contains(q1, q2)
+	if err != nil || !a {
+		return false, err
+	}
+	return Contains(q2, q1)
+}

@@ -1,0 +1,135 @@
+package cq
+
+import "testing"
+
+func TestContainsBasic(t *testing.T) {
+	// q2 (path of length 2 with endpoint projection) is contained in q1
+	// (any edge pair): classic example where q1 has fewer constraints.
+	q1 := MustParseQuery(`ans(x) :- edge(x, y)`)
+	q2 := MustParseQuery(`ans(x) :- edge(x, y), edge(y, z)`)
+	ok, err := Contains(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("edge(x,y) should contain edge(x,y),edge(y,z)")
+	}
+	ok, err = Contains(q2, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("containment should not hold in the other direction")
+	}
+}
+
+func TestContainsIdentical(t *testing.T) {
+	q := MustParseQuery(`ans(x, y) :- r(x, y), s(y)`)
+	ok, err := Contains(q, q)
+	if err != nil || !ok {
+		t.Errorf("query must contain itself: %v %v", ok, err)
+	}
+	eq, err := Equivalent(q, q)
+	if err != nil || !eq {
+		t.Errorf("query must be equivalent to itself: %v %v", eq, err)
+	}
+}
+
+func TestContainsRenamedVariables(t *testing.T) {
+	q1 := MustParseQuery(`ans(a, b) :- r(a, b)`)
+	q2 := MustParseQuery(`ans(x, y) :- r(x, y)`)
+	eq, err := Equivalent(q1, q2)
+	if err != nil || !eq {
+		t.Errorf("alpha-renamed queries must be equivalent: %v %v", eq, err)
+	}
+}
+
+func TestContainsWithConstants(t *testing.T) {
+	q1 := MustParseQuery(`ans(x) :- r(x, y)`)
+	q2 := MustParseQuery(`ans(x) :- r(x, 5)`)
+	ok, err := Contains(q1, q2)
+	if err != nil || !ok {
+		t.Errorf("generalisation must contain specialisation: %v %v", ok, err)
+	}
+	ok, err = Contains(q2, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("specialisation must not contain generalisation")
+	}
+}
+
+func TestContainsDifferentArity(t *testing.T) {
+	q1 := MustParseQuery(`ans(x) :- r(x, y)`)
+	q2 := MustParseQuery(`ans(x, y) :- r(x, y)`)
+	ok, err := Contains(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("different head arities can never be contained")
+	}
+}
+
+func TestContainsRedundantAtom(t *testing.T) {
+	// A duplicated atom changes nothing: equivalence must hold.
+	q1 := MustParseQuery(`ans(x) :- r(x, y)`)
+	q2 := MustParseQuery(`ans(x) :- r(x, y), r(x, w)`)
+	eq, err := Equivalent(q1, q2)
+	if err != nil || !eq {
+		t.Errorf("redundant-atom queries must be equivalent: %v %v", eq, err)
+	}
+}
+
+func TestContainsComparisonsUnsupported(t *testing.T) {
+	q1 := MustParseQuery(`ans(x) :- r(x, y), x > 1`)
+	q2 := MustParseQuery(`ans(x) :- r(x, y)`)
+	if _, err := Contains(q1, q2); err == nil {
+		t.Error("containment with comparisons should be rejected")
+	}
+}
+
+func TestDependsOn(t *testing.T) {
+	// At node B: incoming rule (A imports from B), outgoing rule (B imports
+	// from C). The incoming rule depends on the outgoing rule iff the
+	// outgoing head writes a relation the incoming body reads.
+	in := MustParseRule("in1", `A.p(x) <- B.q(x, y)`)
+	out1 := MustParseRule("out1", `B.q(x, "c") <- C.r(x)`)
+	out2 := MustParseRule("out2", `B.z(x) <- C.r(x)`)
+	if !DependsOn(in, out1) {
+		t.Error("in1 must depend on out1 (head q feeds body q)")
+	}
+	if DependsOn(in, out2) {
+		t.Error("in1 must not depend on out2 (head z unrelated)")
+	}
+}
+
+func TestBuildDependencyGraph(t *testing.T) {
+	in1 := MustParseRule("in1", `A.p(x) <- B.q(x, y)`)
+	in2 := MustParseRule("in2", `A.p2(x) <- B.z(x)`)
+	out1 := MustParseRule("out1", `B.q(x, "c") <- C.r(x)`)
+	out2 := MustParseRule("out2", `B.z(x) <- C.r(x)`)
+	g := BuildDependencyGraph([]*Rule{in1, in2}, []*Rule{out1, out2})
+	if got := g.ByOutgoing["out1"]; len(got) != 1 || got[0] != "in1" {
+		t.Errorf("ByOutgoing[out1] = %v", got)
+	}
+	if got := g.ByOutgoing["out2"]; len(got) != 1 || got[0] != "in2" {
+		t.Errorf("ByOutgoing[out2] = %v", got)
+	}
+	if got := g.ByIncoming["in1"]; len(got) != 1 || got[0] != "out1" {
+		t.Errorf("ByIncoming[in1] = %v", got)
+	}
+}
+
+func TestClosure(t *testing.T) {
+	out1 := MustParseRule("o1", `B.q(x) <- C.r(x)`)
+	out2 := MustParseRule("o2", `B.z(x) <- C.r(x)`)
+	rel := Closure([]string{"q"}, []*Rule{out1, out2})
+	if len(rel) != 1 || rel[0].ID != "o1" {
+		t.Errorf("Closure = %v", rel)
+	}
+	if got := Closure([]string{"nope"}, []*Rule{out1, out2}); len(got) != 0 {
+		t.Errorf("Closure(nope) = %v", got)
+	}
+}

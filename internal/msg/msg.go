@@ -1,0 +1,280 @@
+// Package msg defines the typed messages coDB peers exchange — the
+// vocabulary the paper's JXTA layer envelopes carry: global update and query
+// requests, streamed query results, acknowledgements for the diffusing
+// computation, link-close notifications, coordination-rule broadcasts,
+// statistics collection, and topology discovery gossip.
+//
+// Payloads are plain structs; the TCP transport serialises them with
+// encoding/gob, the in-process bus passes them by value. Size() gives a
+// transport-independent measure of a payload's data volume, used by the
+// statistics module (paper §4: "the volume of the data in each message").
+package msg
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+
+	"codb/internal/relation"
+)
+
+// Kind distinguishes the two session kinds sharing the propagation engine.
+type Kind uint8
+
+const (
+	// KindUpdate is a global update: results are materialised into the
+	// local databases (paper §2–3).
+	KindUpdate Kind = iota + 1
+	// KindQuery is query-time fetching: results live in a per-session
+	// overlay and answer one query at the origin (paper §1).
+	KindQuery
+	// KindScoped is a query-dependent update (paper §2's "global and
+	// query-dependent update requests"): propagation follows the
+	// relevance-filtered, path-labelled query discipline, but results are
+	// materialised into the local databases along the way.
+	KindScoped
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindUpdate:
+		return "update"
+	case KindQuery:
+		return "query"
+	case KindScoped:
+		return "scoped"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Payload is implemented by every message type.
+type Payload interface {
+	// Size returns the transport-independent data volume of the payload
+	// in bytes (tuple payloads measured by their binary encoding).
+	Size() int
+}
+
+// RuleDef carries one coordination rule by ID and concrete syntax, so that
+// update requests can establish links on peers that have not seen a
+// configuration broadcast (paper §2: requests contain "definitions of
+// appropriate coordination rules").
+type RuleDef struct {
+	ID   string
+	Text string
+}
+
+// SessionRequest asks the receiver (the source side of the listed rules) to
+// export data for them and to propagate the session onward. Path is the
+// node-ID label of the paper's diffusing computation: a node never forwards
+// a request to a node already in the label.
+type SessionRequest struct {
+	SID    string
+	Kind   Kind
+	Origin string
+	Path   []string
+	Rules  []RuleDef
+}
+
+// Size implements Payload.
+func (m *SessionRequest) Size() int {
+	n := len(m.SID) + len(m.Origin) + 2
+	for _, p := range m.Path {
+		n += len(p)
+	}
+	for _, r := range m.Rules {
+		n += len(r.ID) + len(r.Text)
+	}
+	return n
+}
+
+// SessionData ships frontier bindings for one coordination rule from its
+// source node to its target node. Kind and Origin let a node that first
+// hears of a session through data (updates push proactively) join it. Path
+// is the update propagation path the data has travelled (for the
+// longest-path statistic); Seq numbers the batches per (session, rule).
+type SessionData struct {
+	SID      string
+	Kind     Kind
+	Origin   string
+	RuleID   string
+	Bindings []relation.Tuple
+	Path     []string
+	Seq      int
+}
+
+// Size implements Payload.
+func (m *SessionData) Size() int {
+	n := len(m.SID) + len(m.RuleID) + 8
+	for _, p := range m.Path {
+		n += len(p)
+	}
+	for _, t := range m.Bindings {
+		n += len(relation.EncodeTuple(nil, t))
+	}
+	return n
+}
+
+// SessionAck acknowledges N basic messages of a session, for the
+// Dijkstra–Scholten termination detection. Acks are control traffic: they
+// are not themselves acknowledged.
+type SessionAck struct {
+	SID string
+	N   int
+}
+
+// Size implements Payload.
+func (m *SessionAck) Size() int { return len(m.SID) + 4 }
+
+// LinkClose tells the importing node that the exporter has closed the given
+// incoming link for this session (paper §3's link state protocol).
+type LinkClose struct {
+	SID    string
+	RuleID string
+}
+
+// Size implements Payload.
+func (m *LinkClose) Size() int { return len(m.SID) + len(m.RuleID) }
+
+// SessionDone announces that the initiator has detected termination; it
+// floods the network (receivers forward it once) so that every participant
+// finalises its per-session state and reports.
+type SessionDone struct {
+	SID    string
+	Origin string
+}
+
+// Size implements Payload.
+func (m *SessionDone) Size() int { return len(m.SID) + len(m.Origin) }
+
+// RulesBroadcast carries a coordination-rules configuration file from the
+// super-peer to every peer (paper §4). Version lets peers ignore stale
+// re-deliveries during the flood.
+type RulesBroadcast struct {
+	Version int
+	Text    string
+}
+
+// Size implements Payload.
+func (m *RulesBroadcast) Size() int { return len(m.Text) + 4 }
+
+// StatsRequest asks every peer for its accumulated statistics. It floods
+// the network (forwarded once per ID); peers reply directly to ReplyTo,
+// dialing Addr when they have no pipe to it yet.
+type StatsRequest struct {
+	ID      string
+	ReplyTo string
+	Addr    string
+}
+
+// Size implements Payload.
+func (m *StatsRequest) Size() int { return len(m.ID) + len(m.ReplyTo) + len(m.Addr) }
+
+// UpdateReport is the per-node record of one session, as the paper's
+// statistical module accumulates it (§4).
+type UpdateReport struct {
+	SID    string
+	Kind   Kind
+	Origin string
+	// StartUnixNano/EndUnixNano bound the node's participation.
+	StartUnixNano, EndUnixNano int64
+	// MsgsPerRule / BytesPerRule / TuplesPerRule count the SessionData
+	// messages received per coordination rule and their volume.
+	MsgsPerRule   map[string]int
+	BytesPerRule  map[string]int
+	TuplesPerRule map[string]int
+	// SentMsgs / SentBytes count data shipped to acquaintances.
+	SentMsgs, SentBytes int
+	// LongestPath is the longest update propagation path observed.
+	LongestPath int
+	// Queried lists acquaintances this node sent requests to; SentTo lists
+	// nodes this node shipped results to.
+	Queried, SentTo []string
+	// NewTuples counts tuples actually added locally; SkippedDepth counts
+	// chase firings dropped by the depth bound.
+	NewTuples, SkippedDepth int
+	// LinksClosedEarly counts links closed by the dependency condition of
+	// the paper's link-state protocol; LinksClosedForced counts links
+	// closed only when the termination detector fired (cyclic
+	// dependencies: "all query results did not bring any new data").
+	LinksClosedEarly, LinksClosedForced int
+}
+
+// StatsReport returns a peer's reports to the super-peer.
+type StatsReport struct {
+	ID      string
+	Node    string
+	Reports []UpdateReport
+}
+
+// Size implements Payload.
+func (m *StatsReport) Size() int {
+	n := len(m.ID) + len(m.Node)
+	for _, r := range m.Reports {
+		n += len(r.SID) + len(r.Origin) + 8*6
+		n += 16 * (len(r.MsgsPerRule) + len(r.BytesPerRule) + len(r.TuplesPerRule))
+		for _, q := range r.Queried {
+			n += len(q)
+		}
+		for _, s := range r.SentTo {
+			n += len(s)
+		}
+	}
+	return n
+}
+
+// StartUpdateCmd asks a peer to initiate a global update — how the
+// super-peer drives experiments (paper §4). The peer reports completion to
+// ReplyTo with an UpdateFinished message.
+type StartUpdateCmd struct {
+	SID     string
+	ReplyTo string
+}
+
+// Size implements Payload.
+func (m *StartUpdateCmd) Size() int { return len(m.SID) + len(m.ReplyTo) }
+
+// UpdateFinished reports a completed update to the requester of a
+// StartUpdateCmd.
+type UpdateFinished struct {
+	SID    string
+	Node   string
+	Report UpdateReport
+}
+
+// Size implements Payload.
+func (m *UpdateFinished) Size() int { return len(m.SID) + len(m.Node) + 64 }
+
+// Discovery gossips known peers (name -> dial address; empty address for
+// in-process transports). Supports the paper's Figure 3 "discovered peers"
+// view.
+type Discovery struct {
+	Known map[string]string
+}
+
+// Size implements Payload.
+func (m *Discovery) Size() int {
+	n := 0
+	for k, v := range m.Known {
+		n += len(k) + len(v)
+	}
+	return n
+}
+
+// sidCounter disambiguates IDs minted in the same process.
+var sidCounter atomic.Uint64
+
+// NewSID mints a globally unique session ID, prefixed by the minting node
+// (the paper uses JXTA-generated identifiers).
+func NewSID(node string) string {
+	var salt [6]byte
+	if _, err := rand.Read(salt[:]); err != nil {
+		// Fall back to the counter alone; uniqueness within the process
+		// still holds.
+		binary.LittleEndian.PutUint32(salt[:4], uint32(sidCounter.Load()))
+	}
+	return fmt.Sprintf("%s-%d-%s", node, sidCounter.Add(1), hex.EncodeToString(salt[:]))
+}

@@ -1,0 +1,101 @@
+package msg
+
+import (
+	"strings"
+	"testing"
+
+	"codb/internal/relation"
+)
+
+func TestNewSIDUniqueAndPrefixed(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		sid := NewSID("peer1")
+		if !strings.HasPrefix(sid, "peer1-") {
+			t.Fatalf("sid %q not prefixed", sid)
+		}
+		if seen[sid] {
+			t.Fatalf("duplicate sid %q", sid)
+		}
+		seen[sid] = true
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	payloads := []Payload{
+		&SessionRequest{SID: "s1", Kind: KindUpdate, Origin: "a", Path: []string{"a", "b"},
+			Rules: []RuleDef{{ID: "r1", Text: "A.p(x) <- B.q(x)"}}},
+		&SessionData{SID: "s1", RuleID: "r1", Seq: 3, Path: []string{"b"},
+			Bindings: []relation.Tuple{{relation.Int(1), relation.Null("d1~ff")}}},
+		&SessionAck{SID: "s1", N: 2},
+		&LinkClose{SID: "s1", RuleID: "r1"},
+		&SessionDone{SID: "s1", Origin: "a"},
+		&RulesBroadcast{Version: 7, Text: "rule r1: ..."},
+		&StatsRequest{ID: "q1"},
+		&StatsReport{ID: "q1", Node: "b", Reports: []UpdateReport{{
+			SID: "s1", Kind: KindUpdate, Origin: "a",
+			MsgsPerRule: map[string]int{"r1": 2}, LongestPath: 3,
+			Queried: []string{"c"}, SentTo: []string{"a"},
+		}}},
+		&Discovery{Known: map[string]string{"a": "127.0.0.1:9000"}},
+	}
+	for _, p := range payloads {
+		enc, err := Encode(Envelope{From: "x", Payload: p})
+		if err != nil {
+			t.Fatalf("encode %T: %v", p, err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode %T: %v", p, err)
+		}
+		if dec.From != "x" {
+			t.Errorf("From = %q", dec.From)
+		}
+		if _, ok := dec.Payload.(Payload); !ok {
+			t.Errorf("decoded payload %T does not implement Payload", dec.Payload)
+		}
+		if p.Size() <= 0 {
+			t.Errorf("%T.Size() = %d, want > 0", p, p.Size())
+		}
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not gob")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSessionDataRoundTripPreservesValues(t *testing.T) {
+	in := &SessionData{SID: "s", RuleID: "r", Bindings: []relation.Tuple{
+		{relation.Int(-5), relation.Float(2.5), relation.Str("x\x00y"), relation.Bool(true), relation.Null("d2~aa")},
+	}}
+	enc, err := Encode(Envelope{From: "n", Payload: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := dec.Payload.(*SessionData)
+	if len(out.Bindings) != 1 || !out.Bindings[0].Equal(in.Bindings[0]) {
+		t.Errorf("bindings = %v", out.Bindings)
+	}
+}
+
+func TestSizeGrowsWithContent(t *testing.T) {
+	small := &SessionData{SID: "s", RuleID: "r", Bindings: []relation.Tuple{{relation.Int(1)}}}
+	big := &SessionData{SID: "s", RuleID: "r", Bindings: []relation.Tuple{
+		{relation.Int(1)}, {relation.Int(2)}, {relation.Str("a long string value")},
+	}}
+	if small.Size() >= big.Size() {
+		t.Errorf("Size: small=%d big=%d", small.Size(), big.Size())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindUpdate.String() != "update" || KindQuery.String() != "query" {
+		t.Error("Kind names wrong")
+	}
+}

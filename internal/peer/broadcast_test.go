@@ -1,0 +1,249 @@
+package peer
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"codb/internal/core"
+	"codb/internal/msg"
+	"codb/internal/relation"
+	"codb/internal/storage"
+	"codb/internal/transport"
+)
+
+const triCfg = `version 5
+node A
+  rel r(x int)
+end
+node B
+  rel r(x int)
+end
+node C
+  rel r(x int)
+end
+rule r1: A.r(x) <- B.r(x)
+rule r2: B.r(x) <- C.r(x)
+`
+
+// TestBroadcastForwardFlood: a RulesBroadcast delivered to only one peer
+// must reach the whole network through the forward flood (peers forward to
+// their new acquaintances and directory entries).
+func TestBroadcastForwardFlood(t *testing.T) {
+	bus := transport.NewBus()
+	a := newBusPeer(t, bus, "A")
+	b := newBusPeer(t, bus, "B")
+	c := newBusPeer(t, bus, "C")
+	_ = b
+	_ = c
+
+	// A raw sender peer connected only to A.
+	sender := newBusPeer(t, bus, "seed")
+	if err := sender.SendTo("A", &msg.RulesBroadcast{Version: 5, Text: triCfg}); err != nil {
+		t.Fatal(err)
+	}
+
+	waitRulesCount := func(p *Peer, want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if len(p.Rules()) == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("%s has %d rules, want %d", p.Name(), len(p.Rules()), want)
+	}
+	waitRulesCount(a, 1)
+	waitRulesCount(b, 2)
+	waitRulesCount(c, 1) // reached via B's forward, not directly
+}
+
+// TestBroadcastVersionMonotonic: an older broadcast must not overwrite a
+// newer configuration.
+func TestBroadcastVersionMonotonic(t *testing.T) {
+	bus := transport.NewBus()
+	a := newBusPeer(t, bus, "A")
+	b := newBusPeer(t, bus, "B")
+	_ = b
+	sender := newBusPeer(t, bus, "seed")
+
+	newCfg := `version 9
+node A
+  rel r(x int)
+end
+node B
+  rel r(x int)
+end
+rule fresh: A.r(x) <- B.r(x)
+`
+	oldCfg := `version 3
+node A
+  rel r(x int)
+end
+node B
+  rel r(x int)
+end
+rule stale: A.r(x) <- B.r(x)
+`
+	sender.SendTo("A", &msg.RulesBroadcast{Version: 9, Text: newCfg})
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && len(a.Rules()) == 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	sender.SendTo("A", &msg.RulesBroadcast{Version: 3, Text: oldCfg})
+	time.Sleep(50 * time.Millisecond)
+	rules := a.Rules()
+	if len(rules) != 1 || rules[0].ID != "fresh" {
+		t.Errorf("rules after stale broadcast = %v", rules)
+	}
+}
+
+// TestBroadcastGarbageIgnored: an unparsable configuration must not break
+// the peer or clear its rules.
+func TestBroadcastGarbageIgnored(t *testing.T) {
+	bus := transport.NewBus()
+	a := newBusPeer(t, bus, "A", "r/1")
+	b := newBusPeer(t, bus, "B", "r/1")
+	a.AddRule("r1", `A.r(x) <- B.r(x)`)
+	b.AddRule("r1", `A.r(x) <- B.r(x)`)
+	sender := newBusPeer(t, bus, "seed")
+	sender.SendTo("A", &msg.RulesBroadcast{Version: 99, Text: "complete garbage"})
+	time.Sleep(50 * time.Millisecond)
+	if len(a.Rules()) != 1 {
+		t.Errorf("garbage broadcast cleared the rules: %v", a.Rules())
+	}
+	// The peer still works.
+	b.Insert("r", ints(1))
+	if _, err := a.RunUpdate(ctxT(t)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count("r") != 1 {
+		t.Error("update after garbage broadcast failed")
+	}
+}
+
+// TestTCPStarNetwork: a hub and seven leaves, each with its own socket.
+func TestTCPStarNetwork(t *testing.T) {
+	mk := func(name string) (*Peer, *transport.TCP) {
+		tr, err := transport.NewTCP(name, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := storage.MustOpenMem()
+		db.DefineRelation(&relation.RelDef{Name: "r", Attrs: []relation.Attr{{Name: "a", Type: relation.TInt}}})
+		p, err := New(Options{Name: name, Transport: tr, Wrapper: core.NewStoreWrapper(db)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Stop)
+		return p, tr
+	}
+	hub, _ := mk("hub")
+	const n = 7
+	dir := make(map[string]string)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("leaf%d", i)
+		leaf, tr := mk(name)
+		dir[name] = tr.Addr()
+		leaf.Insert("r", ints(i))
+		rule := fmt.Sprintf(`hub.r(x) <- %s.r(x)`, name)
+		hub.SetDirectory(map[string]string{name: tr.Addr()})
+		if err := hub.AddRule(fmt.Sprintf("r%d", i), rule); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := hub.RunUpdate(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hub.Count("r") != n {
+		t.Errorf("hub.r = %d, want %d", hub.Count("r"), n)
+	}
+	if rep.LongestPath != 1 {
+		t.Errorf("LongestPath = %d, want 1", rep.LongestPath)
+	}
+}
+
+// TestPeerRestartOverTCP: a peer leaves and comes back on a fresh address
+// (durable storage); updates fail over gracefully while it is gone and
+// resume once the directory is refreshed — the paper's dynamic networks.
+func TestPeerRestartOverTCP(t *testing.T) {
+	dirB := t.TempDir()
+	mk := func(name, dataDir string) (*Peer, *transport.TCP) {
+		tr, err := transport.NewTCP(name, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := storage.Open(storage.Options{Dir: dataDir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if db.Rel("r") == nil {
+			db.DefineRelation(&relation.RelDef{Name: "r", Attrs: []relation.Attr{{Name: "a", Type: relation.TInt}}})
+		}
+		p, err := New(Options{Name: name, Transport: tr, Wrapper: core.NewStoreWrapper(db)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, tr
+	}
+	a, _ := mk("A", "")
+	defer a.Stop()
+	b1, trB1 := mk("B", dirB)
+	a.SetDirectory(map[string]string{"B": trB1.Addr()})
+	a.AddRule("r1", `A.r(x) <- B.r(x)`)
+	b1.AddRule("r1", `A.r(x) <- B.r(x)`)
+	b1.Insert("r", ints(1))
+	if _, err := a.RunUpdate(ctxT(t)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count("r") != 1 {
+		t.Fatalf("A.r = %d", a.Count("r"))
+	}
+
+	// B goes down; the update must still terminate (compensation).
+	b1.Stop()
+	if _, err := a.RunUpdate(ctxT(t)); err != nil {
+		t.Fatalf("update while B is down: %v", err)
+	}
+
+	// B restarts on a new port with its durable state plus new data.
+	b2, trB2 := mk("B", dirB)
+	defer b2.Stop()
+	b2.AddRule("r1", `A.r(x) <- B.r(x)`)
+	b2.Insert("r", ints(2))
+	a.SetDirectory(map[string]string{"B": trB2.Addr()})
+	if _, err := a.RunUpdate(ctxT(t)); err != nil {
+		t.Fatalf("update after restart: %v", err)
+	}
+	if a.Count("r") != 2 {
+		t.Errorf("A.r after restart = %d, want 2", a.Count("r"))
+	}
+}
+
+// TestScopedUpdateOverPeer exercises RunScopedUpdate end to end.
+func TestScopedUpdateOverPeer(t *testing.T) {
+	bus := transport.NewBus()
+	a := newBusPeer(t, bus, "A", "r/1", "z/1")
+	b := newBusPeer(t, bus, "B", "r/1", "z/1")
+	for _, p := range []*Peer{a, b} {
+		p.AddRule("rr", `A.r(x) <- B.r(x)`)
+		p.AddRule("rz", `A.z(x) <- B.z(x)`)
+	}
+	b.Insert("r", ints(1))
+	b.Insert("z", ints(2))
+	rep, err := a.RunScopedUpdate(ctxT(t), []string{"r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != msg.KindScoped {
+		t.Errorf("kind = %v", rep.Kind)
+	}
+	if a.Count("r") != 1 || a.Count("z") != 0 {
+		t.Errorf("scoped materialisation: r=%d z=%d", a.Count("r"), a.Count("z"))
+	}
+	if _, err := a.RunScopedUpdate(ctxT(t), nil); err == nil {
+		t.Error("empty scope accepted")
+	}
+}

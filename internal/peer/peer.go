@@ -1,0 +1,728 @@
+// Package peer is the runtime of one coDB node: it wires the algorithm
+// state machine (internal/core) to a transport, the local database, the
+// statistics module and the user-facing API — the Database Manager, JXTA
+// Layer and Wrapper boxes of the paper's Figure 1, running as a single
+// actor goroutine.
+//
+// All node state is owned by the actor loop; the public methods post
+// commands into the loop and wait on reply channels, so the Peer is safe
+// for concurrent use without any shared-state locking.
+package peer
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"codb/internal/config"
+	"codb/internal/core"
+	"codb/internal/cq"
+	"codb/internal/msg"
+	"codb/internal/relation"
+	"codb/internal/transport"
+)
+
+// Options configures a peer.
+type Options struct {
+	// Name is the node's network-unique name (required).
+	Name string
+	// Transport connects the peer to the network (required).
+	Transport transport.Transport
+	// Wrapper is the local storage; required (use core.NewStoreWrapper or
+	// core.NewMediatorWrapper).
+	Wrapper core.Wrapper
+	// Directory seeds the node -> dial-address map used to establish
+	// pipes (TCP); in-process buses resolve names themselves.
+	Directory map[string]string
+	// MaxDepth, Eval, DisableDedup, Naive tune the algorithm; see
+	// core.Config.
+	MaxDepth     int
+	Eval         cq.EvalOptions
+	DisableDedup bool
+	Naive        bool
+	// Logger receives diagnostics; nil discards them.
+	Logger *slog.Logger
+}
+
+// Peer is a running coDB node.
+type Peer struct {
+	name string
+	node *core.Node
+	tr   transport.Transport
+	log  *slog.Logger
+
+	inbox chan any // envelopes and commands, consumed by the actor loop
+
+	// Actor-owned state (no locks; only the loop touches these).
+	directory    map[string]string
+	piped        map[string]bool
+	rulesVersion int
+	statsSeen    map[string]bool // stats-request flood dedup
+	queries      map[string]*queryWaiter
+	updates      map[string]chan msg.UpdateReport
+	remoteCmds   map[string]string // sid -> ReplyTo for StartUpdateCmd
+	statsSink    func(msg.StatsReport)
+
+	stopped chan struct{}
+}
+
+type queryWaiter struct {
+	answers chan relation.Tuple
+	done    chan msg.UpdateReport
+}
+
+// inboxCap bounds the actor mailbox; transports enqueue via goroutine
+// handoff so peers never deadlock on each other.
+const inboxCap = 1024
+
+// New starts a peer. The returned Peer is live: its transport handler is
+// installed and the actor loop is running.
+func New(opts Options) (*Peer, error) {
+	if opts.Name == "" || opts.Transport == nil || opts.Wrapper == nil {
+		return nil, fmt.Errorf("peer: Name, Transport and Wrapper are required")
+	}
+	node, err := core.NewNode(core.Config{
+		Self:         opts.Name,
+		Wrapper:      opts.Wrapper,
+		MaxDepth:     opts.MaxDepth,
+		Eval:         opts.Eval,
+		DisableDedup: opts.DisableDedup,
+		Naive:        opts.Naive,
+		Clock:        func() int64 { return time.Now().UnixNano() },
+	})
+	if err != nil {
+		return nil, err
+	}
+	log := opts.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	p := &Peer{
+		name:       opts.Name,
+		node:       node,
+		tr:         opts.Transport,
+		log:        log.With("peer", opts.Name),
+		inbox:      make(chan any, inboxCap),
+		directory:  make(map[string]string),
+		piped:      make(map[string]bool),
+		statsSeen:  make(map[string]bool),
+		queries:    make(map[string]*queryWaiter),
+		updates:    make(map[string]chan msg.UpdateReport),
+		remoteCmds: make(map[string]string),
+		stopped:    make(chan struct{}),
+	}
+	for k, v := range opts.Directory {
+		p.directory[k] = v
+	}
+	p.tr.SetHandler(func(env msg.Envelope) {
+		select {
+		case p.inbox <- env:
+		case <-p.stopped:
+		}
+	})
+	go p.loop()
+	return p, nil
+}
+
+// Name returns the peer's node name.
+func (p *Peer) Name() string { return p.name }
+
+// command is posted into the actor loop; run executes with exclusive access
+// to all peer state.
+type command struct {
+	run  func()
+	done chan struct{}
+}
+
+// do runs fn inside the actor loop and waits for it.
+func (p *Peer) do(fn func()) error {
+	cmd := command{run: fn, done: make(chan struct{})}
+	select {
+	case p.inbox <- cmd:
+	case <-p.stopped:
+		return fmt.Errorf("peer %s: stopped", p.name)
+	}
+	select {
+	case <-cmd.done:
+		return nil
+	case <-p.stopped:
+		return fmt.Errorf("peer %s: stopped", p.name)
+	}
+}
+
+func (p *Peer) loop() {
+	for item := range p.inbox {
+		switch v := item.(type) {
+		case msg.Envelope:
+			p.handleEnvelope(v)
+		case command:
+			v.run()
+			close(v.done)
+		case nil:
+			return
+		}
+	}
+}
+
+// Stop shuts the peer down. Safe to call twice.
+func (p *Peer) Stop() {
+	select {
+	case <-p.stopped:
+		return
+	default:
+	}
+	close(p.stopped)
+	p.tr.Close()
+	// Unblock the loop.
+	select {
+	case p.inbox <- nil:
+	default:
+	}
+}
+
+// handleEnvelope processes one inbound message inside the actor loop.
+func (p *Peer) handleEnvelope(env msg.Envelope) {
+	switch m := env.Payload.(type) {
+	case *msg.RulesBroadcast:
+		p.applyBroadcast(env.From, m)
+	case *msg.StatsRequest:
+		p.handleStatsRequest(env.From, m)
+	case *msg.StatsReport:
+		if p.statsSink != nil {
+			p.statsSink(*m)
+		}
+	case *msg.StartUpdateCmd:
+		p.handleStartUpdateCmd(env.From, m)
+	case *msg.UpdateFinished:
+		if p.statsSink != nil {
+			// Super-peers consume these through the sink as well.
+			p.statsSink(msg.StatsReport{ID: m.SID, Node: m.Node, Reports: []msg.UpdateReport{m.Report}})
+		}
+	case *msg.Discovery:
+		p.mergeDiscovery(m)
+	default:
+		res := p.node.Handle(env)
+		p.dispatch(res)
+	}
+}
+
+// dispatch ships a core Result: messages out, answers to query waiters,
+// finished sessions to update waiters.
+func (p *Peer) dispatch(res core.Result) {
+	for _, out := range res.Out {
+		p.sendSessionMsg(out)
+	}
+	// Answers must reach their waiter before Finished closes it.
+	if len(res.Answers) > 0 {
+		if w, ok := p.queries[res.AnswersSID]; ok {
+			for _, a := range res.Answers {
+				w.answers <- a
+			}
+		}
+	}
+	for _, f := range res.Finished {
+		p.log.Debug("session finished", "sid", f.SID, "initiator", f.Initiator)
+		if ch, ok := p.updates[f.SID]; ok {
+			ch <- f.Report
+			delete(p.updates, f.SID)
+		}
+		if w, ok := p.queries[f.SID]; ok {
+			w.done <- f.Report
+			close(w.answers)
+			delete(p.queries, f.SID)
+		}
+		if replyTo, ok := p.remoteCmds[f.SID]; ok {
+			delete(p.remoteCmds, f.SID)
+			p.sendTo(replyTo, &msg.UpdateFinished{SID: f.SID, Node: p.name, Report: f.Report})
+		}
+	}
+}
+
+// sendSessionMsg sends one session message, establishing the pipe first and
+// compensating the termination detector if the peer is unreachable.
+func (p *Peer) sendSessionMsg(out core.Outbound) {
+	if err := p.sendTo(out.To, out.Payload); err != nil {
+		p.log.Warn("send failed", "to", out.To, "err", err)
+		if sid := sessionIDOf(out.Payload); sid != "" && isBasic(out.Payload) {
+			res := p.node.CompensateLost(sid, 1)
+			p.dispatch(res)
+		}
+	}
+}
+
+// ensurePipe opens the pipe to a node if absent, gossiping our directory
+// over fresh pipes (the paper's Figure 3 discovery).
+func (p *Peer) ensurePipe(to string) error {
+	if p.piped[to] {
+		return nil
+	}
+	if err := p.tr.Connect(to, p.directory[to]); err != nil {
+		return err
+	}
+	p.piped[to] = true
+	p.tr.Send(to, &msg.Discovery{Known: p.directoryCopy()})
+	return nil
+}
+
+func (p *Peer) sendTo(to string, payload msg.Payload) error {
+	if err := p.ensurePipe(to); err != nil {
+		return err
+	}
+	err := p.tr.Send(to, payload)
+	if err != nil {
+		delete(p.piped, to)
+	}
+	return err
+}
+
+func (p *Peer) directoryCopy() map[string]string {
+	known := make(map[string]string, len(p.directory)+1)
+	for k, v := range p.directory {
+		known[k] = v
+	}
+	if t, ok := p.tr.(*transport.TCP); ok {
+		known[p.name] = t.Addr()
+	} else if _, present := known[p.name]; !present {
+		known[p.name] = ""
+	}
+	return known
+}
+
+func (p *Peer) mergeDiscovery(d *msg.Discovery) {
+	for node, addr := range d.Known {
+		if node == p.name {
+			continue
+		}
+		if cur, ok := p.directory[node]; !ok || (cur == "" && addr != "") {
+			p.directory[node] = addr
+		}
+	}
+}
+
+func sessionIDOf(p msg.Payload) string {
+	switch m := p.(type) {
+	case *msg.SessionRequest:
+		return m.SID
+	case *msg.SessionData:
+		return m.SID
+	case *msg.LinkClose:
+		return m.SID
+	default:
+		return ""
+	}
+}
+
+// isBasic reports whether the payload counts in the termination detector's
+// deficit.
+func isBasic(p msg.Payload) bool {
+	switch p.(type) {
+	case *msg.SessionRequest, *msg.SessionData, *msg.LinkClose:
+		return true
+	default:
+		return false
+	}
+}
+
+// applyBroadcast installs a coordination-rules configuration (dropping old
+// rules and pipes no longer backing any rule) and forwards the flood.
+func (p *Peer) applyBroadcast(from string, b *msg.RulesBroadcast) {
+	if b.Version <= p.rulesVersion {
+		return
+	}
+	cfg, err := config.Parse(b.Text)
+	if err != nil {
+		p.log.Warn("bad rules broadcast", "err", err)
+		return
+	}
+	p.rulesVersion = b.Version
+	if err := p.installConfig(cfg); err != nil {
+		p.log.Warn("config install failed", "err", err)
+	}
+	// Forward the flood to everyone we know (dedup by version).
+	for _, acq := range p.node.Acquaintances() {
+		if acq != from {
+			p.sendTo(acq, b)
+		}
+	}
+	for node := range p.directory {
+		if node != from && node != p.name {
+			p.sendTo(node, b)
+		}
+	}
+}
+
+// installConfig applies a parsed configuration: schema relations this node
+// is missing are defined (when the wrapper supports DDL), the rule set is
+// replaced, stale pipes are dropped and fresh ones created — exactly the
+// paper's "drops old rules and pipes, and creates new ones, where
+// necessary".
+func (p *Peer) installConfig(cfg *config.Config) error {
+	for node, addr := range cfg.Directory() {
+		if node != p.name {
+			p.directory[node] = addr
+		}
+	}
+	if decl := cfg.Node(p.name); decl != nil {
+		if definer, ok := p.node.Wrapper().(interface {
+			DefineRelation(def *relation.RelDef) error
+		}); ok {
+			have := p.node.Wrapper().Schema()
+			for _, relName := range decl.Schema.Names() {
+				if have.Rel(relName) == nil {
+					def := decl.Schema.Rel(relName)
+					attrs := make([]relation.Attr, len(def.Attrs))
+					copy(attrs, def.Attrs)
+					if err := definer.DefineRelation(&relation.RelDef{Name: def.Name, Attrs: attrs}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	before := p.node.Acquaintances()
+	if err := p.node.SetRules(cfg.RuleDefs()); err != nil {
+		return err
+	}
+	after := make(map[string]bool)
+	for _, a := range p.node.Acquaintances() {
+		after[a] = true
+	}
+	// Drop pipes that no longer back any coordination rule.
+	for _, old := range before {
+		if !after[old] {
+			p.tr.Disconnect(old)
+			delete(p.piped, old)
+		}
+	}
+	// Create pipes for the new acquaintances (paper §3: "When a node
+	// starts, it creates pipes with those nodes, w.r.t. which it has
+	// coordination rules").
+	for a := range after {
+		p.ensurePipe(a)
+	}
+	return nil
+}
+
+func (p *Peer) handleStatsRequest(from string, req *msg.StatsRequest) {
+	if p.statsSeen[req.ID] {
+		return
+	}
+	p.statsSeen[req.ID] = true
+	if req.Addr != "" {
+		if _, ok := p.directory[req.ReplyTo]; !ok {
+			p.directory[req.ReplyTo] = req.Addr
+		}
+	}
+	if req.ReplyTo != p.name {
+		p.sendTo(req.ReplyTo, &msg.StatsReport{ID: req.ID, Node: p.name, Reports: p.node.Reports()})
+	}
+	// Forward the flood.
+	for _, acq := range p.node.Acquaintances() {
+		if acq != from && acq != req.ReplyTo {
+			p.sendTo(acq, req)
+		}
+	}
+}
+
+func (p *Peer) handleStartUpdateCmd(from string, cmd *msg.StartUpdateCmd) {
+	sid := cmd.SID
+	if sid == "" {
+		sid = msg.NewSID(p.name)
+	}
+	res, err := p.node.StartUpdate(sid)
+	if err != nil {
+		p.log.Warn("remote update start failed", "err", err)
+		return
+	}
+	replyTo := cmd.ReplyTo
+	if replyTo == "" {
+		replyTo = from
+	}
+	p.remoteCmds[sid] = replyTo
+	p.dispatch(res)
+}
+
+// ---- Public API (all methods post into the actor loop) ----
+
+// AddRule declares a coordination rule on this node.
+func (p *Peer) AddRule(id, text string) error {
+	var err error
+	if derr := p.do(func() {
+		err = p.node.AddRule(id, text)
+		if err == nil {
+			for _, a := range p.node.Acquaintances() {
+				p.ensurePipe(a)
+			}
+		}
+	}); derr != nil {
+		return derr
+	}
+	return err
+}
+
+// ApplyConfig installs a configuration locally (as a broadcast from the
+// super-peer would).
+func (p *Peer) ApplyConfig(cfg *config.Config, version int) error {
+	var err error
+	if derr := p.do(func() {
+		if version > p.rulesVersion {
+			p.rulesVersion = version
+		}
+		err = p.installConfig(cfg)
+	}); derr != nil {
+		return derr
+	}
+	return err
+}
+
+// SetDirectory merges dial addresses into the peer's directory.
+func (p *Peer) SetDirectory(dir map[string]string) {
+	p.do(func() {
+		for k, v := range dir {
+			if k != p.name {
+				p.directory[k] = v
+			}
+		}
+	})
+}
+
+// Insert adds tuples to a local relation (seeding workloads, console
+// inserts).
+func (p *Peer) Insert(rel string, tuples ...relation.Tuple) error {
+	var err error
+	if derr := p.do(func() {
+		_, err = p.node.Wrapper().InsertMany(rel, tuples)
+	}); derr != nil {
+		return derr
+	}
+	return err
+}
+
+// Count returns a local relation's cardinality.
+func (p *Peer) Count(rel string) int {
+	var n int
+	p.do(func() { n = p.node.Wrapper().Count(rel) })
+	return n
+}
+
+// Tuples returns a snapshot of a local relation.
+func (p *Peer) Tuples(rel string) []relation.Tuple {
+	var out []relation.Tuple
+	p.do(func() {
+		p.node.Wrapper().Scan(rel, func(t relation.Tuple) bool {
+			out = append(out, t.Clone())
+			return true
+		})
+	})
+	return out
+}
+
+// Schema returns the node's shared schema.
+func (p *Peer) Schema() *relation.Schema {
+	var s *relation.Schema
+	p.do(func() { s = p.node.Wrapper().Schema() })
+	return s
+}
+
+// RunUpdate starts a global update at this node and waits for its
+// completion report.
+func (p *Peer) RunUpdate(ctx context.Context) (msg.UpdateReport, error) {
+	sid := msg.NewSID(p.name)
+	ch := make(chan msg.UpdateReport, 1)
+	var startErr error
+	if err := p.do(func() {
+		res, err := p.node.StartUpdate(sid)
+		if err != nil {
+			startErr = err
+			return
+		}
+		p.updates[sid] = ch
+		p.dispatch(res)
+	}); err != nil {
+		return msg.UpdateReport{}, err
+	}
+	if startErr != nil {
+		return msg.UpdateReport{}, startErr
+	}
+	select {
+	case rep := <-ch:
+		return rep, nil
+	case <-ctx.Done():
+		p.do(func() { delete(p.updates, sid) })
+		return msg.UpdateReport{}, fmt.Errorf("peer %s: update %s: %w", p.name, sid, ctx.Err())
+	case <-p.stopped:
+		return msg.UpdateReport{}, fmt.Errorf("peer %s: stopped during update", p.name)
+	}
+}
+
+// RunScopedUpdate starts a query-dependent update at this node: only the
+// data transitively relevant to the given relations is fetched, but it is
+// materialised into the local databases along the way.
+func (p *Peer) RunScopedUpdate(ctx context.Context, rels []string) (msg.UpdateReport, error) {
+	sid := msg.NewSID(p.name)
+	ch := make(chan msg.UpdateReport, 1)
+	var startErr error
+	if err := p.do(func() {
+		res, err := p.node.StartScopedUpdate(sid, rels)
+		if err != nil {
+			startErr = err
+			return
+		}
+		p.updates[sid] = ch
+		p.dispatch(res)
+	}); err != nil {
+		return msg.UpdateReport{}, err
+	}
+	if startErr != nil {
+		return msg.UpdateReport{}, startErr
+	}
+	select {
+	case rep := <-ch:
+		return rep, nil
+	case <-ctx.Done():
+		p.do(func() { delete(p.updates, sid) })
+		return msg.UpdateReport{}, fmt.Errorf("peer %s: scoped update %s: %w", p.name, sid, ctx.Err())
+	case <-p.stopped:
+		return msg.UpdateReport{}, fmt.Errorf("peer %s: stopped during scoped update", p.name)
+	}
+}
+
+// QueryStream starts a distributed query and returns a channel of streamed
+// answers (closed at completion) plus a completion-report channel.
+func (p *Peer) QueryStream(q *cq.Query, mode core.QueryMode) (<-chan relation.Tuple, <-chan msg.UpdateReport, error) {
+	sid := msg.NewSID(p.name)
+	w := &queryWaiter{answers: make(chan relation.Tuple, 1024), done: make(chan msg.UpdateReport, 1)}
+	var startErr error
+	if err := p.do(func() {
+		p.queries[sid] = w
+		res, err := p.node.StartQuery(sid, q, mode)
+		if err != nil {
+			startErr = err
+			delete(p.queries, sid)
+			return
+		}
+		p.dispatch(res)
+	}); err != nil {
+		return nil, nil, err
+	}
+	if startErr != nil {
+		return nil, nil, startErr
+	}
+	return w.answers, w.done, nil
+}
+
+// Query runs a distributed query to completion and returns all answers.
+func (p *Peer) Query(ctx context.Context, q *cq.Query, mode core.QueryMode) ([]relation.Tuple, error) {
+	answers, done, err := p.QueryStream(q, mode)
+	if err != nil {
+		return nil, err
+	}
+	var out []relation.Tuple
+	for {
+		select {
+		case a, ok := <-answers:
+			if !ok {
+				<-done
+				return out, nil
+			}
+			out = append(out, a)
+		case <-ctx.Done():
+			return out, fmt.Errorf("peer %s: query: %w", p.name, ctx.Err())
+		case <-p.stopped:
+			return out, fmt.Errorf("peer %s: stopped during query", p.name)
+		}
+	}
+}
+
+// LocalQuery evaluates a query against local data only.
+func (p *Peer) LocalQuery(q *cq.Query, mode core.QueryMode) ([]relation.Tuple, error) {
+	var (
+		out []relation.Tuple
+		err error
+	)
+	if derr := p.do(func() { out, err = p.node.LocalQuery(q, mode) }); derr != nil {
+		return nil, derr
+	}
+	return out, err
+}
+
+// Reports returns the statistics module's accumulated per-session reports.
+func (p *Peer) Reports() []msg.UpdateReport {
+	var out []msg.UpdateReport
+	p.do(func() { out = p.node.Reports() })
+	return out
+}
+
+// Rules lists the node's coordination rules.
+func (p *Peer) Rules() []*cq.Rule {
+	var out []*cq.Rule
+	p.do(func() { out = p.node.Rules() })
+	return out
+}
+
+// Links describes the node's incoming and outgoing links (Figure 3).
+func (p *Peer) Links() (outgoing, incoming []string) {
+	p.do(func() {
+		for _, r := range p.node.Outgoing() {
+			outgoing = append(outgoing, r.ID)
+		}
+		for _, r := range p.node.Incoming() {
+			incoming = append(incoming, r.ID)
+		}
+	})
+	return outgoing, incoming
+}
+
+// Pipes lists the peers this node has live pipes with.
+func (p *Peer) Pipes() []string { return p.tr.Peers() }
+
+// Discovered lists peers known through gossip that are not acquaintances —
+// the paper's Figure 3 "discovered peers" panel.
+func (p *Peer) Discovered() []string {
+	var out []string
+	p.do(func() {
+		acq := make(map[string]bool)
+		for _, a := range p.node.Acquaintances() {
+			acq[a] = true
+		}
+		for node := range p.directory {
+			if !acq[node] && node != p.name {
+				out = append(out, node)
+			}
+		}
+	})
+	return out
+}
+
+// SetStatsSink installs the consumer for StatsReport/UpdateFinished
+// messages (used by the super-peer).
+func (p *Peer) SetStatsSink(fn func(msg.StatsReport)) {
+	p.do(func() { p.statsSink = fn })
+}
+
+// Broadcast sends a payload to every known peer (super-peer floods).
+func (p *Peer) Broadcast(payload msg.Payload) {
+	p.do(func() {
+		targets := make(map[string]bool)
+		for _, a := range p.node.Acquaintances() {
+			targets[a] = true
+		}
+		for node := range p.directory {
+			targets[node] = true
+		}
+		delete(targets, p.name)
+		for node := range targets {
+			p.sendTo(node, payload)
+		}
+	})
+}
+
+// SendTo sends a payload to one peer (super-peer commands).
+func (p *Peer) SendTo(node string, payload msg.Payload) error {
+	var err error
+	if derr := p.do(func() { err = p.sendTo(node, payload) }); derr != nil {
+		return derr
+	}
+	return err
+}

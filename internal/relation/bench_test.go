@@ -1,0 +1,95 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestEqualUpToNullsRenamingInvariance: renaming the null labels of an
+// instance with any injective map yields an equal-up-to-nulls instance.
+func TestEqualUpToNullsRenamingInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		orig := NewInstance()
+		labels := []string{"a", "b", "c", "d"}
+		for i, n := 0, rnd.Intn(10)+1; i < n; i++ {
+			tup := Tuple{}
+			for j := 0; j < rnd.Intn(3)+1; j++ {
+				if rnd.Intn(2) == 0 {
+					tup = append(tup, Int(rnd.Intn(4)))
+				} else {
+					tup = append(tup, Null(labels[rnd.Intn(len(labels))]))
+				}
+			}
+			orig.Insert(fmt.Sprintf("r%d", len(tup)), tup)
+		}
+		// Injective renaming: permute + prefix.
+		perm := rnd.Perm(len(labels))
+		rename := make(map[string]string, len(labels))
+		for i, l := range labels {
+			rename[l] = "x" + labels[perm[i]]
+		}
+		renamed := NewInstance()
+		for rel, m := range orig {
+			for _, tup := range m {
+				nt := make(Tuple, len(tup))
+				for i, v := range tup {
+					if v.Kind == KindNull {
+						nt[i] = Null(rename[v.Str])
+					} else {
+						nt[i] = v
+					}
+				}
+				renamed.Insert(rel, nt)
+			}
+		}
+		return EqualUpToNulls(orig, renamed) && EqualUpToNulls(renamed, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEqualUpToNullsDetectsMergedNulls: a non-injective renaming (merging
+// two distinct nulls used in the same relation) must be detected when it
+// changes the instance's structure.
+func TestEqualUpToNullsDetectsMergedNulls(t *testing.T) {
+	a := NewInstance()
+	a.Insert("r", Tuple{Null("x"), Null("y")})
+	b := NewInstance()
+	b.Insert("r", Tuple{Null("z"), Null("z")})
+	if EqualUpToNulls(a, b) || EqualUpToNulls(b, a) {
+		t.Error("merged nulls treated as equal")
+	}
+}
+
+func BenchmarkEncodeTuple(b *testing.B) {
+	t := Tuple{Int(12345), Str("hello world"), Float(3.14), Bool(true), Null("d1~abcdef")}
+	b.ReportAllocs()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = EncodeTuple(buf[:0], t)
+	}
+}
+
+func BenchmarkDecodeTuple(b *testing.B) {
+	t := Tuple{Int(12345), Str("hello world"), Float(3.14), Bool(true), Null("d1~abcdef")}
+	enc := EncodeTuple(nil, t)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeTuple(enc, len(t)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTupleKey(b *testing.B) {
+	t := Tuple{Int(1), Str("abcdefgh"), Int(999)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = t.Key()
+	}
+}

@@ -1,0 +1,115 @@
+package relation
+
+import "testing"
+
+func inst(pairs ...any) Instance {
+	in := NewInstance()
+	for i := 0; i < len(pairs); i += 2 {
+		rel := pairs[i].(string)
+		t := pairs[i+1].(Tuple)
+		in.Insert(rel, t)
+	}
+	return in
+}
+
+func TestInstanceInsertDedup(t *testing.T) {
+	in := NewInstance()
+	if !in.Insert("r", Tuple{Int(1)}) {
+		t.Error("first insert should be new")
+	}
+	if in.Insert("r", Tuple{Int(1)}) {
+		t.Error("second insert should dedup")
+	}
+	if !in.Has("r", Tuple{Int(1)}) || in.Has("r", Tuple{Int(2)}) {
+		t.Error("Has wrong")
+	}
+	if in.Size() != 1 {
+		t.Error("Size wrong")
+	}
+	got := in.Tuples("r")
+	if len(got) != 1 || !got[0].Equal(Tuple{Int(1)}) {
+		t.Errorf("Tuples = %v", got)
+	}
+}
+
+func TestInstanceCloneIndependence(t *testing.T) {
+	a := inst("r", Tuple{Int(1)})
+	b := a.Clone()
+	b.Insert("r", Tuple{Int(2)})
+	if a.Size() != 1 || b.Size() != 2 {
+		t.Error("Clone not independent")
+	}
+}
+
+func TestEqualUpToNullsIdentical(t *testing.T) {
+	a := inst("r", Tuple{Int(1), Str("x")}, "s", Tuple{Bool(true)})
+	b := inst("r", Tuple{Int(1), Str("x")}, "s", Tuple{Bool(true)})
+	if !EqualUpToNulls(a, b) {
+		t.Error("identical instances must be equal")
+	}
+}
+
+func TestEqualUpToNullsRenaming(t *testing.T) {
+	a := inst("r", Tuple{Int(1), Null("a:1")}, "r", Tuple{Int(2), Null("a:1")}, "r", Tuple{Int(3), Null("a:2")})
+	b := inst("r", Tuple{Int(1), Null("b:9")}, "r", Tuple{Int(2), Null("b:9")}, "r", Tuple{Int(3), Null("b:7")})
+	if !EqualUpToNulls(a, b) {
+		t.Error("instances equal up to null renaming rejected")
+	}
+}
+
+func TestEqualUpToNullsSharingStructure(t *testing.T) {
+	// a uses the same null twice; b uses two distinct nulls: NOT isomorphic.
+	a := inst("r", Tuple{Int(1), Null("x")}, "s", Tuple{Null("x")})
+	b := inst("r", Tuple{Int(1), Null("y")}, "s", Tuple{Null("z")})
+	if EqualUpToNulls(a, b) {
+		t.Error("different null-sharing structure must not be equal")
+	}
+}
+
+func TestEqualUpToNullsDifferentConstants(t *testing.T) {
+	a := inst("r", Tuple{Int(1)})
+	b := inst("r", Tuple{Int(2)})
+	if EqualUpToNulls(a, b) {
+		t.Error("different constants must not be equal")
+	}
+}
+
+func TestEqualUpToNullsDifferentCardinality(t *testing.T) {
+	a := inst("r", Tuple{Int(1)}, "r", Tuple{Int(2)})
+	b := inst("r", Tuple{Int(1)})
+	if EqualUpToNulls(a, b) || EqualUpToNulls(b, a) {
+		t.Error("different cardinalities must not be equal")
+	}
+}
+
+func TestEqualUpToNullsNullVsConstant(t *testing.T) {
+	a := inst("r", Tuple{Null("u")})
+	b := inst("r", Tuple{Int(1)})
+	if EqualUpToNulls(a, b) || EqualUpToNulls(b, a) {
+		t.Error("null is not interchangeable with a constant")
+	}
+}
+
+func TestEqualUpToNullsCrossRelationPermutation(t *testing.T) {
+	// Nulls interleaved across relations with swapped labels.
+	a := inst(
+		"r", Tuple{Null("p:1"), Null("p:2")},
+		"s", Tuple{Null("p:2"), Int(7)},
+	)
+	b := inst(
+		"r", Tuple{Null("q:9"), Null("q:3")},
+		"s", Tuple{Null("q:3"), Int(7)},
+	)
+	if !EqualUpToNulls(a, b) {
+		t.Error("permuted labels with same structure must be equal")
+	}
+}
+
+func TestEqualUpToNullsEmptyRelations(t *testing.T) {
+	a := NewInstance()
+	a["r"] = map[string]Tuple{} // empty relation present
+	b := NewInstance()
+	if !EqualUpToNulls(a, b) {
+		t.Error("empty relations should be ignored")
+	}
+}

@@ -1,0 +1,129 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTupleCloneIndependence(t *testing.T) {
+	a := Tuple{Int(1), Str("x")}
+	b := a.Clone()
+	b[0] = Int(2)
+	if a[0] != Int(1) {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestTupleEqualAndCompare(t *testing.T) {
+	a := Tuple{Int(1), Str("x")}
+	b := Tuple{Int(1), Str("x")}
+	c := Tuple{Int(1), Str("y")}
+	short := Tuple{Int(1)}
+	if !a.Equal(b) || a.Equal(c) || a.Equal(short) {
+		t.Error("Equal wrong")
+	}
+	if a.Compare(b) != 0 || a.Compare(c) != -1 || c.Compare(a) != 1 {
+		t.Error("Compare wrong on same-length tuples")
+	}
+	if short.Compare(a) != -1 || a.Compare(short) != 1 {
+		t.Error("prefix tuples must order before extensions")
+	}
+}
+
+func TestTupleHasNullAndProject(t *testing.T) {
+	a := Tuple{Int(1), Null("n"), Str("z")}
+	if !a.HasNull() {
+		t.Error("HasNull false negative")
+	}
+	if (Tuple{Int(1)}).HasNull() {
+		t.Error("HasNull false positive")
+	}
+	p := a.Project([]int{2, 0})
+	if !p.Equal(Tuple{Str("z"), Int(1)}) {
+		t.Errorf("Project = %v", p)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	s := Tuple{Int(1), Str("a"), Null("p:1")}.String()
+	if s != `(1, "a", ⊥p:1)` {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRelDefValidate(t *testing.T) {
+	def := &RelDef{Name: "emp", Attrs: []Attr{{"id", TInt}, {"name", TString}}}
+	if err := def.Validate(Tuple{Int(1), Str("bob")}); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+	if err := def.Validate(Tuple{Int(1), Null("u")}); err != nil {
+		t.Errorf("null should be admitted: %v", err)
+	}
+	if err := def.Validate(Tuple{Int(1)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := def.Validate(Tuple{Str("x"), Str("bob")}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if def.AttrIndex("name") != 1 || def.AttrIndex("nope") != -1 {
+		t.Error("AttrIndex wrong")
+	}
+	if def.Arity() != 2 {
+		t.Error("Arity wrong")
+	}
+	if got := def.String(); got != "emp(id int, name string)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSchemaAddAndLookup(t *testing.T) {
+	s := NewSchema()
+	if err := s.Add(&RelDef{Name: "a", Attrs: []Attr{{"x", TInt}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&RelDef{Name: "b", Attrs: []Attr{{"y", TString}}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rel("a") == nil || s.Rel("b") == nil || s.Rel("c") != nil {
+		t.Error("Rel lookup wrong")
+	}
+	if got := s.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Names = %v", got)
+	}
+	if s.Len() != 2 {
+		t.Error("Len wrong")
+	}
+}
+
+func TestSchemaAddErrors(t *testing.T) {
+	s := NewSchema()
+	if err := s.Add(&RelDef{Name: "", Attrs: []Attr{{"x", TInt}}}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := s.Add(&RelDef{Name: "r", Attrs: nil}); err == nil {
+		t.Error("no attributes accepted")
+	}
+	if err := s.Add(&RelDef{Name: "r", Attrs: []Attr{{"x", TInt}, {"x", TInt}}}); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if err := s.Add(&RelDef{Name: "r", Attrs: []Attr{{"", TInt}}}); err == nil {
+		t.Error("unnamed attribute accepted")
+	}
+	s.MustAdd(&RelDef{Name: "r", Attrs: []Attr{{"x", TInt}}})
+	if err := s.Add(&RelDef{Name: "r", Attrs: []Attr{{"x", TInt}}}); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+}
+
+func TestSchemaCloneIndependence(t *testing.T) {
+	s := NewSchema()
+	s.MustAdd(&RelDef{Name: "r", Attrs: []Attr{{"x", TInt}}})
+	c := s.Clone()
+	c.Rel("r").Attrs[0].Name = "changed"
+	if s.Rel("r").Attrs[0].Name != "x" {
+		t.Error("Clone shares attribute storage")
+	}
+	if !strings.Contains(s.String(), "r(x int)") {
+		t.Errorf("String = %q", s.String())
+	}
+}

@@ -1,0 +1,308 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"codb/internal/relation"
+)
+
+// WAL record payloads and the snapshot file share a small binary vocabulary:
+//
+//	uvarint-prefixed byte strings and counts
+//	tuples as uvarint length + order-preserving encoding
+//
+// A WAL payload is: count, then per op: kind byte, relation name, and for
+// insert/delete the tuple; for DDL the relation definition.
+
+func putString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func putBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("storage: bad uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if r.off+int(n) > len(r.b) {
+		r.err = fmt.Errorf("storage: truncated string at offset %d", r.off)
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *reader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if r.off+int(n) > len(r.b) {
+		r.err = fmt.Errorf("storage: truncated bytes at offset %d", r.off)
+		return nil
+	}
+	b := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+func encodeDef(dst []byte, def *relation.RelDef) []byte {
+	dst = putString(dst, def.Name)
+	dst = binary.AppendUvarint(dst, uint64(len(def.Attrs)))
+	for _, a := range def.Attrs {
+		dst = putString(dst, a.Name)
+		dst = append(dst, byte(a.Type))
+	}
+	return dst
+}
+
+func (r *reader) def() *relation.RelDef {
+	name := r.str()
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	attrs := make([]relation.Attr, 0, n)
+	for i := uint64(0); i < n; i++ {
+		an := r.str()
+		if r.err != nil {
+			return nil
+		}
+		if r.off >= len(r.b) {
+			r.err = fmt.Errorf("storage: truncated attr type")
+			return nil
+		}
+		attrs = append(attrs, relation.Attr{Name: an, Type: relation.Type(r.b[r.off])})
+		r.off++
+	}
+	return &relation.RelDef{Name: name, Attrs: attrs}
+}
+
+func encodeDDL(def *relation.RelDef) []byte {
+	dst := binary.AppendUvarint(nil, 1)
+	dst = append(dst, byte(opDDL))
+	return encodeDef(dst, def)
+}
+
+func encodeOps(ops []op) []byte {
+	dst := binary.AppendUvarint(nil, uint64(len(ops)))
+	for _, o := range ops {
+		dst = append(dst, byte(o.kind))
+		dst = putString(dst, o.rel)
+		dst = putBytes(dst, relation.EncodeTuple(nil, o.tuple))
+	}
+	return dst
+}
+
+// applyLogRecord replays one WAL payload during recovery. It bypasses the
+// transaction layer and mutates tables directly (the DB is not yet shared).
+func (db *DB) applyLogRecord(payload []byte) error {
+	r := &reader{b: payload}
+	count := r.uvarint()
+	for i := uint64(0); i < count && r.err == nil; i++ {
+		if r.off >= len(r.b) {
+			return fmt.Errorf("storage: truncated op")
+		}
+		kind := opKind(r.b[r.off])
+		r.off++
+		switch kind {
+		case opDDL:
+			def := r.def()
+			if r.err != nil {
+				return r.err
+			}
+			if err := db.schema.Add(def); err != nil {
+				return fmt.Errorf("storage: replay ddl: %w", err)
+			}
+			db.tables[def.Name] = newTable(def)
+		case opInsert, opDelete:
+			rel := r.str()
+			enc := r.bytes()
+			if r.err != nil {
+				return r.err
+			}
+			def := db.schema.Rel(rel)
+			if def == nil {
+				return fmt.Errorf("storage: replay references unknown relation %q", rel)
+			}
+			tuple, err := relation.DecodeTuple(enc, def.Arity())
+			if err != nil {
+				return fmt.Errorf("storage: replay %s: %w", rel, err)
+			}
+			t := db.tables[rel]
+			if kind == opInsert {
+				t.insert(tuple)
+			} else {
+				t.delete(tuple)
+			}
+		default:
+			return fmt.Errorf("storage: replay: bad op kind %d", kind)
+		}
+	}
+	return r.err
+}
+
+// Snapshot file layout: magic "cdbS", version u32, CRC u32 of body, body =
+// schema (uvarint count + defs) then per relation uvarint tuple count +
+// tuples.
+
+var snapMagic = [4]byte{'c', 'd', 'b', 'S'}
+
+const snapVersion = 1
+
+// Checkpoint atomically writes a snapshot of the current state and resets
+// the WAL. No-op for memory-only databases.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errClosed
+	}
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	if db.log == nil {
+		return nil
+	}
+	body := db.encodeSnapshotBody()
+	path := filepath.Join(db.opts.Dir, snapshotName)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	var hdr [12]byte
+	copy(hdr[:4], snapMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], snapVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(body))
+	if _, err := w.Write(hdr[:]); err == nil {
+		_, err = w.Write(body)
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: checkpoint rename: %w", err)
+	}
+	db.commitsSinceCheckpoint = 0
+	return db.log.Reset()
+}
+
+func (db *DB) encodeSnapshotBody() []byte {
+	names := db.schema.Names()
+	body := binary.AppendUvarint(nil, uint64(len(names)))
+	for _, name := range names {
+		body = encodeDef(body, db.schema.Rel(name))
+	}
+	for _, name := range names {
+		t := db.tables[name]
+		body = binary.AppendUvarint(body, uint64(t.primary.Len()))
+		t.primary.AscendAll(func(key string, _ int) bool {
+			body = putBytes(body, []byte(key))
+			return true
+		})
+	}
+	return body
+}
+
+// loadSnapshot restores state from the snapshot file; a missing file leaves
+// the DB empty. Corruption is an error (the WAL cannot repair a bad base).
+func (db *DB) loadSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: read snapshot: %w", err)
+	}
+	if len(data) < 12 || [4]byte(data[:4]) != snapMagic {
+		return fmt.Errorf("storage: %s: not a snapshot file", path)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != snapVersion {
+		return fmt.Errorf("storage: %s: unsupported snapshot version %d", path, v)
+	}
+	body := data[12:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[8:12]) {
+		return fmt.Errorf("storage: %s: snapshot checksum mismatch", path)
+	}
+	r := &reader{b: body}
+	nrels := r.uvarint()
+	defs := make([]*relation.RelDef, 0, nrels)
+	for i := uint64(0); i < nrels; i++ {
+		def := r.def()
+		if r.err != nil {
+			return r.err
+		}
+		if err := db.schema.Add(def); err != nil {
+			return fmt.Errorf("storage: snapshot schema: %w", err)
+		}
+		db.tables[def.Name] = newTable(def)
+		defs = append(defs, def)
+	}
+	for _, def := range defs {
+		count := r.uvarint()
+		t := db.tables[def.Name]
+		for i := uint64(0); i < count; i++ {
+			enc := r.bytes()
+			if r.err != nil {
+				return r.err
+			}
+			tuple, err := relation.DecodeTuple(enc, def.Arity())
+			if err != nil {
+				return fmt.Errorf("storage: snapshot %s: %w", def.Name, err)
+			}
+			t.insert(tuple)
+		}
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(body) {
+		return fmt.Errorf("storage: snapshot has %d trailing bytes", len(body)-r.off)
+	}
+	return nil
+}

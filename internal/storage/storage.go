@@ -1,0 +1,365 @@
+// Package storage implements coDB's embedded relational engine: the Local
+// Database (LDB) each peer manages. Relations are sets of typed tuples
+// (set semantics, as required by the update algorithm's "T′ = T \ R" step),
+// stored in an in-memory heap with a B+tree primary index over the
+// order-preserving tuple encoding and optional secondary indexes per
+// attribute. Durability is optional: when opened with a directory, every
+// commit is logged to a write-ahead log and periodically checkpointed into a
+// snapshot file; recovery loads the snapshot and replays the log.
+//
+// Concurrency: any number of readers and one writer at a time, coordinated
+// with an internal RWMutex. Transactions stage their writes privately and
+// apply them atomically at Commit.
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"codb/internal/btree"
+	"codb/internal/relation"
+	"codb/internal/wal"
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the durability directory. Empty means memory-only: no WAL,
+	// no snapshots, nothing survives Close.
+	Dir string
+	// SyncOnCommit fsyncs the WAL on every commit. Off by default; the
+	// demo workloads favour throughput, and the WAL still preserves
+	// prefix-consistency on crash.
+	SyncOnCommit bool
+	// CheckpointEvery triggers an automatic checkpoint after this many
+	// commits (0 disables automatic checkpoints).
+	CheckpointEvery int
+}
+
+// DB is an embedded relational database.
+type DB struct {
+	mu     sync.RWMutex
+	schema *relation.Schema
+	tables map[string]*table
+	opts   Options
+	log    *wal.Log // nil when memory-only
+	closed bool
+
+	commitsSinceCheckpoint int
+}
+
+type table struct {
+	def     *relation.RelDef
+	rows    []relation.Tuple        // heap; nil = deleted slot
+	free    []int                   // reusable slots
+	primary *btree.Map[int]         // tuple key -> slot
+	second  map[int]*btree.Map[int] // attr position -> (attr value ‖ tuple key) -> slot
+}
+
+func newTable(def *relation.RelDef) *table {
+	return &table{def: def, primary: btree.New[int](), second: make(map[int]*btree.Map[int])}
+}
+
+const (
+	snapshotName = "snapshot.cdb"
+	logName      = "log.wal"
+)
+
+// Open opens (or creates) a database. With a Dir, prior state is recovered
+// from the snapshot and WAL in that directory.
+func Open(opts Options) (*DB, error) {
+	db := &DB{
+		schema: relation.NewSchema(),
+		tables: make(map[string]*table),
+		opts:   opts,
+	}
+	if opts.Dir == "" {
+		return db, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: mkdir: %w", err)
+	}
+	if err := db.loadSnapshot(filepath.Join(opts.Dir, snapshotName)); err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(filepath.Join(opts.Dir, logName), db.applyLogRecord)
+	if err != nil {
+		return nil, err
+	}
+	db.log = log
+	return db, nil
+}
+
+// MustOpenMem opens a memory-only database, panicking on error; convenience
+// for tests and examples.
+func MustOpenMem() *DB {
+	db, err := Open(Options{})
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Schema returns a snapshot copy of the schema.
+func (db *DB) Schema() *relation.Schema {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.schema.Clone()
+}
+
+// Rel returns the definition of a relation, or nil.
+func (db *DB) Rel(name string) *relation.RelDef {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.schema.Rel(name)
+}
+
+// DefineRelation adds a relation to the schema (DDL). Logged for recovery.
+func (db *DB) DefineRelation(def *relation.RelDef) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errClosed
+	}
+	if err := db.schema.Add(def); err != nil {
+		return err
+	}
+	db.tables[def.Name] = newTable(def)
+	if db.log != nil {
+		rec := encodeDDL(def)
+		if err := db.log.Append(rec); err != nil {
+			return err
+		}
+		if db.opts.SyncOnCommit {
+			return db.log.Sync()
+		}
+	}
+	return nil
+}
+
+// DefineSchema defines every relation of the given schema.
+func (db *DB) DefineSchema(s *relation.Schema) error {
+	for _, name := range s.Names() {
+		def := s.Rel(name)
+		attrs := make([]relation.Attr, len(def.Attrs))
+		copy(attrs, def.Attrs)
+		if err := db.DefineRelation(&relation.RelDef{Name: def.Name, Attrs: attrs}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IndexOn creates a secondary index over one attribute of a relation,
+// enabling ScanEq/ScanRange on that attribute. Idempotent.
+func (db *DB) IndexOn(rel, attr string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.tables[rel]
+	if t == nil {
+		return fmt.Errorf("storage: unknown relation %q", rel)
+	}
+	pos := t.def.AttrIndex(attr)
+	if pos < 0 {
+		return fmt.Errorf("storage: relation %s has no attribute %q", rel, attr)
+	}
+	if _, ok := t.second[pos]; ok {
+		return nil
+	}
+	idx := btree.New[int]()
+	for slot, row := range t.rows {
+		if row != nil {
+			idx.Put(secondaryKey(row, pos), slot)
+		}
+	}
+	t.second[pos] = idx
+	return nil
+}
+
+func secondaryKey(t relation.Tuple, pos int) string {
+	k := relation.EncodeValue(nil, t[pos])
+	k = relation.EncodeTuple(k, t)
+	return string(k)
+}
+
+var errClosed = fmt.Errorf("storage: database is closed")
+
+// Has reports whether the tuple is present in the relation.
+func (db *DB) Has(rel string, tuple relation.Tuple) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t := db.tables[rel]
+	if t == nil {
+		return false
+	}
+	_, ok := t.primary.Get(tuple.Key())
+	return ok
+}
+
+// Count returns the number of tuples in the relation.
+func (db *DB) Count(rel string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t := db.tables[rel]
+	if t == nil {
+		return 0
+	}
+	return t.primary.Len()
+}
+
+// Scan calls fn for every tuple of the relation in key order, under a read
+// lock; fn must not call back into the DB's write methods. fn returning
+// false stops the scan.
+func (db *DB) Scan(rel string, fn func(relation.Tuple) bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t := db.tables[rel]
+	if t == nil {
+		return
+	}
+	t.primary.AscendAll(func(_ string, slot int) bool {
+		return fn(t.rows[slot])
+	})
+}
+
+// ScanEq scans tuples whose attribute at position pos equals v, using a
+// secondary index when one exists and a full scan otherwise.
+func (db *DB) ScanEq(rel string, pos int, v relation.Value, fn func(relation.Tuple) bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t := db.tables[rel]
+	if t == nil || pos < 0 || pos >= t.def.Arity() {
+		return
+	}
+	if idx, ok := t.second[pos]; ok {
+		prefix := string(relation.EncodeValue(nil, v))
+		idx.AscendPrefix(prefix, func(_ string, slot int) bool {
+			return fn(t.rows[slot])
+		})
+		return
+	}
+	t.primary.AscendAll(func(_ string, slot int) bool {
+		if t.rows[slot][pos] == v {
+			return fn(t.rows[slot])
+		}
+		return true
+	})
+}
+
+// ScanRange scans tuples whose attribute at position pos lies within the
+// given bounds (each bound optional: nil means unbounded; inclusive).
+// With a secondary index on the attribute the scan touches only the range;
+// otherwise it falls back to a filtered full scan.
+func (db *DB) ScanRange(rel string, pos int, lo, hi *relation.Value, fn func(relation.Tuple) bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t := db.tables[rel]
+	if t == nil || pos < 0 || pos >= t.def.Arity() {
+		return
+	}
+	within := func(v relation.Value) bool {
+		if lo != nil && v.Compare(*lo) < 0 {
+			return false
+		}
+		if hi != nil && v.Compare(*hi) > 0 {
+			return false
+		}
+		return true
+	}
+	if idx, ok := t.second[pos]; ok {
+		from, to := "", ""
+		if lo != nil {
+			from = string(relation.EncodeValue(nil, *lo))
+		}
+		if hi != nil {
+			to = prefixSuccessor(string(relation.EncodeValue(nil, *hi)))
+		}
+		idx.Ascend(from, to, func(_ string, slot int) bool {
+			return fn(t.rows[slot])
+		})
+		return
+	}
+	t.primary.AscendAll(func(_ string, slot int) bool {
+		if within(t.rows[slot][pos]) {
+			return fn(t.rows[slot])
+		}
+		return true
+	})
+}
+
+// prefixSuccessor returns the smallest string greater than every string
+// with the given prefix ("" when no such string exists).
+func prefixSuccessor(p string) string {
+	b := []byte(p)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] != 0xFF {
+			b[i]++
+			return string(b[:i+1])
+		}
+	}
+	return ""
+}
+
+// Tuples returns a copied slice of all tuples in the relation, in key order.
+func (db *DB) Tuples(rel string) []relation.Tuple {
+	var out []relation.Tuple
+	db.Scan(rel, func(t relation.Tuple) bool {
+		out = append(out, t.Clone())
+		return true
+	})
+	return out
+}
+
+// Instance exports the whole database as a relation.Instance (for oracles,
+// stats and tests).
+func (db *DB) Instance() relation.Instance {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	in := relation.NewInstance()
+	for name, t := range db.tables {
+		t.primary.AscendAll(func(_ string, slot int) bool {
+			in.Insert(name, t.rows[slot])
+			return true
+		})
+	}
+	return in
+}
+
+// Stats summarises the database for reports.
+type Stats struct {
+	Relations int
+	Tuples    int
+	WALBytes  int64
+}
+
+// Stats returns current sizes.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := Stats{Relations: db.schema.Len()}
+	for _, t := range db.tables {
+		s.Tuples += t.primary.Len()
+	}
+	if db.log != nil {
+		s.WALBytes = db.log.Size()
+	}
+	return s
+}
+
+// Close closes the database, syncing the WAL first when durable.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if db.log != nil {
+		if err := db.log.Sync(); err != nil {
+			return err
+		}
+		return db.log.Close()
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+package storage
+
+import (
+	"fmt"
+
+	"codb/internal/relation"
+)
+
+// Tx is a transaction. Writes are staged privately and become visible (and
+// logged) atomically at Commit. Reads through the transaction see the staged
+// writes ("read your writes"). A Tx is not safe for concurrent use.
+type Tx struct {
+	db   *DB
+	done bool
+	// staged operations in order, for the WAL record
+	ops []op
+	// per-relation overlay: tuple key -> staged state
+	overlay map[string]map[string]stagedTuple
+}
+
+type opKind uint8
+
+const (
+	opInsert opKind = 1
+	opDelete opKind = 2
+	opDDL    opKind = 3
+)
+
+type op struct {
+	kind  opKind
+	rel   string
+	tuple relation.Tuple
+}
+
+type stagedTuple struct {
+	tuple   relation.Tuple
+	present bool // true = staged insert, false = staged delete
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Tx {
+	return &Tx{db: db, overlay: make(map[string]map[string]stagedTuple)}
+}
+
+func (tx *Tx) stage(rel string) map[string]stagedTuple {
+	m := tx.overlay[rel]
+	if m == nil {
+		m = make(map[string]stagedTuple)
+		tx.overlay[rel] = m
+	}
+	return m
+}
+
+// Insert stages a tuple insertion. It returns true if the tuple is new with
+// respect to the committed state plus this transaction's stage (set
+// semantics: re-inserting an existing tuple is a no-op returning false).
+func (tx *Tx) Insert(rel string, tuple relation.Tuple) (bool, error) {
+	if tx.done {
+		return false, errTxDone
+	}
+	def := tx.db.Rel(rel)
+	if def == nil {
+		return false, fmt.Errorf("storage: unknown relation %q", rel)
+	}
+	if err := def.Validate(tuple); err != nil {
+		return false, err
+	}
+	key := tuple.Key()
+	m := tx.stage(rel)
+	if st, ok := m[key]; ok {
+		if st.present {
+			return false, nil
+		}
+		// Staged delete followed by insert: net effect is presence.
+		m[key] = stagedTuple{tuple: tuple.Clone(), present: true}
+		tx.ops = append(tx.ops, op{opInsert, rel, tuple.Clone()})
+		return true, nil
+	}
+	if tx.db.Has(rel, tuple) {
+		return false, nil
+	}
+	m[key] = stagedTuple{tuple: tuple.Clone(), present: true}
+	tx.ops = append(tx.ops, op{opInsert, rel, tuple.Clone()})
+	return true, nil
+}
+
+// Delete stages a tuple deletion, reporting whether the tuple was present.
+func (tx *Tx) Delete(rel string, tuple relation.Tuple) (bool, error) {
+	if tx.done {
+		return false, errTxDone
+	}
+	if tx.db.Rel(rel) == nil {
+		return false, fmt.Errorf("storage: unknown relation %q", rel)
+	}
+	key := tuple.Key()
+	m := tx.stage(rel)
+	if st, ok := m[key]; ok {
+		if !st.present {
+			return false, nil
+		}
+		m[key] = stagedTuple{tuple: tuple.Clone(), present: false}
+		tx.ops = append(tx.ops, op{opDelete, rel, tuple.Clone()})
+		return true, nil
+	}
+	if !tx.db.Has(rel, tuple) {
+		return false, nil
+	}
+	m[key] = stagedTuple{tuple: tuple.Clone(), present: false}
+	tx.ops = append(tx.ops, op{opDelete, rel, tuple.Clone()})
+	return true, nil
+}
+
+// Has reports presence through the transaction (committed state plus stage).
+func (tx *Tx) Has(rel string, tuple relation.Tuple) bool {
+	if st, ok := tx.overlay[rel][tuple.Key()]; ok {
+		return st.present
+	}
+	return tx.db.Has(rel, tuple)
+}
+
+// Scan iterates the relation as seen by the transaction: committed tuples
+// not staged-deleted, then staged inserts.
+func (tx *Tx) Scan(rel string, fn func(relation.Tuple) bool) {
+	stage := tx.overlay[rel]
+	stopped := false
+	tx.db.Scan(rel, func(t relation.Tuple) bool {
+		if st, ok := stage[t.Key()]; ok && !st.present {
+			return true
+		}
+		if !fn(t) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	for _, st := range stage {
+		if st.present && !tx.db.Has(rel, st.tuple) {
+			if !fn(st.tuple) {
+				return
+			}
+		}
+	}
+}
+
+var errTxDone = fmt.Errorf("storage: transaction already finished")
+
+// Commit applies the staged operations atomically, appends them to the WAL,
+// and (when configured) syncs and checkpoints.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return errTxDone
+	}
+	tx.done = true
+	if len(tx.ops) == 0 {
+		return nil
+	}
+	db := tx.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errClosed
+	}
+	for _, o := range tx.ops {
+		t := db.tables[o.rel]
+		switch o.kind {
+		case opInsert:
+			t.insert(o.tuple)
+		case opDelete:
+			t.delete(o.tuple)
+		}
+	}
+	if db.log != nil {
+		rec := encodeOps(tx.ops)
+		if err := db.log.Append(rec); err != nil {
+			return err
+		}
+		if db.opts.SyncOnCommit {
+			if err := db.log.Sync(); err != nil {
+				return err
+			}
+		}
+		db.commitsSinceCheckpoint++
+		if db.opts.CheckpointEvery > 0 && db.commitsSinceCheckpoint >= db.opts.CheckpointEvery {
+			return db.checkpointLocked()
+		}
+	}
+	return nil
+}
+
+// Rollback discards the staged operations. Rollback after Commit is a no-op.
+func (tx *Tx) Rollback() {
+	tx.done = true
+	tx.ops = nil
+	tx.overlay = nil
+}
+
+// insert adds the tuple to the table (caller holds the write lock). Returns
+// whether the tuple was new.
+func (t *table) insert(tuple relation.Tuple) bool {
+	key := tuple.Key()
+	if _, dup := t.primary.Get(key); dup {
+		return false
+	}
+	var slot int
+	if n := len(t.free); n > 0 {
+		slot = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.rows[slot] = tuple
+	} else {
+		slot = len(t.rows)
+		t.rows = append(t.rows, tuple)
+	}
+	t.primary.Put(key, slot)
+	for pos, idx := range t.second {
+		idx.Put(secondaryKey(tuple, pos), slot)
+	}
+	return true
+}
+
+// delete removes the tuple (caller holds the write lock). Returns whether it
+// was present.
+func (t *table) delete(tuple relation.Tuple) bool {
+	key := tuple.Key()
+	slot, ok := t.primary.Get(key)
+	if !ok {
+		return false
+	}
+	t.primary.Delete(key)
+	for pos, idx := range t.second {
+		idx.Delete(secondaryKey(t.rows[slot], pos))
+	}
+	t.rows[slot] = nil
+	t.free = append(t.free, slot)
+	return true
+}
+
+// Insert is a single-op convenience: one auto-committed insertion. Returns
+// whether the tuple was new.
+func (db *DB) Insert(rel string, tuple relation.Tuple) (bool, error) {
+	tx := db.Begin()
+	fresh, err := tx.Insert(rel, tuple)
+	if err != nil {
+		tx.Rollback()
+		return false, err
+	}
+	return fresh, tx.Commit()
+}
+
+// InsertMany inserts a batch in one transaction, returning the tuples that
+// were actually new (the delta T′ = T \ R the update algorithm needs).
+func (db *DB) InsertMany(rel string, tuples []relation.Tuple) ([]relation.Tuple, error) {
+	tx := db.Begin()
+	var fresh []relation.Tuple
+	for _, t := range tuples {
+		ok, err := tx.Insert(rel, t)
+		if err != nil {
+			tx.Rollback()
+			return nil, err
+		}
+		if ok {
+			fresh = append(fresh, t)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return fresh, nil
+}
+
+// Delete is a single-op convenience: one auto-committed deletion.
+func (db *DB) Delete(rel string, tuple relation.Tuple) (bool, error) {
+	tx := db.Begin()
+	existed, err := tx.Delete(rel, tuple)
+	if err != nil {
+		tx.Rollback()
+		return false, err
+	}
+	return existed, tx.Commit()
+}

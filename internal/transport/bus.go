@@ -1,0 +1,234 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"codb/internal/msg"
+)
+
+// Bus is the in-process transport: a registry of nodes with per-node
+// delivery goroutines. It simulates a whole P2P network inside one process,
+// which is how the test suite and the benchmark harness run multi-peer
+// topologies on one box.
+//
+// Fault injection: a FaultPlan can drop or duplicate messages, for testing
+// the robustness-reporting paths. (The core protocol assumes reliable pipes
+// as JXTA pipes are; faults are injected only in dedicated tests.)
+type Bus struct {
+	mu    sync.Mutex
+	nodes map[string]*busNode
+	fault *FaultPlan
+}
+
+type busNode struct {
+	bus     *Bus
+	name    string
+	handler Handler
+	box     *mailbox
+	pipes   map[string]bool
+	closed  bool
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+}
+
+// FaultPlan configures probabilistic message faults; probabilities in
+// [0,1]. The zero value injects nothing.
+type FaultPlan struct {
+	mu       sync.Mutex
+	rnd      *rand.Rand
+	DropProb float64
+	DupProb  float64
+	// Protect exempts a payload type from faults (e.g. acks), selected by
+	// a predicate; nil protects nothing.
+	Protect func(p msg.Payload) bool
+}
+
+// NewFaultPlan seeds a deterministic fault plan.
+func NewFaultPlan(seed int64, drop, dup float64) *FaultPlan {
+	return &FaultPlan{rnd: rand.New(rand.NewSource(seed)), DropProb: drop, DupProb: dup}
+}
+
+func (f *FaultPlan) decide(p msg.Payload) (drop, dup bool) {
+	if f == nil {
+		return false, false
+	}
+	if f.Protect != nil && f.Protect(p) {
+		return false, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rnd == nil {
+		f.rnd = rand.New(rand.NewSource(1))
+	}
+	return f.rnd.Float64() < f.DropProb, f.rnd.Float64() < f.DupProb
+}
+
+// NewBus returns an empty in-process network.
+func NewBus() *Bus {
+	return &Bus{nodes: make(map[string]*busNode)}
+}
+
+// SetFaultPlan installs (or clears, with nil) fault injection.
+func (b *Bus) SetFaultPlan(f *FaultPlan) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fault = f
+}
+
+// Join registers a node and returns its Transport. Node names must be
+// unique on the bus.
+func (b *Bus) Join(name string) (Transport, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.nodes[name]; dup {
+		return nil, fmt.Errorf("transport: node %q already on the bus", name)
+	}
+	n := &busNode{bus: b, name: name, box: newMailbox(), pipes: make(map[string]bool)}
+	b.nodes[name] = n
+	n.wg.Add(1)
+	go n.pump()
+	return n, nil
+}
+
+// MustJoin is Join panicking on error.
+func (b *Bus) MustJoin(name string) Transport {
+	tr, err := b.Join(name)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// Nodes lists every node on the bus (the global directory; in-process
+// discovery is trivially complete, like a JXTA rendezvous that knows
+// everyone).
+func (b *Bus) Nodes() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.nodes))
+	for n := range b.nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+func (b *Bus) lookup(name string) *busNode {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.nodes[name]
+}
+
+func (b *Bus) remove(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.nodes, name)
+}
+
+func (n *busNode) pump() {
+	defer n.wg.Done()
+	for {
+		env, ok := n.box.take()
+		if !ok {
+			return
+		}
+		n.mu.Lock()
+		h := n.handler
+		n.mu.Unlock()
+		if h != nil {
+			h(env)
+		}
+	}
+}
+
+// Self implements Transport.
+func (n *busNode) Self() string { return n.name }
+
+// SetHandler implements Transport.
+func (n *busNode) SetHandler(h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handler = h
+}
+
+// Connect implements Transport; addr is ignored (the bus registry resolves
+// names).
+func (n *busNode) Connect(node, addr string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return ErrClosed
+	}
+	if n.bus.lookup(node) == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, node)
+	}
+	n.pipes[node] = true
+	return nil
+}
+
+// Send implements Transport.
+func (n *busNode) Send(to string, p msg.Payload) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	piped := n.pipes[to]
+	n.mu.Unlock()
+	if !piped {
+		return fmt.Errorf("%w: %s (no pipe)", ErrUnknownPeer, to)
+	}
+	target := n.bus.lookup(to)
+	if target == nil {
+		return fmt.Errorf("%w: %s (left the network)", ErrUnknownPeer, to)
+	}
+	n.bus.mu.Lock()
+	fault := n.bus.fault
+	n.bus.mu.Unlock()
+	drop, dup := fault.decide(p)
+	if drop {
+		return nil
+	}
+	env := msg.Envelope{From: n.name, Payload: p}
+	if !target.box.put(env) {
+		return fmt.Errorf("%w: %s (closed)", ErrUnknownPeer, to)
+	}
+	if dup {
+		target.box.put(env)
+	}
+	return nil
+}
+
+// Disconnect implements Transport.
+func (n *busNode) Disconnect(node string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.pipes, node)
+}
+
+// Peers implements Transport.
+func (n *busNode) Peers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.pipes))
+	for p := range n.pipes {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Close implements Transport.
+func (n *busNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	n.bus.remove(n.name)
+	n.box.close()
+	n.wg.Wait()
+	return nil
+}

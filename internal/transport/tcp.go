@@ -1,0 +1,289 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"codb/internal/msg"
+)
+
+// TCP is the socket transport: one listener per node, one TCP connection
+// per pipe, length-prefixed gob frames. The handshake is a name frame in
+// each direction's first message slot, after which both sides exchange
+// envelopes. Either side may dial; a second connection to the same peer
+// replaces the first.
+type TCP struct {
+	self string
+	ln   net.Listener
+	box  *mailbox
+
+	mu     sync.Mutex
+	conns  map[string]*tcpConn
+	closed bool
+	wg     sync.WaitGroup
+
+	handlerMu sync.Mutex
+	handler   Handler
+}
+
+type tcpConn struct {
+	c       net.Conn
+	writeMu sync.Mutex
+}
+
+// maxFrame bounds a frame to keep a malicious or corrupt peer from forcing
+// huge allocations.
+const maxFrame = 64 << 20
+
+// NewTCP starts a node listening on addr (use "127.0.0.1:0" for an
+// ephemeral port; Addr reports the bound address).
+func NewTCP(self, addr string) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	t := &TCP{self: self, ln: ln, box: newMailbox(), conns: make(map[string]*tcpConn)}
+	t.wg.Add(2)
+	go t.acceptLoop()
+	go t.pump()
+	return t, nil
+}
+
+// Addr returns the listener's address, for other peers to dial.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Self implements Transport.
+func (t *TCP) Self() string { return t.self }
+
+// SetHandler implements Transport.
+func (t *TCP) SetHandler(h Handler) {
+	t.handlerMu.Lock()
+	defer t.handlerMu.Unlock()
+	t.handler = h
+}
+
+func (t *TCP) pump() {
+	defer t.wg.Done()
+	for {
+		env, ok := t.box.take()
+		if !ok {
+			return
+		}
+		t.handlerMu.Lock()
+		h := t.handler
+		t.handlerMu.Unlock()
+		if h != nil {
+			h(env)
+		}
+	}
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.serve(c)
+		}()
+	}
+}
+
+// serve performs the inbound handshake and runs the read loop.
+func (t *TCP) serve(c net.Conn) {
+	name, err := readFrame(c)
+	if err != nil {
+		c.Close()
+		return
+	}
+	peer := string(name)
+	if err := writeFrame(c, []byte(t.self)); err != nil {
+		c.Close()
+		return
+	}
+	t.register(peer, c)
+	t.readLoop(peer, c)
+}
+
+func (t *TCP) register(peer string, c net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		c.Close()
+		return
+	}
+	if old := t.conns[peer]; old != nil {
+		old.c.Close()
+	}
+	t.conns[peer] = &tcpConn{c: c}
+}
+
+func (t *TCP) readLoop(peer string, c net.Conn) {
+	for {
+		frame, err := readFrame(c)
+		if err != nil {
+			t.mu.Lock()
+			if cur := t.conns[peer]; cur != nil && cur.c == c {
+				delete(t.conns, peer)
+			}
+			t.mu.Unlock()
+			c.Close()
+			return
+		}
+		env, err := msg.Decode(frame)
+		if err != nil {
+			continue // skip undecodable frame, keep the pipe
+		}
+		t.box.put(env)
+	}
+}
+
+// Connect implements Transport: dials addr and handshakes. Re-connecting to
+// an already-piped node is a no-op.
+func (t *TCP) Connect(node, addr string) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := t.conns[node]; ok {
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Unlock()
+
+	if addr == "" {
+		return fmt.Errorf("transport: connect to %s: no address", node)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: dial %s (%s): %w", node, addr, err)
+	}
+	if err := writeFrame(c, []byte(t.self)); err != nil {
+		c.Close()
+		return fmt.Errorf("transport: handshake with %s: %w", node, err)
+	}
+	nameBytes, err := readFrame(c)
+	if err != nil {
+		c.Close()
+		return fmt.Errorf("transport: handshake with %s: %w", node, err)
+	}
+	if got := string(nameBytes); got != node {
+		c.Close()
+		return fmt.Errorf("transport: dialed %s but peer identifies as %s", node, got)
+	}
+	t.register(node, c)
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.readLoop(node, c)
+	}()
+	return nil
+}
+
+// Send implements Transport.
+func (t *TCP) Send(to string, p msg.Payload) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	conn := t.conns[to]
+	t.mu.Unlock()
+	if conn == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
+	}
+	frame, err := msg.Encode(msg.Envelope{From: t.self, Payload: p})
+	if err != nil {
+		return err
+	}
+	conn.writeMu.Lock()
+	defer conn.writeMu.Unlock()
+	if err := writeFrame(conn.c, frame); err != nil {
+		t.mu.Lock()
+		if cur := t.conns[to]; cur == conn {
+			delete(t.conns, to)
+		}
+		t.mu.Unlock()
+		conn.c.Close()
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// Disconnect implements Transport.
+func (t *TCP) Disconnect(node string) {
+	t.mu.Lock()
+	conn := t.conns[node]
+	delete(t.conns, node)
+	t.mu.Unlock()
+	if conn != nil {
+		conn.c.Close()
+	}
+}
+
+// Peers implements Transport.
+func (t *TCP) Peers() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.conns))
+	for p := range t.conns {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = make(map[string]*tcpConn)
+	t.mu.Unlock()
+
+	t.ln.Close()
+	for _, c := range conns {
+		c.c.Close()
+	}
+	t.box.close()
+	t.wg.Wait()
+	return nil
+}
+
+func writeFrame(w io.Writer, b []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, errors.New("transport: frame too large")
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

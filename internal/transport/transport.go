@@ -1,0 +1,98 @@
+// Package transport provides the peer-to-peer substrate coDB builds on —
+// the role JXTA plays in the paper: peer identity, pipes (point-to-point
+// message links), message delivery, and decentralised peer discovery.
+//
+// Two implementations share one interface: Bus (in-process, for simulating
+// whole networks inside one OS process, as tests and benchmarks do) and TCP
+// (length-prefixed gob frames over real sockets, for multi-process
+// deployments). Peer logic is identical over both.
+package transport
+
+import (
+	"errors"
+	"sync"
+
+	"codb/internal/msg"
+)
+
+// Handler consumes inbound envelopes. Implementations call it sequentially
+// per receiving node (one delivery goroutine per node), so peer actors can
+// treat it as their serial event source.
+type Handler func(env msg.Envelope)
+
+// Transport is a node's connection to the network.
+type Transport interface {
+	// Self returns this node's name.
+	Self() string
+	// SetHandler installs the inbound message consumer. Must be called
+	// before the first Send/Connect.
+	SetHandler(h Handler)
+	// Connect establishes (or re-uses) a pipe to the named peer. For TCP,
+	// addr is the peer's listen address; the Bus resolves names itself
+	// and ignores addr.
+	Connect(node, addr string) error
+	// Send delivers an envelope payload to a connected peer.
+	Send(to string, p msg.Payload) error
+	// Disconnect drops the pipe to the named peer (no-op if absent).
+	Disconnect(node string)
+	// Peers lists currently connected peers (the node's pipes).
+	Peers() []string
+	// Close tears down all pipes and stops delivery.
+	Close() error
+}
+
+// ErrUnknownPeer is returned by Send when no pipe to the peer exists.
+var ErrUnknownPeer = errors.New("transport: unknown peer")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("transport: closed")
+
+// mailbox is an unbounded FIFO queue with a blocking receiver, so that
+// senders never block (preventing peer-to-peer deadlock) while each
+// receiver processes sequentially.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []msg.Envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// put enqueues; returns false when the mailbox is closed.
+func (m *mailbox) put(e msg.Envelope) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.items = append(m.items, e)
+	m.cond.Signal()
+	return true
+}
+
+// take blocks until an item arrives or the mailbox closes.
+func (m *mailbox) take() (msg.Envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.items) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.items) == 0 {
+		return msg.Envelope{}, false
+	}
+	e := m.items[0]
+	m.items = m.items[1:]
+	return e, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}

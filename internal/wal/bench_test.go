@@ -1,0 +1,70 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	l, err := Create(filepath.Join(b.TempDir(), "bench.wal"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := make([]byte, 256)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendSync(b *testing.B) {
+	l, err := Create(filepath.Join(b.TempDir(), "bench.wal"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := make([]byte, 256)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Sync(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.wal")
+	l, err := Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 256)
+	const records = 10000
+	for i := 0; i < records; i++ {
+		l.Append(payload)
+	}
+	l.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		l, err := Open(path, func([]byte) error { n++; return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != records {
+			b.Fatalf("replayed %d", n)
+		}
+		l.Close()
+	}
+}

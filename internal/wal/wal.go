@@ -1,0 +1,183 @@
+// Package wal implements the write-ahead log used by the storage engine for
+// durability. A log is a single append-only file of length-prefixed,
+// CRC-protected records. On recovery the log is replayed after the last
+// snapshot; a torn tail (partial final record, e.g. after a crash) is
+// detected by the CRC and truncated.
+//
+// Record layout:
+//
+//	magic   [4]byte  "cdbW" (file header only)
+//	version uint32   (file header only)
+//	--- per record ---
+//	length  uint32   payload length
+//	crc     uint32   IEEE CRC-32 of payload
+//	payload [length]byte
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+var magic = [4]byte{'c', 'd', 'b', 'W'}
+
+const version = 1
+
+// headerSize is the file header length in bytes.
+const headerSize = 8
+
+// ErrCorrupt is returned (wrapped) when the log contains a record whose CRC
+// does not match in a position other than the tail.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Log is an append-only write-ahead log. Append and Sync may be called from
+// one goroutine at a time; the storage engine serialises them.
+type Log struct {
+	f    *os.File
+	path string
+	size int64
+}
+
+// Create creates (or truncates) a log file at path and writes the header.
+func Create(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create: %w", err)
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], magic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], version)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: write header: %w", err)
+	}
+	return &Log{f: f, path: path, size: headerSize}, nil
+}
+
+// Open opens an existing log for appending. It validates the header, replays
+// every intact record through apply, truncates a torn tail if present, and
+// positions the log for appending. A missing file is created fresh.
+func Open(path string, apply func(payload []byte) error) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if errors.Is(err, os.ErrNotExist) {
+		return Create(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		// Empty or truncated header: re-create.
+		f.Close()
+		return Create(path)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("wal: %s: bad magic", path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
+		f.Close()
+		return nil, fmt.Errorf("wal: %s: unsupported version %d", path, v)
+	}
+
+	offset := int64(headerSize)
+	var rec [8]byte
+	for {
+		if _, err := io.ReadFull(f, rec[:]); err != nil {
+			break // clean end (or torn length/CRC prefix: truncate below)
+		}
+		length := binary.LittleEndian.Uint32(rec[:4])
+		crc := binary.LittleEndian.Uint32(rec[4:])
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break // torn payload: truncate
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			// Distinguish a torn tail from mid-file corruption: if
+			// anything follows this record, the file is corrupt.
+			if trailing, terr := hasTrailingData(f); terr == nil && trailing {
+				f.Close()
+				return nil, fmt.Errorf("%w at offset %d in %s", ErrCorrupt, offset, path)
+			}
+			break
+		}
+		if apply != nil {
+			if err := apply(payload); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: apply record at offset %d: %w", offset, err)
+			}
+		}
+		offset += 8 + int64(length)
+	}
+	if err := f.Truncate(offset); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	return &Log{f: f, path: path, size: offset}, nil
+}
+
+func hasTrailingData(f *os.File) (bool, error) {
+	var one [1]byte
+	_, err := f.Read(one[:])
+	if err == io.EOF {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Append writes one record. The payload is copied into the OS buffer before
+// Append returns; call Sync for durability.
+func (l *Log) Append(payload []byte) error {
+	var rec [8]byte
+	binary.LittleEndian.PutUint32(rec[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
+	if _, err := l.f.Write(rec[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		return fmt.Errorf("wal: append payload: %w", err)
+	}
+	l.size += 8 + int64(len(payload))
+	return nil
+}
+
+// Sync flushes the log to stable storage.
+func (l *Log) Sync() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Size returns the current log size in bytes (header included).
+func (l *Log) Size() int64 { return l.size }
+
+// Reset truncates the log to empty (header only); used after a checkpoint
+// has made the logged state durable elsewhere.
+func (l *Log) Reset() error {
+	if err := l.f.Truncate(headerSize); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if _, err := l.f.Seek(headerSize, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: reset seek: %w", err)
+	}
+	l.size = headerSize
+	return l.Sync()
+}
+
+// Close closes the underlying file without syncing.
+func (l *Log) Close() error { return l.f.Close() }
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }

@@ -1,0 +1,84 @@
+// Package workload generates deterministic synthetic data for the demo
+// experiments: each peer's data(k, v) relation is seeded with a configurable
+// number of tuples, with a configurable fraction shared between peers (so
+// duplicate suppression has something to suppress, as in real overlapping
+// databases).
+package workload
+
+import (
+	"math/rand"
+
+	"codb/internal/relation"
+)
+
+// Spec describes a workload.
+type Spec struct {
+	// TuplesPerNode is the seed cardinality of data at each peer.
+	TuplesPerNode int
+	// Overlap in [0,1] is the fraction of each peer's tuples drawn from a
+	// shared pool (identical across peers); the rest are node-unique.
+	Overlap float64
+	// KeyClash in [0,1] is the fraction of each peer's tuples whose *key*
+	// is drawn from a small shared key space while the value stays
+	// node-unique — same key, different tuples. Projection rules then
+	// re-derive the same imported tuple from distinct sources, which is
+	// what the sent caches suppress.
+	KeyClash float64
+	// Domain bounds the generated values (0 = large, 1e6). Small domains
+	// create join partners for JoinRule workloads.
+	Domain int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Generate produces the seed relation data(k, v) for each named node.
+func Generate(nodes []string, spec Spec) map[string][]relation.Tuple {
+	rnd := rand.New(rand.NewSource(spec.Seed))
+	domain := spec.Domain
+	if domain <= 0 {
+		domain = 1_000_000
+	}
+	shared := make([]relation.Tuple, 0)
+	sharedCount := int(float64(spec.TuplesPerNode) * spec.Overlap)
+	for i := 0; i < sharedCount; i++ {
+		shared = append(shared, relation.Tuple{
+			relation.Int(i % domain),
+			relation.Int(rnd.Intn(domain)),
+		})
+	}
+	clashCount := int(float64(spec.TuplesPerNode) * spec.KeyClash)
+	clashKeys := spec.TuplesPerNode/4 + 1 // small shared key space
+	out := make(map[string][]relation.Tuple, len(nodes))
+	for nodeIdx, node := range nodes {
+		tuples := make([]relation.Tuple, 0, spec.TuplesPerNode)
+		tuples = append(tuples, shared...)
+		for i := 0; i < clashCount && len(tuples) < spec.TuplesPerNode; i++ {
+			tuples = append(tuples, relation.Tuple{
+				relation.Int(i % clashKeys),
+				relation.Int((1_000 + nodeIdx*spec.TuplesPerNode + i) % domain),
+			})
+		}
+		for i := len(tuples); i < spec.TuplesPerNode; i++ {
+			// Unique keys per node: offset by node index in a high range.
+			k := (1_000_000 + nodeIdx*spec.TuplesPerNode + i) % domain
+			tuples = append(tuples, relation.Tuple{
+				relation.Int(k),
+				relation.Int(rnd.Intn(domain)),
+			})
+		}
+		out[node] = tuples
+	}
+	return out
+}
+
+// TotalDistinct returns the number of distinct tuples across the whole
+// workload (what a fully-connected materialisation converges to).
+func TotalDistinct(w map[string][]relation.Tuple) int {
+	seen := make(map[string]bool)
+	for _, ts := range w {
+		for _, t := range ts {
+			seen[t.Key()] = true
+		}
+	}
+	return len(seen)
+}

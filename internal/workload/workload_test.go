@@ -1,0 +1,63 @@
+package workload
+
+import "testing"
+
+func TestGenerateSizesAndDeterminism(t *testing.T) {
+	nodes := []string{"A", "B", "C"}
+	spec := Spec{TuplesPerNode: 100, Overlap: 0.2, Seed: 7}
+	w1 := Generate(nodes, spec)
+	w2 := Generate(nodes, spec)
+	for _, n := range nodes {
+		if len(w1[n]) != 100 {
+			t.Errorf("node %s: %d tuples", n, len(w1[n]))
+		}
+		for i := range w1[n] {
+			if !w1[n][i].Equal(w2[n][i]) {
+				t.Fatalf("node %s tuple %d differs across runs", n, i)
+			}
+		}
+	}
+}
+
+func TestOverlapSharing(t *testing.T) {
+	nodes := []string{"A", "B"}
+	w := Generate(nodes, Spec{TuplesPerNode: 100, Overlap: 0.5, Seed: 1})
+	keys := make(map[string]int)
+	for _, n := range nodes {
+		seen := make(map[string]bool)
+		for _, tup := range w[n] {
+			k := tup.Key()
+			if !seen[k] {
+				seen[k] = true
+				keys[k]++
+			}
+		}
+	}
+	shared := 0
+	for _, c := range keys {
+		if c == 2 {
+			shared++
+		}
+	}
+	if shared != 50 {
+		t.Errorf("shared tuples = %d, want 50", shared)
+	}
+	// TotalDistinct = 50 shared + 50 unique per node.
+	if got := TotalDistinct(w); got != 150 {
+		t.Errorf("TotalDistinct = %d, want 150", got)
+	}
+}
+
+func TestZeroOverlap(t *testing.T) {
+	w := Generate([]string{"A", "B"}, Spec{TuplesPerNode: 10, Overlap: 0, Seed: 2})
+	if got := TotalDistinct(w); got != 20 {
+		t.Errorf("TotalDistinct = %d, want 20", got)
+	}
+}
+
+func TestFullOverlap(t *testing.T) {
+	w := Generate([]string{"A", "B", "C"}, Spec{TuplesPerNode: 10, Overlap: 1, Seed: 3})
+	if got := TotalDistinct(w); got != 10 {
+		t.Errorf("TotalDistinct = %d, want 10", got)
+	}
+}
