@@ -95,6 +95,45 @@ func BenchmarkQueryColdVsMaterialised(b *testing.B) {
 	})
 }
 
+// Fan-out over loopback TCP: one initiator exporting to N acquaintances —
+// the outbound pipeline's stress shape. "batched" is the default
+// asynchronous per-destination outbox with frame coalescing; "unbatched"
+// the synchronous per-message baseline (Params.DisableOutbox). frames/op
+// vs msgs/op shows the frames-on-the-wire reduction from coalescing.
+func BenchmarkFanoutBatching(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{4, 16, 64} {
+		for _, mode := range []struct {
+			name      string
+			unbatched bool
+		}{{"batched", false}, {"unbatched", true}} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode.name), func(b *testing.B) {
+				net, err := experiment.Build(experiment.Params{
+					Shape: topo.Fanout, Nodes: n + 1, TuplesPerNode: 5, FanRules: 32, Seed: 51,
+					TCP: true, DisableOutbox: mode.unbatched,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer net.Close()
+				b.ResetTimer()
+				var last experiment.Result
+				for i := 0; i < b.N; i++ {
+					res, err := experiment.RunUpdateOn(ctx, net)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.StopTimer()
+				reportUpdateMetrics(b, last)
+				b.ReportMetric(float64(last.Frames), "frames/op")
+				b.ReportMetric(float64(last.WireBytes), "wirebytes/op")
+			})
+		}
+	}
+}
+
 // E6: dynamic topology change at runtime via the super-peer.
 func BenchmarkDynamicReconfig(b *testing.B) {
 	ctx := context.Background()

@@ -8,15 +8,23 @@
 //
 //	codb-bench                 # run every experiment
 //	codb-bench -exp E1,E4      # run a subset
+//	codb-bench -exp B1         # outbound-pipeline batching benchmark
 //	codb-bench -nodes 4,8,16   # override the network sizes
 //	codb-bench -tuples 500     # override per-node cardinality
+//	codb-bench -json .         # also write machine-readable BENCH_<exp>.json
+//
+// With -json DIR every experiment additionally writes DIR/BENCH_<exp>.json:
+// an array of {name, ns_per_op, msgs, bytes, ...} records, one per table
+// row, for the performance trajectory across PRs.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -26,12 +34,58 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "comma-separated experiments to run (E1..E7,A1..A4 or 'all')")
+	expFlag    = flag.String("exp", "all", "comma-separated experiments to run (E1..E7,A1..A4,B1 or 'all')")
 	nodesFlag  = flag.String("nodes", "4,8,16,32", "comma-separated network sizes")
 	tuplesFlag = flag.Int("tuples", 250, "tuples per node")
 	seedFlag   = flag.Int64("seed", 42, "workload seed")
 	timeout    = flag.Duration("timeout", 5*time.Minute, "per-run timeout")
+	jsonDir    = flag.String("json", "", "directory to write BENCH_<exp>.json files into (empty = off)")
 )
+
+// benchRow is one machine-readable result record.
+type benchRow struct {
+	Name      string  `json:"name"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	Msgs      int     `json:"msgs"`
+	Bytes     int     `json:"bytes"`
+	Tuples    int     `json:"tuples,omitempty"`
+	NewTuples int     `json:"new_tuples,omitempty"`
+	MaxPath   int     `json:"max_path,omitempty"`
+	Frames    int     `json:"frames,omitempty"`
+	WireBytes int     `json:"wire_bytes,omitempty"`
+}
+
+func rowOf(name string, r experiment.Result) benchRow {
+	return benchRow{
+		Name:      name,
+		NsPerOp:   float64(r.Wall.Nanoseconds()),
+		Msgs:      r.TotalMsgs,
+		Bytes:     r.TotalBytes,
+		Tuples:    r.TotalTuples,
+		NewTuples: r.NewTuples,
+		MaxPath:   r.MaxPath,
+		Frames:    r.Frames,
+		WireBytes: r.WireBytes,
+	}
+}
+
+// writeBench persists one experiment's rows as BENCH_<exp>.json.
+func writeBench(exp string, rows []benchRow) {
+	if *jsonDir == "" || len(rows) == 0 {
+		return
+	}
+	b, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "codb-bench: marshal", exp, ":", err)
+		os.Exit(1)
+	}
+	path := filepath.Join(*jsonDir, "BENCH_"+exp+".json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "codb-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
+}
 
 func main() {
 	flag.Parse()
@@ -63,27 +117,93 @@ func main() {
 		cyclicFixpoint(ctx)
 	}
 	if run("A1") {
-		ablation(ctx, "A1: semi-naive vs naive re-evaluation",
+		ablation(ctx, "A1", "A1: semi-naive vs naive re-evaluation",
 			experiment.Params{Shape: topo.Ring, Nodes: 8, TuplesPerNode: *tuplesFlag, Seed: *seedFlag},
 			func(p *experiment.Params) { p.Naive = true }, "naive")
 	}
 	if run("A2") {
-		ablation(ctx, "A2: sent-cache duplicate suppression on/off (projection rules)",
+		ablation(ctx, "A2", "A2: sent-cache duplicate suppression on/off (projection rules)",
 			experiment.Params{Shape: topo.Chain, Nodes: 6, TuplesPerNode: *tuplesFlag,
 				Rule: topo.ProjectionRule, KeyClash: 0.8, Seed: *seedFlag},
 			func(p *experiment.Params) { p.DisableDedup = true }, "no-dedup")
 	}
 	if run("A3") {
-		ablation(ctx, "A3: hash join vs nested-loop join (join rules)",
+		ablation(ctx, "A3", "A3: hash join vs nested-loop join (join rules)",
 			experiment.Params{Shape: topo.Chain, Nodes: 3, TuplesPerNode: 2 * *tuplesFlag,
 				Rule: topo.JoinRule, Domain: 200, Seed: *seedFlag},
 			func(p *experiment.Params) { p.NestedLoop = true }, "nested-loop")
 	}
 	if run("A4") {
-		ablation(ctx, "A4: copy rules vs existential (marked-null) rules",
+		ablation(ctx, "A4", "A4: copy rules vs existential (marked-null) rules",
 			experiment.Params{Shape: topo.Tree, Nodes: 7, TuplesPerNode: *tuplesFlag, Seed: *seedFlag},
 			func(p *experiment.Params) { p.Existential = true }, "existential")
 	}
+	if run("B1") {
+		fanoutBatching(ctx)
+	}
+}
+
+// fanoutBatching is B1: the outbound-pipeline benchmark. A fan-out update
+// over loopback TCP (one initiator exporting to N acquaintances through 32
+// parallel rules each) is run with the asynchronous batching outbox
+// (default) and with synchronous per-message sends (the unbatched
+// baseline), recording wall time and frames-on-the-wire.
+func fanoutBatching(ctx context.Context) {
+	fmt.Println("== B1: fan-out batching — async outbox + frame coalescing vs per-message sends")
+	fmt.Printf("%5s %10s %10s %8s %10s %10s\n", "n", "mode", "wall(ms)", "msgs", "frames", "wirebytes")
+	var rows []benchRow
+	for _, n := range []int{4, 16, 64} {
+		for _, mode := range []struct {
+			label     string
+			unbatched bool
+		}{{"batched", false}, {"unbatched", true}} {
+			net, err := experiment.Build(experiment.Params{
+				Shape: topo.Fanout, Nodes: n + 1, TuplesPerNode: 5, FanRules: 32, Seed: *seedFlag,
+				TCP: true, DisableOutbox: mode.unbatched,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "codb-bench:", err)
+				os.Exit(1)
+			}
+			// One warm-up, then the average of three measured updates on
+			// the same network (later sessions re-ship the full frontier).
+			if _, err := experiment.RunUpdateOn(ctx, net); err != nil {
+				net.Close()
+				fmt.Fprintln(os.Stderr, "codb-bench:", err)
+				os.Exit(1)
+			}
+			var sum experiment.Result
+			const runs = 3
+			for i := 0; i < runs; i++ {
+				res, err := experiment.RunUpdateOn(ctx, net)
+				if err != nil {
+					net.Close()
+					fmt.Fprintln(os.Stderr, "codb-bench:", err)
+					os.Exit(1)
+				}
+				sum.Wall += res.Wall
+				sum.TotalMsgs += res.TotalMsgs
+				sum.TotalBytes += res.TotalBytes
+				sum.TotalTuples += res.TotalTuples
+				sum.Frames += res.Frames
+				sum.WireBytes += res.WireBytes
+			}
+			net.Close()
+			avg := experiment.Result{
+				Wall:        sum.Wall / runs,
+				TotalMsgs:   sum.TotalMsgs / runs,
+				TotalBytes:  sum.TotalBytes / runs,
+				TotalTuples: sum.TotalTuples / runs,
+				Frames:      sum.Frames / runs,
+				WireBytes:   sum.WireBytes / runs,
+			}
+			fmt.Printf("%5d %10s %10.3f %8d %10d %10d\n", n, mode.label,
+				float64(avg.Wall.Nanoseconds())/1e6, avg.TotalMsgs, avg.Frames, avg.WireBytes)
+			rows = append(rows, rowOf(fmt.Sprintf("fanout/n=%d/%s", n, mode.label), avg))
+		}
+	}
+	fmt.Println()
+	writeBench("B1", rows)
 }
 
 func parseSizes(s string) ([]int, error) {
@@ -112,35 +232,43 @@ func topologySweep(ctx context.Context, sizes []int) {
 	fmt.Println("== E1–E4: global update across topologies")
 	fmt.Println("   (E1 wall time; E2 messages; E3 volume; E4 longest propagation path)")
 	fmt.Println(experiment.Header())
+	var rows []benchRow
 	for _, shape := range []topo.Shape{topo.Chain, topo.Ring, topo.Star, topo.Tree, topo.Grid, topo.Random} {
 		for _, n := range sizes {
 			res := must(experiment.RunUpdate(ctx, experiment.Params{
 				Shape: shape, Nodes: n, TuplesPerNode: *tuplesFlag, Overlap: 0.1, Seed: *seedFlag,
 			}))
 			fmt.Println(experiment.Render(res))
+			rows = append(rows, rowOf(fmt.Sprintf("%s/n=%d", shape, n), res))
 		}
 	}
 	fmt.Println()
+	writeBench("E1-E4", rows)
 }
 
 // queryVsMaterialised is E5.
 func queryVsMaterialised(ctx context.Context) {
 	fmt.Println("== E5: query-time fetching vs local query after global update")
 	fmt.Printf("%-9s %5s %9s %13s %9s\n", "topology", "nodes", "mode", "wall(ms)", "answers")
+	var rows []benchRow
 	for _, n := range []int{4, 8, 16} {
 		p := experiment.Params{Shape: topo.Chain, Nodes: n, TuplesPerNode: *tuplesFlag, Seed: *seedFlag}
 		cold := must(experiment.RunQueryCold(ctx, p))
 		fmt.Printf("%-9s %5d %9s %13.3f %9d\n", p.Shape, n, "cold", float64(cold.Wall.Nanoseconds())/1e6, cold.Answers)
+		rows = append(rows, rowOf(fmt.Sprintf("cold/n=%d", n), cold))
 		warm := must(experiment.RunQueryMaterialised(ctx, p))
 		fmt.Printf("%-9s %5d %9s %13.3f %9d\n", p.Shape, n, "local", float64(warm.Wall.Nanoseconds())/1e6, warm.Answers)
+		rows = append(rows, rowOf(fmt.Sprintf("local/n=%d", n), warm))
 	}
 	fmt.Println()
+	writeBench("E5", rows)
 }
 
 // dynamicReconfig is E6: rebuild the topology at runtime, then update.
 func dynamicReconfig(ctx context.Context) {
 	fmt.Println("== E6: dynamic topology change at runtime (chain -> star), then update")
 	fmt.Printf("%5s %15s %12s\n", "nodes", "reconfig(ms)", "update(ms)")
+	var rows []benchRow
 	for _, n := range []int{4, 8, 16} {
 		net, err := experiment.Build(experiment.Params{
 			Shape: topo.Chain, Nodes: n, TuplesPerNode: *tuplesFlag, Seed: *seedFlag,
@@ -170,30 +298,38 @@ func dynamicReconfig(ctx context.Context) {
 		update := time.Since(t1)
 		net.Close()
 		fmt.Printf("%5d %15.3f %12.3f\n", n, float64(reconfig.Nanoseconds())/1e6, float64(update.Nanoseconds())/1e6)
+		rows = append(rows,
+			benchRow{Name: fmt.Sprintf("reconfig/n=%d", n), NsPerOp: float64(reconfig.Nanoseconds())},
+			benchRow{Name: fmt.Sprintf("update-after/n=%d", n), NsPerOp: float64(update.Nanoseconds())})
 	}
 	fmt.Println()
+	writeBench("E6", rows)
 }
 
 // cyclicFixpoint is E7.
 func cyclicFixpoint(ctx context.Context) {
 	fmt.Println("== E7: cyclic coordination rules (fix-point computation)")
 	fmt.Println(experiment.Header())
+	var rows []benchRow
 	for _, n := range []int{3, 6, 12} {
 		res := must(experiment.RunUpdate(ctx, experiment.Params{
 			Shape: topo.Ring, Nodes: n, TuplesPerNode: *tuplesFlag, Seed: *seedFlag,
 		}))
 		fmt.Println(experiment.Render(res))
+		rows = append(rows, rowOf(fmt.Sprintf("copy-ring/n=%d", n), res))
 		ex := must(experiment.RunUpdate(ctx, experiment.Params{
 			Shape: topo.Ring, Nodes: n, TuplesPerNode: *tuplesFlag, Seed: *seedFlag,
 			Existential: true, MaxDepth: 8,
 		}))
 		fmt.Println(experiment.Render(ex) + "  (existential)")
+		rows = append(rows, rowOf(fmt.Sprintf("existential-ring/n=%d", n), ex))
 	}
 	fmt.Println()
+	writeBench("E7", rows)
 }
 
 // ablation runs a baseline and a variant and prints both rows.
-func ablation(ctx context.Context, title string, base experiment.Params, vary func(*experiment.Params), label string) {
+func ablation(ctx context.Context, code, title string, base experiment.Params, vary func(*experiment.Params), label string) {
 	fmt.Println("==", title)
 	fmt.Println(experiment.Header())
 	res := must(experiment.RunUpdate(ctx, base))
@@ -203,4 +339,5 @@ func ablation(ctx context.Context, title string, base experiment.Params, vary fu
 	vres := must(experiment.RunUpdate(ctx, variant))
 	fmt.Println(experiment.Render(vres) + "  (" + label + ")")
 	fmt.Println()
+	writeBench(code, []benchRow{rowOf("baseline", res), rowOf(label, vres)})
 }

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	shape := flag.String("shape", "chain", "topology: chain|ring|star|tree|grid|random|complete")
+	shape := flag.String("shape", "chain", "topology: chain|ring|star|tree|grid|random|complete|fanout")
 	n := flag.Int("n", 4, "number of peers")
 	seed := flag.Int64("seed", 1, "seed for random topologies")
 	existential := flag.Bool("existential", false, "use existential-head rules (marked nulls)")

@@ -70,6 +70,7 @@ func main() {
 	}
 
 	var wrapper core.Wrapper
+	var db *storage.DB
 	if *mediator {
 		schema := relation.NewSchema()
 		if cfg != nil {
@@ -79,11 +80,11 @@ func main() {
 		}
 		wrapper = core.NewMediatorWrapper(schema)
 	} else {
-		db, err := storage.Open(storage.Options{Dir: *dataDir})
+		var err error
+		db, err = storage.Open(storage.Options{Dir: *dataDir})
 		if err != nil {
 			fatal(err)
 		}
-		defer db.Close()
 		wrapper = core.NewStoreWrapper(db)
 	}
 
@@ -101,9 +102,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer p.Stop()
 	if cfg != nil {
 		if err := p.ApplyConfig(cfg, cfg.Version); err != nil {
+			p.Stop()
 			fatal(err)
 		}
 	}
@@ -113,6 +114,14 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("codb-peer: shutting down")
+	p.Stop()
+	if db != nil {
+		// A failed close can lose buffered WAL writes of a durable node —
+		// that is an error exit, not a shrug.
+		if err := db.Close(); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

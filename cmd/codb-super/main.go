@@ -85,10 +85,13 @@ func main() {
 	statsCtx, statsCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer statsCancel()
 	byNode, err := sp.CollectStats(statsCtx, len(cfg.Nodes))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "codb-super: partial statistics:", err)
-	}
 	fmt.Print(superpeer.Render(superpeer.AggregateSessions(byNode)))
+	if err != nil {
+		// Render what arrived, but exit non-zero: scripts driving the
+		// experiment must see that the statistics are incomplete.
+		fmt.Fprintln(os.Stderr, "codb-super: partial statistics:", err)
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

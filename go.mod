@@ -1,0 +1,3 @@
+module codb
+
+go 1.24

@@ -64,7 +64,7 @@ func (n *Node) closeCheck(s *session, r *Result) {
 				to = s.activeIncoming[in.ID]
 			}
 			r.send(to, &msg.LinkClose{SID: s.sid, RuleID: in.ID})
-			n.ds.Sent(s.sid, 1)
+			n.ds.Sent(s.sid, to, 1)
 			progressed = true
 		}
 		if !progressed {

@@ -124,6 +124,35 @@ func (r *Result) send(to string, p msg.Payload) {
 	r.Out = append(r.Out, Outbound{To: to, Payload: p})
 }
 
+// GroupedOut returns Out stably regrouped so that messages to the same
+// destination are contiguous: destinations appear in first-send order, and
+// within a destination the original send order is preserved. Messages to
+// distinct peers are causally independent (the termination detector counts
+// sends, it does not order them across pipes), so shipping the groups
+// back-to-back is equivalent to shipping Out — but it hands the transport
+// outbox contiguous per-destination runs to coalesce into batch frames.
+func (r *Result) GroupedOut() []Outbound {
+	if len(r.Out) < 3 {
+		return r.Out
+	}
+	order := make([]string, 0, 4)
+	byDest := make(map[string][]Outbound, 4)
+	for _, o := range r.Out {
+		if _, ok := byDest[o.To]; !ok {
+			order = append(order, o.To)
+		}
+		byDest[o.To] = append(byDest[o.To], o)
+	}
+	if len(order) == len(r.Out) {
+		return r.Out // nothing to group
+	}
+	out := make([]Outbound, 0, len(r.Out))
+	for _, to := range order {
+		out = append(out, byDest[to]...)
+	}
+	return out
+}
+
 func (r *Result) merge(other Result) {
 	r.Out = append(r.Out, other.Out...)
 	r.Answers = append(r.Answers, other.Answers...)
@@ -145,6 +174,24 @@ type Node struct {
 	sessions map[string]*session
 	ds       *diffuse.Engine
 	reports  []msg.UpdateReport
+
+	// deferAcks batches acknowledgement flushes across a burst of Handle
+	// calls; dirty tracks the sessions awaiting a flush. See DeferAcks.
+	deferAcks bool
+	dirty     map[string]*session
+
+	// Rule-set views, rebuilt lazily after rule mutations. Outgoing /
+	// Incoming / Acquaintances sit on the per-message hot path (every
+	// closeCheck scans them), so they must not re-sort the rule map on
+	// each call.
+	outgoingCache []*cq.Rule
+	incomingCache []*cq.Rule
+	acqCache      []string
+}
+
+// invalidateRuleCaches drops the cached rule-set views after a mutation.
+func (n *Node) invalidateRuleCaches() {
+	n.outgoingCache, n.incomingCache, n.acqCache = nil, nil, nil
 }
 
 // NewNode builds a node. Config.Self and Config.Wrapper are required.
@@ -175,7 +222,33 @@ func NewNode(cfg Config) (*Node, error) {
 		appliers: make(map[string]*chase.Applier),
 		sessions: make(map[string]*session),
 		ds:       diffuse.New(cfg.Self),
+		dirty:    make(map[string]*session),
 	}, nil
+}
+
+// DeferAcks toggles burst mode: while on, Handle accumulates
+// acknowledgements (and the initiator's termination check) instead of
+// emitting them per message; FlushDeferred emits them in one go. This is
+// Dijkstra–Scholten's "a node acknowledges when it goes passive" applied to
+// a whole inbox burst — the node stays active while more messages are
+// queued, so a burst of n data messages from one sender costs one counted
+// ack instead of n. Sent-counts are still reported to the detector inside
+// each Handle call, before any deferred flush runs, so an ack can never
+// overtake the sends it accounts for.
+func (n *Node) DeferAcks(on bool) { n.deferAcks = on }
+
+// FlushDeferred ends a burst: deferral is switched off and every session
+// touched while it was on is flushed — owed acknowledgements are emitted
+// (counted, one per sender) and the initiator's termination detection runs.
+// Callers must dispatch the result like any Handle result.
+func (n *Node) FlushDeferred() Result {
+	n.deferAcks = false
+	var r Result
+	for sid, s := range n.dirty {
+		delete(n.dirty, sid)
+		n.flushDS(s, &r)
+	}
+	return r
 }
 
 // Self returns the node name.
@@ -210,6 +283,7 @@ func (n *Node) addParsedRule(rule *cq.Rule, text string) error {
 		return nil // idempotent re-add
 	}
 	n.rules[rule.ID] = &ruleState{rule: rule, text: text}
+	n.invalidateRuleCaches()
 	if rule.Target == n.cfg.Self {
 		a, err := chase.NewApplier(rule, n.chaseOpts())
 		if err != nil {
@@ -224,6 +298,7 @@ func (n *Node) addParsedRule(rule *cq.Rule, text string) error {
 func (n *Node) RemoveRule(id string) {
 	delete(n.rules, id)
 	delete(n.appliers, id)
+	n.invalidateRuleCaches()
 }
 
 // SetRules replaces the whole rule set (dynamic reconfiguration by the
@@ -232,6 +307,7 @@ func (n *Node) RemoveRule(id string) {
 func (n *Node) SetRules(defs []msg.RuleDef) error {
 	n.rules = make(map[string]*ruleState)
 	n.appliers = make(map[string]*chase.Applier)
+	n.invalidateRuleCaches()
 	for _, d := range defs {
 		rule, err := cq.ParseRule(d.ID, d.Text)
 		if err != nil {
@@ -266,47 +342,59 @@ func (n *Node) RuleText(id string) string {
 }
 
 // Outgoing returns the rules through which this node imports (Target ==
-// Self), sorted by ID — the node's outgoing links.
+// Self), sorted by ID — the node's outgoing links. The returned slice is a
+// cached view: callers must not modify it.
 func (n *Node) Outgoing() []*cq.Rule {
-	var out []*cq.Rule
-	for _, rs := range n.rules {
-		if rs.rule.Target == n.cfg.Self {
-			out = append(out, rs.rule)
+	if n.outgoingCache == nil {
+		out := make([]*cq.Rule, 0, 4)
+		for _, rs := range n.rules {
+			if rs.rule.Target == n.cfg.Self {
+				out = append(out, rs.rule)
+			}
 		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		n.outgoingCache = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return n.outgoingCache
 }
 
 // Incoming returns the rules through which this node exports (Source ==
-// Self), sorted by ID — the node's incoming links.
+// Self), sorted by ID — the node's incoming links. The returned slice is a
+// cached view: callers must not modify it.
 func (n *Node) Incoming() []*cq.Rule {
-	var out []*cq.Rule
-	for _, rs := range n.rules {
-		if rs.rule.Source == n.cfg.Self {
-			out = append(out, rs.rule)
+	if n.incomingCache == nil {
+		out := make([]*cq.Rule, 0, 4)
+		for _, rs := range n.rules {
+			if rs.rule.Source == n.cfg.Self {
+				out = append(out, rs.rule)
+			}
 		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		n.incomingCache = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return n.incomingCache
 }
 
 // Acquaintances returns every peer this node shares a rule with, sorted.
+// The returned slice is a cached view: callers must not modify it.
 func (n *Node) Acquaintances() []string {
-	set := make(map[string]bool)
-	for _, rs := range n.rules {
-		if rs.rule.Source == n.cfg.Self {
-			set[rs.rule.Target] = true
-		} else {
-			set[rs.rule.Source] = true
+	if n.acqCache == nil {
+		set := make(map[string]bool)
+		for _, rs := range n.rules {
+			if rs.rule.Source == n.cfg.Self {
+				set[rs.rule.Target] = true
+			} else {
+				set[rs.rule.Source] = true
+			}
 		}
+		out := make([]string, 0, len(set))
+		for p := range set {
+			out = append(out, p)
+		}
+		sort.Strings(out)
+		n.acqCache = out
 	}
-	out := make([]string, 0, len(set))
-	for p := range set {
-		out = append(out, p)
-	}
-	sort.Strings(out)
-	return out
+	return n.acqCache
 }
 
 // Reports returns the completed-session reports accumulated at this node

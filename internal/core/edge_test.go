@@ -104,7 +104,7 @@ func TestCompensateLostUnblocksInitiator(t *testing.T) {
 		t.Fatalf("expected one request, got %+v", res.Out)
 	}
 	// Pretend the send failed: compensate instead of delivering.
-	res2 := a.CompensateLost(sid, 1)
+	res2 := a.CompensateLost(sid, "B", 1)
 	finished := false
 	for _, f := range res2.Finished {
 		if f.SID == sid && f.Initiator {
@@ -115,7 +115,7 @@ func TestCompensateLostUnblocksInitiator(t *testing.T) {
 		t.Errorf("compensation did not terminate the session: %+v", res2)
 	}
 	// Compensating an unknown session is a no-op.
-	if out := a.CompensateLost("ghost", 3); len(out.Out) != 0 || len(out.Finished) != 0 {
+	if out := a.CompensateLost("ghost", "B", 3); len(out.Out) != 0 || len(out.Finished) != 0 {
 		t.Errorf("ghost compensation produced output: %+v", out)
 	}
 }

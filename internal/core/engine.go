@@ -146,7 +146,7 @@ func (n *Node) joinUpdate(s *session, r *Result) {
 				Rules:  defs,
 			}
 			r.send(acq, req)
-			n.ds.Sent(s.sid, 1)
+			n.ds.Sent(s.sid, acq, 1)
 			if len(defs) > 0 {
 				s.noteQueried(acq)
 			}
@@ -175,7 +175,7 @@ func (n *Node) requestQueryLinks(s *session, links []*cq.Rule, path []string, r 
 			Rules:  defs,
 		}
 		r.send(src, req)
-		n.ds.Sent(s.sid, 1)
+		n.ds.Sent(s.sid, src, 1)
 		s.noteQueried(src)
 	}
 }
@@ -339,7 +339,7 @@ func (n *Node) handleData(from string, d *msg.SessionData) Result {
 func (n *Node) handleAck(from string, a *msg.SessionAck) Result {
 	var r Result
 	s := n.sessions[a.SID]
-	n.ds.AckReceived(a.SID, a.N)
+	n.ds.AckReceived(a.SID, from, a.N)
 	if s == nil {
 		return r
 	}
@@ -452,7 +452,7 @@ func (n *Node) sendData(s *session, rule *cq.Rule, to string, bindings []relatio
 		Seq:      s.seqOut[rule.ID],
 	}
 	r.send(to, data)
-	n.ds.Sent(s.sid, 1)
+	n.ds.Sent(s.sid, to, 1)
 	s.rep.SentMsgs++
 	s.rep.SentBytes += data.Size()
 	s.noteSentTo(to)
@@ -479,8 +479,14 @@ func (n *Node) streamAnswers(s *session, r *Result) {
 }
 
 // flushDS emits pending acknowledgements and, at the initiator, detects
-// termination and floods the completion notice.
+// termination and floods the completion notice. In burst mode (DeferAcks)
+// the flush is postponed to FlushDeferred, which batches acks across the
+// whole burst.
 func (n *Node) flushDS(s *session, r *Result) {
+	if n.deferAcks {
+		n.dirty[s.sid] = s
+		return
+	}
 	acks, terminated := n.ds.Flush(s.sid)
 	for _, a := range acks {
 		r.send(a.To, &msg.SessionAck{SID: s.sid, N: a.N})
@@ -505,19 +511,40 @@ func (n *Node) finalize(s *session, initiator bool, r *Result) {
 	r.Finished = append(r.Finished, Finished{SID: s.sid, Initiator: initiator, Report: s.rep})
 }
 
-// CompensateLost self-acknowledges n basic messages of a session whose
-// delivery failed (the receiving peer left the network). Without this a
-// departed peer would leave the initiator's deficit forever nonzero; with
-// it, sessions terminate even on dynamic networks, as the paper requires.
-// The caller must then process the returned messages as usual.
-func (n *Node) CompensateLost(sid string, lost int) Result {
+// CompensateLost self-acknowledges n basic messages to `to` whose delivery
+// failed (the receiving peer left the network). Without this a departed
+// peer would leave the initiator's deficit forever nonzero; with it,
+// sessions terminate even on dynamic networks, as the paper requires. The
+// caller must then process the returned messages as usual.
+func (n *Node) CompensateLost(sid, to string, lost int) Result {
 	var r Result
 	s := n.sessions[sid]
 	if s == nil || lost <= 0 {
 		return r
 	}
-	n.ds.AckReceived(sid, lost)
+	s.rep.CompensatedLost += lost
+	n.ds.AckReceived(sid, to, lost)
 	n.flushDS(s, &r)
+	return r
+}
+
+// CompensatePeerLoss writes off every active session's outstanding deficit
+// toward a peer whose pipe has failed. Over an asynchronous transport a
+// frame can be written successfully into a connection the far side has
+// already abandoned — no send error is ever observed for it — so when the
+// transport reports the pipe down, the outstanding per-destination deficit
+// is the exact count of messages that can no longer be acknowledged.
+func (n *Node) CompensatePeerLoss(to string) Result {
+	var r Result
+	for _, s := range n.sessions {
+		if s.done {
+			continue
+		}
+		if lost := n.ds.LostPeer(s.sid, to); lost > 0 {
+			s.rep.CompensatedLost += lost
+			n.flushDS(s, &r)
+		}
+	}
 	return r
 }
 

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"codb/internal/msg"
+)
+
+// TestGroupedOut: destinations become contiguous in first-send order with
+// per-destination order preserved, and degenerate cases pass through.
+func TestGroupedOut(t *testing.T) {
+	mk := func(to string, n int) Outbound {
+		return Outbound{To: to, Payload: &msg.SessionAck{SID: to, N: n}}
+	}
+	r := Result{Out: []Outbound{mk("b", 0), mk("c", 0), mk("b", 1), mk("a", 0), mk("c", 1)}}
+	got := r.GroupedOut()
+	want := []Outbound{mk("b", 0), mk("b", 1), mk("c", 0), mk("c", 1), mk("a", 0)}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i].To != want[i].To || got[i].Payload.(*msg.SessionAck).N != want[i].Payload.(*msg.SessionAck).N {
+			t.Errorf("got[%d] = %s/%d, want %s/%d", i,
+				got[i].To, got[i].Payload.(*msg.SessionAck).N,
+				want[i].To, want[i].Payload.(*msg.SessionAck).N)
+		}
+	}
+	// Already-grouped and tiny inputs come back unchanged (same slice).
+	small := Result{Out: []Outbound{mk("a", 0), mk("b", 0)}}
+	if out := small.GroupedOut(); len(out) != 2 {
+		t.Errorf("small GroupedOut = %v", out)
+	}
+}
+
+// TestDeferAcksBatchesAcrossBurst: with deferral on, handling a burst of
+// data messages emits no acks until FlushDeferred, which emits one counted
+// ack per sender — the transport-pipeline companion at the detector level.
+func TestDeferAcksBatchesAcrossBurst(t *testing.T) {
+	s := newSim(t)
+	s.addNode("A", "r/1")
+	b := s.addNode("B", "r/1")
+	s.ruleOn("B", "r1", `B.r(x) <- A.r(x)`)
+
+	// A engages B with a request, then B receives three data batches; under
+	// deferral the acks for the non-engaging messages batch into one.
+	b.DeferAcks(true)
+	res := b.Handle(env("A", &msg.SessionRequest{SID: "s1", Kind: msg.KindUpdate, Origin: "A"}))
+	for seq := 1; seq <= 3; seq++ {
+		r2 := b.Handle(env("A", &msg.SessionData{SID: "s1", Kind: msg.KindUpdate, Origin: "A", RuleID: "r1", Seq: seq}))
+		res.merge(r2)
+	}
+	for _, out := range res.Out {
+		if _, isAck := out.Payload.(*msg.SessionAck); isAck {
+			t.Fatalf("ack emitted while deferred: %+v", out)
+		}
+	}
+	flushed := b.FlushDeferred()
+	var acked int
+	for _, out := range flushed.Out {
+		if a, isAck := out.Payload.(*msg.SessionAck); isAck {
+			if out.To != "A" {
+				t.Errorf("ack to %s", out.To)
+			}
+			acked += a.N
+		}
+	}
+	if acked != 3 {
+		t.Errorf("acked %d messages, want the 3 non-engaging ones in one counted ack", acked)
+	}
+}
+
+func env(from string, p msg.Payload) msg.Envelope {
+	return msg.Envelope{From: from, Payload: p}
+}

@@ -31,7 +31,13 @@ type session struct {
 	engaged   bool
 	initiator bool
 	parent    string
-	deficit   int
+	// deficit counts sent-but-unacknowledged basic messages, in total and
+	// per destination. The per-destination split lets the owner clear
+	// exactly the outstanding messages of one failed pipe (LostPeer) —
+	// over an asynchronous transport a write can succeed into a dead
+	// connection, so send errors alone cannot account for every loss.
+	deficit int
+	perDest map[string]int
 	// owedAcks counts received-and-processed basic messages per sender
 	// whose acknowledgements have not been emitted yet (batching).
 	owedAcks map[string]int
@@ -48,7 +54,7 @@ func New(self string) *Engine {
 func (e *Engine) get(sid string) *session {
 	s := e.sessions[sid]
 	if s == nil {
-		s = &session{owedAcks: make(map[string]int)}
+		s = &session{owedAcks: make(map[string]int), perDest: make(map[string]int)}
 		e.sessions[sid] = s
 	}
 	return s
@@ -70,12 +76,14 @@ func (e *Engine) Initiator(sid string) bool {
 	return s != nil && s.initiator
 }
 
-// Sent records n basic messages sent in the session.
-func (e *Engine) Sent(sid string, n int) {
+// Sent records n basic messages sent to `to` in the session.
+func (e *Engine) Sent(sid, to string, n int) {
 	if n <= 0 {
 		return
 	}
-	e.get(sid).deficit += n
+	s := e.get(sid)
+	s.deficit += n
+	s.perDest[to] += n
 }
 
 // Received records one basic message received from `from`. The caller must
@@ -93,15 +101,41 @@ func (e *Engine) Received(sid, from string) {
 	s.owedAcks[from]++
 }
 
-// AckReceived records an acknowledgement for n of our basic messages.
-func (e *Engine) AckReceived(sid string, n int) {
+// AckReceived records an acknowledgement from `from` for n of our basic
+// messages. Acks beyond the destination's outstanding deficit (duplicated
+// acks, or acks arriving after LostPeer compensation) are ignored, so a
+// single bad peer cannot wedge termination or drive the deficit negative.
+func (e *Engine) AckReceived(sid, from string, n int) {
 	s := e.get(sid)
-	s.deficit -= n
-	if s.deficit < 0 {
-		// A protocol violation (duplicated ack); clamp so a single bad
-		// peer cannot wedge termination forever.
-		s.deficit = 0
+	if out := s.perDest[from]; n > out {
+		n = out
 	}
+	if n <= 0 {
+		return
+	}
+	s.perDest[from] -= n
+	if s.perDest[from] == 0 {
+		delete(s.perDest, from)
+	}
+	s.deficit -= n
+}
+
+// LostPeer clears the session's outstanding deficit toward a peer whose
+// pipe has failed, returning the number of messages written off. The
+// peer's acknowledgements can no longer arrive, so without this the
+// initiator's deficit would stay positive forever; with it, sessions
+// terminate even on dynamic networks.
+func (e *Engine) LostPeer(sid, to string) int {
+	s := e.sessions[sid]
+	if s == nil {
+		return 0
+	}
+	lost := s.perDest[to]
+	if lost > 0 {
+		delete(s.perDest, to)
+		s.deficit -= lost
+	}
+	return lost
 }
 
 // Ack is one acknowledgement instruction: send an ack for N messages to To.
@@ -153,6 +187,15 @@ func (e *Engine) Deficit(sid string) int {
 		return 0
 	}
 	return s.deficit
+}
+
+// DeficitTo exposes the outstanding deficit toward one destination.
+func (e *Engine) DeficitTo(sid, to string) int {
+	s := e.sessions[sid]
+	if s == nil {
+		return 0
+	}
+	return s.perDest[to]
 }
 
 // Engaged reports whether the node is currently part of the session's tree.

@@ -24,14 +24,14 @@ func TestTwoNodeExchange(t *testing.T) {
 	a.Start("s")
 
 	// a sends one request to b.
-	a.Sent("s", 1)
+	a.Sent("s", "b", 1)
 	if acks, term := a.Flush("s"); term || len(acks) != 0 {
 		t.Fatalf("a should be waiting: %v %v", acks, term)
 	}
 
 	// b receives (engaging), replies with one data message, flushes.
 	b.Received("s", "a")
-	b.Sent("s", 1)
+	b.Sent("s", "a", 1)
 	acks, term := b.Flush("s")
 	if term || len(acks) != 0 {
 		t.Fatalf("b must not detach with deficit 1: %v %v", acks, term)
@@ -48,7 +48,7 @@ func TestTwoNodeExchange(t *testing.T) {
 	}
 
 	// b gets the ack; now deficit 0 -> detach: deferred ack to parent a.
-	b.AckReceived("s", 1)
+	b.AckReceived("s", "a", 1)
 	acks, term = b.Flush("s")
 	if term {
 		t.Fatal("non-initiator cannot report termination")
@@ -61,7 +61,7 @@ func TestTwoNodeExchange(t *testing.T) {
 	}
 
 	// a gets the deferred ack: terminated.
-	a.AckReceived("s", 1)
+	a.AckReceived("s", "b", 1)
 	_, term = a.Flush("s")
 	if !term {
 		t.Error("a did not detect termination")
@@ -89,7 +89,7 @@ func TestAckBatching(t *testing.T) {
 	b.Received("s", "a") // engaging
 	b.Received("s", "c")
 	b.Received("s", "c")
-	b.Sent("s", 1) // keep b engaged (deficit 1)
+	b.Sent("s", "x", 1) // keep b engaged (deficit 1)
 	acks, _ := b.Flush("s")
 	if len(acks) != 1 || acks[0].To != "c" || acks[0].N != 2 {
 		t.Fatalf("batched acks = %v", acks)
@@ -99,9 +99,9 @@ func TestAckBatching(t *testing.T) {
 func TestDuplicateAckClamped(t *testing.T) {
 	a := New("a")
 	a.Start("s")
-	a.Sent("s", 1)
-	a.AckReceived("s", 1)
-	a.AckReceived("s", 1) // protocol violation
+	a.Sent("s", "b", 1)
+	a.AckReceived("s", "b", 1)
+	a.AckReceived("s", "b", 1) // protocol violation
 	if a.Deficit("s") != 0 {
 		t.Errorf("deficit = %d", a.Deficit("s"))
 	}
@@ -180,7 +180,7 @@ func TestQuickRandomTopologyTermination(t *testing.T) {
 		workBudget := 60
 
 		send := func(from string, to string) {
-			engines[from].Sent(sid, 1)
+			engines[from].Sent(sid, to, 1)
 			queue = append(queue, simMsg{from: from, to: to, kind: 0})
 		}
 		// Initiator seeds the computation.
@@ -212,7 +212,7 @@ func TestQuickRandomTopologyTermination(t *testing.T) {
 			queue = append(queue[:i], queue[i+1:]...)
 			e := engines[m.to]
 			if m.kind == 1 {
-				e.AckReceived(sid, m.n)
+				e.AckReceived(sid, m.from, m.n)
 			} else {
 				e.Received(sid, m.from)
 				// Random work: forward basic messages to random neighbors.
@@ -252,5 +252,36 @@ func TestQuickRandomTopologyTermination(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestLostPeerClearsPerDestinationDeficit: writing off a failed pipe
+// removes exactly that destination's outstanding messages, letting the
+// initiator terminate, while other destinations stay accounted.
+func TestLostPeerClearsPerDestinationDeficit(t *testing.T) {
+	a := New("a")
+	a.Start("s")
+	a.Sent("s", "b", 2)
+	a.Sent("s", "c", 1)
+	if a.Deficit("s") != 3 || a.DeficitTo("s", "b") != 2 {
+		t.Fatalf("deficit = %d / to b = %d", a.Deficit("s"), a.DeficitTo("s", "b"))
+	}
+	if lost := a.LostPeer("s", "b"); lost != 2 {
+		t.Errorf("LostPeer = %d, want 2", lost)
+	}
+	if _, term := a.Flush("s"); term {
+		t.Error("terminated with c still outstanding")
+	}
+	// A late ack from b (already written off) must be ignored.
+	a.AckReceived("s", "b", 2)
+	if a.Deficit("s") != 1 {
+		t.Errorf("late ack disturbed deficit: %d", a.Deficit("s"))
+	}
+	a.AckReceived("s", "c", 1)
+	if _, term := a.Flush("s"); !term {
+		t.Error("no termination after all pipes settled")
+	}
+	if a.LostPeer("ghost", "b") != 0 {
+		t.Error("unknown session wrote off messages")
 	}
 }

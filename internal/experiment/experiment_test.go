@@ -174,3 +174,37 @@ func TestBuildErrors(t *testing.T) {
 		t.Error("unknown shape accepted")
 	}
 }
+
+// TestFanoutOverTCP locks in the TCP-backed harness: a fan-out update over
+// real sockets materialises at every leaf, and the default outbound
+// pipeline ships measurably fewer frames than payloads.
+func TestFanoutOverTCP(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := RunUpdate(ctx, Params{
+		Shape: topo.Fanout, Nodes: 5, TuplesPerNode: 20, FanRules: 4, Seed: 7, TCP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 leaves × 4 rules × 20 tuples shipped; every leaf materialises 20.
+	if res.NewTuples != 4*20 {
+		t.Errorf("NewTuples = %d, want 80", res.NewTuples)
+	}
+	if res.Frames == 0 || res.WireBytes == 0 {
+		t.Errorf("wire counters empty: %+v", res)
+	}
+	unb, err := RunUpdate(ctx, Params{
+		Shape: topo.Fanout, Nodes: 5, TuplesPerNode: 20, FanRules: 4, Seed: 7, TCP: true,
+		DisableOutbox: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unb.NewTuples != 4*20 {
+		t.Errorf("unbatched NewTuples = %d, want 80", unb.NewTuples)
+	}
+	if res.Frames >= unb.Frames {
+		t.Errorf("batched frames %d, unbatched %d: coalescing had no effect", res.Frames, unb.Frames)
+	}
+}

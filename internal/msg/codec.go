@@ -25,6 +25,7 @@ func init() {
 	gob.Register(&StartUpdateCmd{})
 	gob.Register(&UpdateFinished{})
 	gob.Register(&Discovery{})
+	gob.Register(&Batch{})
 }
 
 // Encode serialises an envelope for the wire.

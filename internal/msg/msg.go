@@ -8,6 +8,18 @@
 // encoding/gob, the in-process bus passes them by value. Size() gives a
 // transport-independent measure of a payload's data volume, used by the
 // statistics module (paper §4: "the volume of the data in each message").
+//
+// # Batching
+//
+// Batch is the one payload that is transport machinery rather than protocol
+// vocabulary: it packs several payloads bound for the same destination into
+// a single envelope, so the outbound pipeline (transport.Outbox) can
+// coalesce a burst of queued messages into one frame on the wire. Batches
+// are exactly one level deep (a Batch never contains a Batch), and they are
+// invisible above the transport: receiving transports unpack a Batch and
+// deliver its payloads as individual envelopes, in order, so peer and core
+// logic — including the Dijkstra–Scholten per-message accounting — never
+// sees one.
 package msg
 
 import (
@@ -113,7 +125,7 @@ func (m *SessionData) Size() int {
 		n += len(p)
 	}
 	for _, t := range m.Bindings {
-		n += len(relation.EncodeTuple(nil, t))
+		n += t.EncodedLen()
 	}
 	return n
 }
@@ -201,6 +213,12 @@ type UpdateReport struct {
 	// closed only when the termination detector fired (cyclic
 	// dependencies: "all query results did not bring any new data").
 	LinksClosedEarly, LinksClosedForced int
+	// CompensatedLost counts basic messages written off by the sender
+	// because their pipe failed (core.CompensateLost / CompensatePeerLoss):
+	// nonzero means the session terminated without those messages being
+	// delivered, i.e. possibly incomplete materialisation on a dynamic
+	// network.
+	CompensatedLost int
 }
 
 // StatsReport returns a peer's reports to the super-peer.
@@ -260,6 +278,22 @@ func (m *Discovery) Size() int {
 	n := 0
 	for k, v := range m.Known {
 		n += len(k) + len(v)
+	}
+	return n
+}
+
+// Batch packs several payloads for the same destination into one envelope
+// (see the package comment). Order is the send order; receivers deliver the
+// packed payloads individually, preserving it.
+type Batch struct {
+	Payloads []Payload
+}
+
+// Size implements Payload (the sum of the packed payloads).
+func (m *Batch) Size() int {
+	n := 0
+	for _, p := range m.Payloads {
+		n += p.Size()
 	}
 	return n
 }

@@ -99,3 +99,30 @@ func TestKindString(t *testing.T) {
 		t.Error("Kind names wrong")
 	}
 }
+
+func TestBatchSizeAndRoundtrip(t *testing.T) {
+	inner := []Payload{
+		&SessionAck{SID: "s", N: 3},
+		&SessionData{SID: "s", RuleID: "r", Bindings: []relation.Tuple{{relation.Int(1), relation.Int(2)}}},
+	}
+	b := &Batch{Payloads: inner}
+	want := inner[0].Size() + inner[1].Size()
+	if b.Size() != want {
+		t.Errorf("Batch.Size = %d, want %d", b.Size(), want)
+	}
+	enc, err := Encode(Envelope{From: "a", Payload: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, ok := env.Payload.(*Batch)
+	if !ok || len(back.Payloads) != 2 {
+		t.Fatalf("roundtrip = %+v", env.Payload)
+	}
+	if d, ok := back.Payloads[1].(*SessionData); !ok || len(d.Bindings) != 1 || d.Bindings[0][0] != relation.Int(1) {
+		t.Errorf("batched data payload = %+v", back.Payloads[1])
+	}
+}

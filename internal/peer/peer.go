@@ -7,6 +7,17 @@
 // All node state is owned by the actor loop; the public methods post
 // commands into the loop and wait on reply channels, so the Peer is safe
 // for concurrent use without any shared-state locking.
+//
+// Outbound traffic goes through transport.Outbox by default: sends are
+// asynchronous per-destination enqueues (a slow pipe never stalls the
+// actor), queued payloads coalesce into batch frames, and inbox bursts
+// defer acknowledgements (core.DeferAcks) so n messages from one sender
+// cost one counted ack. Delivery failures observed after the fact — a
+// write error in a writer goroutine, or a pipe-down notification for
+// frames already written into a dead connection — are routed back into
+// the actor loop and compensated in the termination detector
+// (core.CompensateLost / core.CompensatePeerLoss). Options.DisableOutbox
+// restores the seed's synchronous per-message behaviour.
 package peer
 
 import (
@@ -41,16 +52,26 @@ type Options struct {
 	Eval         cq.EvalOptions
 	DisableDedup bool
 	Naive        bool
+	// DisableOutbox bypasses the asynchronous outbound pipeline and sends
+	// synchronously per message, as the seed implementation did (the
+	// unbatched baseline of the batching benchmarks).
+	DisableOutbox bool
+	// Outbox tunes the outbound pipeline (queue bound, batch caps); the
+	// OnDrop hook is owned by the peer, which uses it to compensate the
+	// termination detector for undeliverable messages. A caller-supplied
+	// OnDrop is still invoked, after the peer's bookkeeping.
+	Outbox transport.OutboxOptions
 	// Logger receives diagnostics; nil discards them.
 	Logger *slog.Logger
 }
 
 // Peer is a running coDB node.
 type Peer struct {
-	name string
-	node *core.Node
-	tr   transport.Transport
-	log  *slog.Logger
+	name   string
+	node   *core.Node
+	tr     transport.Transport
+	outbox *transport.Outbox // == tr unless Options.DisableOutbox
+	log    *slog.Logger
 
 	inbox chan any // envelopes and commands, consumed by the actor loop
 
@@ -115,14 +136,64 @@ func New(opts Options) (*Peer, error) {
 	for k, v := range opts.Directory {
 		p.directory[k] = v
 	}
+	if !opts.DisableOutbox {
+		oo := opts.Outbox
+		userDrop := oo.OnDrop
+		oo.OnDrop = func(to string, payload msg.Payload, err error) {
+			p.noteLostSend(to, payload, err)
+			if userDrop != nil {
+				userDrop(to, payload, err)
+			}
+		}
+		p.outbox = transport.NewOutbox(opts.Transport, oo)
+		p.tr = p.outbox
+	}
 	p.tr.SetHandler(func(env msg.Envelope) {
 		select {
 		case p.inbox <- env:
 		case <-p.stopped:
 		}
 	})
+	if pn, ok := p.tr.(transport.PipeNotifier); ok {
+		pn.SetPipeDownHandler(p.notePipeDown)
+	}
 	go p.loop()
 	return p, nil
+}
+
+// pipeDown reports an involuntarily failed pipe; the actor loop writes off
+// the peer's outstanding termination-detector deficit.
+type pipeDown struct{ peer string }
+
+// notePipeDown posts a pipeDown into the actor loop without blocking the
+// transport goroutine that reports it.
+func (p *Peer) notePipeDown(peer string) {
+	go func() {
+		select {
+		case p.inbox <- pipeDown{peer: peer}:
+		case <-p.stopped:
+		}
+	}()
+}
+
+// lostSend reports an asynchronous delivery failure from the outbox; the
+// actor loop compensates the termination detector for it.
+type lostSend struct {
+	to      string
+	payload msg.Payload
+	err     error
+}
+
+// noteLostSend posts a lostSend into the actor loop. It is called from an
+// outbox writer goroutine and must not block it: the handoff runs in its
+// own goroutine so a full inbox cannot stall (or deadlock with) the writer.
+func (p *Peer) noteLostSend(to string, payload msg.Payload, err error) {
+	go func() {
+		select {
+		case p.inbox <- lostSend{to: to, payload: payload, err: err}:
+		case <-p.stopped:
+		}
+	}()
 }
 
 // Name returns the peer's node name.
@@ -152,16 +223,110 @@ func (p *Peer) do(fn func()) error {
 }
 
 func (p *Peer) loop() {
-	for item := range p.inbox {
+	var carried any // non-envelope item pulled out of the inbox by a burst
+	for {
+		item := carried
+		carried = nil
+		if item == nil {
+			item = <-p.inbox
+		}
 		switch v := item.(type) {
 		case msg.Envelope:
-			p.handleEnvelope(v)
+			carried = p.handleEnvelopeBurst(v)
+		case lostSend:
+			p.handleLostSend(v)
+		case pipeDown:
+			p.handlePipeDown(v)
 		case command:
 			v.run()
 			close(v.done)
-		case nil:
+		case stopToken:
 			return
 		}
+	}
+}
+
+// handlePipeDown compensates the termination detector for every in-flight
+// message toward a failed pipe. An asynchronous write can succeed into a
+// connection the far side has already abandoned — no send error is ever
+// observed for such a message — so when the transport reports the pipe
+// down, the outstanding per-destination deficit counts messages whose
+// acknowledgements may never arrive.
+//
+// The notification travels through a goroutine, so it can be stale: if a
+// pipe to the peer is live again by the time the event is processed (the
+// peer redialled, or we re-established while the event was in flight),
+// the blanket write-off is skipped — the peer is alive and acks for both
+// old and re-sent messages can still arrive, whereas wiping the deficit
+// would terminate sessions prematurely with data still in flight.
+func (p *Peer) handlePipeDown(d pipeDown) {
+	for _, live := range p.tr.Peers() {
+		if live == d.peer {
+			p.log.Warn("pipe down superseded by live pipe", "peer", d.peer)
+			return
+		}
+	}
+	p.log.Warn("pipe down", "peer", d.peer)
+	delete(p.piped, d.peer)
+	p.dispatch(p.node.CompensatePeerLoss(d.peer))
+}
+
+// stopToken ends the actor loop (posted by Stop).
+type stopToken struct{}
+
+// maxBurst bounds how many queued inbox items one burst may drain, so a
+// firehose of inbound traffic cannot starve commands indefinitely.
+const maxBurst = 256
+
+// handleEnvelopeBurst processes one envelope plus every further envelope
+// already queued in the inbox as a single activity period: per-message
+// acknowledgements are deferred across the burst (core.DeferAcks) and
+// flushed once at the end, coalescing a burst of n messages from one sender
+// into one counted ack. Messages themselves are still handled — and their
+// outbound results shipped — strictly in arrival order. The first
+// non-envelope item pulled while draining is returned for the caller to
+// process after the burst (it arrived after every envelope handled here).
+// Deferral is a companion of the outbound pipeline: with the pipeline
+// disabled, the peer keeps the seed's ack-per-message behaviour.
+func (p *Peer) handleEnvelopeBurst(first msg.Envelope) (carried any) {
+	if p.outbox == nil {
+		p.handleEnvelope(first)
+		return nil
+	}
+	p.node.DeferAcks(true)
+	p.handleEnvelope(first)
+	for i := 1; i < maxBurst && carried == nil; i++ {
+		select {
+		case item := <-p.inbox:
+			if env, ok := item.(msg.Envelope); ok {
+				p.handleEnvelope(env)
+			} else {
+				carried = item
+			}
+		default:
+			carried = noMoreItems{}
+		}
+	}
+	p.dispatch(p.node.FlushDeferred())
+	if _, ok := carried.(noMoreItems); ok {
+		return nil
+	}
+	return carried
+}
+
+// noMoreItems marks a burst that drained the inbox dry (vs. one ended by a
+// non-envelope item that still needs processing).
+type noMoreItems struct{}
+
+// handleLostSend compensates the termination detector for a message the
+// outbox accepted but could not deliver (pipe failure or disconnect with
+// queued frames) — the asynchronous counterpart of sendSessionMsg's
+// error path.
+func (p *Peer) handleLostSend(l lostSend) {
+	p.log.Warn("async send failed", "to", l.to, "err", l.err)
+	delete(p.piped, l.to)
+	if sid := sessionIDOf(l.payload); sid != "" && isBasic(l.payload) {
+		p.dispatch(p.node.CompensateLost(sid, l.to, 1))
 	}
 }
 
@@ -176,7 +341,7 @@ func (p *Peer) Stop() {
 	p.tr.Close()
 	// Unblock the loop.
 	select {
-	case p.inbox <- nil:
+	case p.inbox <- stopToken{}:
 	default:
 	}
 }
@@ -210,7 +375,9 @@ func (p *Peer) handleEnvelope(env msg.Envelope) {
 // dispatch ships a core Result: messages out, answers to query waiters,
 // finished sessions to update waiters.
 func (p *Peer) dispatch(res core.Result) {
-	for _, out := range res.Out {
+	// Grouped per destination, so the outbox sees contiguous runs it can
+	// coalesce into batch frames.
+	for _, out := range res.GroupedOut() {
 		p.sendSessionMsg(out)
 	}
 	// Answers must reach their waiter before Finished closes it.
@@ -245,7 +412,7 @@ func (p *Peer) sendSessionMsg(out core.Outbound) {
 	if err := p.sendTo(out.To, out.Payload); err != nil {
 		p.log.Warn("send failed", "to", out.To, "err", err)
 		if sid := sessionIDOf(out.Payload); sid != "" && isBasic(out.Payload) {
-			res := p.node.CompensateLost(sid, 1)
+			res := p.node.CompensateLost(sid, out.To, 1)
 			p.dispatch(res)
 		}
 	}
@@ -281,7 +448,11 @@ func (p *Peer) directoryCopy() map[string]string {
 	for k, v := range p.directory {
 		known[k] = v
 	}
-	if t, ok := p.tr.(*transport.TCP); ok {
+	tr := p.tr
+	if ob, ok := tr.(*transport.Outbox); ok {
+		tr = ob.Underlying()
+	}
+	if t, ok := tr.(*transport.TCP); ok {
 		known[p.name] = t.Addr()
 	} else if _, present := known[p.name]; !present {
 		known[p.name] = ""
@@ -676,6 +847,23 @@ func (p *Peer) Links() (outgoing, incoming []string) {
 
 // Pipes lists the peers this node has live pipes with.
 func (p *Peer) Pipes() []string { return p.tr.Peers() }
+
+// OutboxStats returns the outbound pipeline's wire counters; ok is false
+// when the pipeline is disabled (Options.DisableOutbox).
+func (p *Peer) OutboxStats() (stats transport.OutboxStats, ok bool) {
+	if p.outbox == nil {
+		return transport.OutboxStats{}, false
+	}
+	return p.outbox.Stats(), true
+}
+
+// FlushOutbox blocks until every queued outbound frame has been written (or
+// its pipe has failed); a no-op when the pipeline is disabled.
+func (p *Peer) FlushOutbox() {
+	if p.outbox != nil {
+		p.outbox.Flush()
+	}
+}
 
 // Discovered lists peers known through gossip that are not acquaintances —
 // the paper's Figure 3 "discovered peers" panel.

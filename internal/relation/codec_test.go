@@ -2,6 +2,7 @@ package relation
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math"
 	"math/rand"
 	"reflect"
@@ -165,5 +166,52 @@ func TestCodecBoundaryConfusion(t *testing.T) {
 	b := Tuple{Str("a"), Str("\x00b")}
 	if a.Key() == b.Key() {
 		t.Error("boundary confusion in tuple encoding")
+	}
+}
+
+func TestEncodedLenMatchesEncoding(t *testing.T) {
+	tuples := []Tuple{
+		{Int(0), Int(-5), Int(1 << 40)},
+		{Str(""), Str("abc"), Str("a\x00b")},
+		{Bool(true), Bool(false)},
+		{Float(3.25), Float(-0.5)},
+		{Null("n1"), Null("")},
+		{},
+	}
+	for _, tu := range tuples {
+		want := len(EncodeTuple(nil, tu))
+		if got := tu.EncodedLen(); got != want {
+			t.Errorf("EncodedLen(%v) = %d, want %d", tu, got, want)
+		}
+		for _, v := range tu {
+			if got, want := v.EncodedLen(), len(EncodeValue(nil, v)); got != want {
+				t.Errorf("Value EncodedLen(%v) = %d, want %d", v, got, want)
+			}
+		}
+	}
+}
+
+func TestTupleGobRoundtrip(t *testing.T) {
+	tuples := []Tuple{
+		{Int(42), Str("hello"), Bool(true), Float(1.5), Null("x")},
+		{Str("a\x00b\x00")},
+		{},
+	}
+	for _, tu := range tuples {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(tu); err != nil {
+			t.Fatalf("encode %v: %v", tu, err)
+		}
+		var back Tuple
+		if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+			t.Fatalf("decode %v: %v", tu, err)
+		}
+		if !tu.Equal(back) {
+			t.Errorf("roundtrip %v -> %v", tu, back)
+		}
+	}
+	var bad Tuple
+	if err := bad.GobDecode([]byte{0xEE}); err == nil {
+		t.Error("bad kind tag accepted")
 	}
 }

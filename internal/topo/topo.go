@@ -37,10 +37,15 @@ const (
 	Grid     Shape = "grid"
 	Random   Shape = "random"
 	Complete Shape = "complete"
+	// Fanout is the reverse star: every leaf imports from hub N0, so an
+	// update initiated at the hub ships the hub's data to all n-1 leaves
+	// at once — the outbound-pipeline stress shape of the batching
+	// benchmarks.
+	Fanout Shape = "fanout"
 )
 
 // Shapes lists every family, in the order the experiment tables use.
-func Shapes() []Shape { return []Shape{Chain, Ring, Star, Tree, Grid, Random, Complete} }
+func Shapes() []Shape { return []Shape{Chain, Ring, Star, Tree, Grid, Random, Complete, Fanout} }
 
 // RuleKind selects the shape of the generated coordination rules.
 type RuleKind uint8
@@ -72,6 +77,11 @@ type Options struct {
 	Seed int64
 	// Version stamps the generated configuration (default 1).
 	Version int
+	// FanRules is the number of parallel coordination rules per Fanout
+	// edge (default 1): with k > 1 every leaf imports from the hub
+	// through k distinct rules, multiplying the messages per pipe — the
+	// coalescing workload of the batching benchmarks.
+	FanRules int
 }
 
 // NodeName returns the canonical generated peer name.
@@ -148,6 +158,17 @@ func edgesFor(shape Shape, n int, opts Options) ([]edge, error) {
 		// Hub N0 imports from every leaf.
 		for i := 1; i < n; i++ {
 			edges = append(edges, edge{0, i})
+		}
+	case Fanout:
+		// Every leaf imports from hub N0, through FanRules parallel rules.
+		k := opts.FanRules
+		if k < 1 {
+			k = 1
+		}
+		for i := 1; i < n; i++ {
+			for j := 0; j < k; j++ {
+				edges = append(edges, edge{i, 0})
+			}
 		}
 	case Tree:
 		// Complete binary tree; parents import from children.

@@ -167,7 +167,9 @@ func (n *busNode) Connect(node, addr string) error {
 	return nil
 }
 
-// Send implements Transport.
+// Send implements Transport. Batch envelopes (msg.Batch, produced by the
+// Outbox) are unpacked here: the receiver gets one envelope per packed
+// payload, in order, and fault injection decides per payload.
 func (n *busNode) Send(to string, p msg.Payload) error {
 	n.mu.Lock()
 	if n.closed {
@@ -186,16 +188,22 @@ func (n *busNode) Send(to string, p msg.Payload) error {
 	n.bus.mu.Lock()
 	fault := n.bus.fault
 	n.bus.mu.Unlock()
-	drop, dup := fault.decide(p)
-	if drop {
-		return nil
+	payloads := []msg.Payload{p}
+	if b, ok := p.(*msg.Batch); ok {
+		payloads = b.Payloads
 	}
-	env := msg.Envelope{From: n.name, Payload: p}
-	if !target.box.put(env) {
-		return fmt.Errorf("%w: %s (closed)", ErrUnknownPeer, to)
-	}
-	if dup {
-		target.box.put(env)
+	for _, pl := range payloads {
+		drop, dup := fault.decide(pl)
+		if drop {
+			continue
+		}
+		env := msg.Envelope{From: n.name, Payload: pl}
+		if !target.box.put(env) {
+			return fmt.Errorf("%w: %s (closed)", ErrUnknownPeer, to)
+		}
+		if dup {
+			target.box.put(env)
+		}
 	}
 	return nil
 }

@@ -1,12 +1,15 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/binary"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"codb/internal/msg"
 )
@@ -16,6 +19,17 @@ import (
 // each direction's first message slot, after which both sides exchange
 // envelopes. Either side may dial; a second connection to the same peer
 // replaces the first.
+//
+// After the handshake each direction of a connection is one continuous gob
+// stream: the writer keeps a per-connection gob.Encoder (so type
+// definitions cross the wire once per connection, not once per message) and
+// the reader a matching gob.Decoder fed frame by frame. Frames therefore
+// are not individually decodable — an undecodable frame loses the stream
+// state and tears the pipe down (the peer layer re-establishes pipes and
+// compensates the termination detector for lost messages).
+//
+// Batch envelopes (msg.Batch, produced by the Outbox) are unpacked here on
+// receive: the handler sees one envelope per packed payload, in order.
 type TCP struct {
 	self string
 	ln   net.Listener
@@ -28,11 +42,26 @@ type TCP struct {
 
 	handlerMu sync.Mutex
 	handler   Handler
+	pipeDown  func(peer string)
+
+	frames atomic.Uint64 // envelope frames written (handshake excluded)
+	bytes  atomic.Uint64 // envelope frame bytes written, headers included
 }
 
+// tcpConn is one pipe's write side: the connection plus its persistent gob
+// stream. writeMu serialises writers (with the Outbox there is exactly one
+// writer goroutine per pipe, so it is uncontended).
 type tcpConn struct {
 	c       net.Conn
 	writeMu sync.Mutex
+	buf     bytes.Buffer
+	enc     *gob.Encoder
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	tc := &tcpConn{c: c}
+	tc.enc = gob.NewEncoder(&tc.buf)
+	return tc
 }
 
 // maxFrame bounds a frame to keep a malicious or corrupt peer from forcing
@@ -59,11 +88,36 @@ func (t *TCP) Addr() string { return t.ln.Addr().String() }
 // Self implements Transport.
 func (t *TCP) Self() string { return t.self }
 
+// FramesSent returns the number of envelope frames this node has written to
+// its pipes (handshake frames excluded) — the frames-on-the-wire metric of
+// the batching benchmarks.
+func (t *TCP) FramesSent() uint64 { return t.frames.Load() }
+
+// BytesSent returns the envelope frame bytes written, headers included.
+func (t *TCP) BytesSent() uint64 { return t.bytes.Load() }
+
 // SetHandler implements Transport.
 func (t *TCP) SetHandler(h Handler) {
 	t.handlerMu.Lock()
 	defer t.handlerMu.Unlock()
 	t.handler = h
+}
+
+// SetPipeDownHandler implements PipeNotifier.
+func (t *TCP) SetPipeDownHandler(fn func(peer string)) {
+	t.handlerMu.Lock()
+	defer t.handlerMu.Unlock()
+	t.pipeDown = fn
+}
+
+// notifyPipeDown reports an involuntarily torn-down pipe.
+func (t *TCP) notifyPipeDown(peer string) {
+	t.handlerMu.Lock()
+	fn := t.pipeDown
+	t.handlerMu.Unlock()
+	if fn != nil {
+		fn(peer)
+	}
 }
 
 func (t *TCP) pump() {
@@ -123,24 +177,35 @@ func (t *TCP) register(peer string, c net.Conn) {
 	if old := t.conns[peer]; old != nil {
 		old.c.Close()
 	}
-	t.conns[peer] = &tcpConn{c: c}
+	t.conns[peer] = newTCPConn(c)
 }
 
 func (t *TCP) readLoop(peer string, c net.Conn) {
+	dec := gob.NewDecoder(&frameReader{r: c})
 	for {
-		frame, err := readFrame(c)
-		if err != nil {
+		var env msg.Envelope
+		if err := dec.Decode(&env); err != nil {
+			// I/O or stream corruption: either way the gob stream state is
+			// gone, so the pipe comes down with it.
 			t.mu.Lock()
+			toreDown := false
 			if cur := t.conns[peer]; cur != nil && cur.c == c {
 				delete(t.conns, peer)
+				toreDown = true
 			}
+			closed := t.closed
 			t.mu.Unlock()
 			c.Close()
+			if toreDown && !closed {
+				t.notifyPipeDown(peer)
+			}
 			return
 		}
-		env, err := msg.Decode(frame)
-		if err != nil {
-			continue // skip undecodable frame, keep the pipe
+		if b, ok := env.Payload.(*msg.Batch); ok {
+			for _, p := range b.Payloads {
+				t.box.put(msg.Envelope{From: env.From, Payload: p})
+			}
+			continue
 		}
 		t.box.put(env)
 	}
@@ -189,7 +254,8 @@ func (t *TCP) Connect(node, addr string) error {
 	return nil
 }
 
-// Send implements Transport.
+// Send implements Transport: the envelope is appended to the connection's
+// gob stream and written as one frame.
 func (t *TCP) Send(to string, p msg.Payload) error {
 	t.mu.Lock()
 	if t.closed {
@@ -201,21 +267,42 @@ func (t *TCP) Send(to string, p msg.Payload) error {
 	if conn == nil {
 		return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
 	}
-	frame, err := msg.Encode(msg.Envelope{From: t.self, Payload: p})
-	if err != nil {
-		return err
-	}
+	env := msg.Envelope{From: t.self, Payload: p}
 	conn.writeMu.Lock()
 	defer conn.writeMu.Unlock()
-	if err := writeFrame(conn.c, frame); err != nil {
+	// Reserve the length header in the encode buffer so header and body go
+	// out in one write.
+	conn.buf.Reset()
+	conn.buf.Write([]byte{0, 0, 0, 0})
+	err := conn.enc.Encode(&env)
+	if err == nil {
+		frame := conn.buf.Bytes()
+		if len(frame)-4 > maxFrame {
+			err = errors.New("frame exceeds maxFrame")
+		} else {
+			binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+			_, err = conn.c.Write(frame)
+		}
+	}
+	if err != nil {
+		// Encode failures also kill the pipe: the encoder's stream state
+		// can no longer be trusted to match the remote decoder's.
 		t.mu.Lock()
+		toreDown := false
 		if cur := t.conns[to]; cur == conn {
 			delete(t.conns, to)
+			toreDown = true
 		}
+		closed := t.closed
 		t.mu.Unlock()
 		conn.c.Close()
+		if toreDown && !closed {
+			t.notifyPipeDown(to)
+		}
 		return fmt.Errorf("transport: send to %s: %w", to, err)
 	}
+	t.frames.Add(1)
+	t.bytes.Add(uint64(conn.buf.Len()))
 	return nil
 }
 
@@ -286,4 +373,25 @@ func readFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	return b, nil
+}
+
+// frameReader adapts the length-prefixed frame stream to the io.Reader a
+// persistent gob.Decoder consumes: frames are concatenated in arrival
+// order, preserving the encoder's stream state across messages.
+type frameReader struct {
+	r         io.Reader
+	remaining []byte
+}
+
+func (fr *frameReader) Read(p []byte) (int, error) {
+	for len(fr.remaining) == 0 {
+		frame, err := readFrame(fr.r)
+		if err != nil {
+			return 0, err
+		}
+		fr.remaining = frame
+	}
+	n := copy(p, fr.remaining)
+	fr.remaining = fr.remaining[n:]
+	return n, nil
 }

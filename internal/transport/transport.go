@@ -6,6 +6,14 @@
 // whole networks inside one OS process, as tests and benchmarks do) and TCP
 // (length-prefixed gob frames over real sockets, for multi-process
 // deployments). Peer logic is identical over both.
+//
+// Outbox wraps either implementation in an asynchronous per-destination
+// outbound pipeline: Send becomes an enqueue, one writer goroutine per pipe
+// drains its queue, and queued payloads for the same destination are
+// coalesced into msg.Batch envelopes (one frame on the wire). See the
+// Outbox type for the flush and backpressure policy. Receiving transports
+// unpack batches before delivery, so handlers always see one envelope per
+// payload, in per-sender FIFO order, whether or not the sender batches.
 package transport
 
 import (
@@ -39,6 +47,18 @@ type Transport interface {
 	Peers() []string
 	// Close tears down all pipes and stops delivery.
 	Close() error
+}
+
+// PipeNotifier is implemented by transports that can asynchronously report
+// a pipe failure (e.g. TCP detecting a dead connection in its read loop).
+// Asynchronous senders need this: a write into a connection the far side
+// has already abandoned can succeed at the OS level, so send errors alone
+// do not account for every lost message. The handler is invoked from a
+// transport goroutine once per torn-down pipe (deliberate Disconnect and
+// Close excluded) and must not block or call back into the transport
+// synchronously.
+type PipeNotifier interface {
+	SetPipeDownHandler(func(peer string))
 }
 
 // ErrUnknownPeer is returned by Send when no pipe to the peer exists.
