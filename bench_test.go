@@ -108,9 +108,12 @@ func BenchmarkFanoutBatching(b *testing.B) {
 			unbatched bool
 		}{{"batched", false}, {"unbatched", true}} {
 			b.Run(fmt.Sprintf("n=%d/%s", n, mode.name), func(b *testing.B) {
+				// FullExport keeps every iteration re-shipping the full
+				// frontier; the benchmark measures the outbound pipeline,
+				// not the incremental-export watermarks.
 				net, err := experiment.Build(experiment.Params{
 					Shape: topo.Fanout, Nodes: n + 1, TuplesPerNode: 5, FanRules: 32, Seed: 51,
-					TCP: true, DisableOutbox: mode.unbatched,
+					TCP: true, DisableOutbox: mode.unbatched, FullExport: true,
 				})
 				if err != nil {
 					b.Fatal(err)

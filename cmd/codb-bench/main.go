@@ -9,6 +9,7 @@
 //	codb-bench                 # run every experiment
 //	codb-bench -exp E1,E4      # run a subset
 //	codb-bench -exp B1         # outbound-pipeline batching benchmark
+//	codb-bench -exp B2         # cross-session incremental propagation
 //	codb-bench -nodes 4,8,16   # override the network sizes
 //	codb-bench -tuples 500     # override per-node cardinality
 //	codb-bench -json .         # also write machine-readable BENCH_<exp>.json
@@ -30,11 +31,12 @@ import (
 	"time"
 
 	"codb/internal/experiment"
+	"codb/internal/relation"
 	"codb/internal/topo"
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "comma-separated experiments to run (E1..E7,A1..A4,B1 or 'all')")
+	expFlag    = flag.String("exp", "all", "comma-separated experiments to run (E1..E7,A1..A4,B1,B2 or 'all')")
 	nodesFlag  = flag.String("nodes", "4,8,16,32", "comma-separated network sizes")
 	tuplesFlag = flag.Int("tuples", 250, "tuples per node")
 	seedFlag   = flag.Int64("seed", 42, "workload seed")
@@ -53,6 +55,14 @@ type benchRow struct {
 	MaxPath   int     `json:"max_path,omitempty"`
 	Frames    int     `json:"frames,omitempty"`
 	WireBytes int     `json:"wire_bytes,omitempty"`
+	// B2 fields: watermark/fingerprint savings per round, the
+	// post-first-round tuples/bytes ratios of full over incremental, and
+	// whether both modes converged to identical databases.
+	Skipped     int     `json:"skipped_by_watermark,omitempty"`
+	Suppressed  int     `json:"suppressed_bindings,omitempty"`
+	TuplesRatio float64 `json:"tuples_ratio,omitempty"`
+	BytesRatio  float64 `json:"bytes_ratio,omitempty"`
+	EqualDBs    *bool   `json:"equal_dbs,omitempty"`
 }
 
 func rowOf(name string, r experiment.Result) benchRow {
@@ -141,6 +151,93 @@ func main() {
 	if run("B1") {
 		fanoutBatching(ctx)
 	}
+	if run("B2") {
+		incrementalRounds(ctx)
+	}
+}
+
+// incrementalRounds is B2: cross-session incremental propagation. A chain
+// network over loopback TCP runs k rounds of "commit a small insert burst
+// at every node, then run a global update", once with the default
+// incremental export (LSN watermarks + shipped fingerprints) and once with
+// FullExport (the paper-faithful re-ship baseline). After the first round,
+// incremental sessions must ship a small multiple of the burst instead of
+// the whole extent, and both modes must converge to identical databases.
+func incrementalRounds(ctx context.Context) {
+	const (
+		nodes  = 8
+		tuples = 200
+		rounds = 4
+		burst  = 10
+	)
+	fmt.Println("== B2: cross-session incremental propagation — watermarked delta export vs full re-export")
+	fmt.Printf("%7s %12s %8s %10s %8s %10s %12s\n", "round", "mode", "msgs", "bytes", "tuples", "skipped", "suppressed")
+
+	var rows []benchRow
+	type modeRun struct {
+		label   string
+		full    bool
+		results []experiment.Result
+		states  map[string][]relation.Tuple
+	}
+	runs := []*modeRun{{label: "incremental"}, {label: "full", full: true}}
+	for _, m := range runs {
+		results, states, err := experiment.RunRounds(ctx, experiment.Params{
+			Shape: topo.Chain, Nodes: nodes, TuplesPerNode: tuples, Seed: *seedFlag, TCP: true,
+			FullExport: m.full,
+		}, rounds, burst)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "codb-bench:", err)
+			os.Exit(1)
+		}
+		m.results, m.states = results, states
+		for round, res := range results {
+			fmt.Printf("%7d %12s %8d %10d %8d %10d %12d\n", round, m.label,
+				res.TotalMsgs, res.TotalBytes, res.TotalTuples,
+				res.SkippedByWatermark, res.SuppressedBindings)
+			row := rowOf(fmt.Sprintf("round=%d/%s", round, m.label), res)
+			row.Skipped = res.SkippedByWatermark
+			row.Suppressed = res.SuppressedBindings
+			rows = append(rows, row)
+		}
+	}
+
+	// Post-first-round savings: the acceptance ratio of the incremental
+	// machinery.
+	var incrTuples, incrBytes, fullTuples, fullBytes int
+	for _, res := range runs[0].results[1:] {
+		incrTuples += res.TotalTuples
+		incrBytes += res.TotalBytes
+	}
+	for _, res := range runs[1].results[1:] {
+		fullTuples += res.TotalTuples
+		fullBytes += res.TotalBytes
+	}
+	tuplesRatio := ratio(fullTuples, incrTuples)
+	bytesRatio := ratio(fullBytes, incrBytes)
+	equal := experiment.StatesEqual(runs[0].states, runs[1].states)
+	fmt.Printf("after round 0: full/incremental tuples %.1fx, bytes %.1fx; databases identical: %v\n\n",
+		tuplesRatio, bytesRatio, equal)
+	rows = append(rows, benchRow{
+		Name:        "summary/full-vs-incremental",
+		TuplesRatio: tuplesRatio,
+		BytesRatio:  bytesRatio,
+		EqualDBs:    &equal,
+	})
+	writeBench("B2", rows)
+	if !equal {
+		fmt.Fprintln(os.Stderr, "codb-bench: B2 equality check failed: incremental and full exports diverged")
+		os.Exit(1)
+	}
+}
+
+// ratio guards against a zero denominator (an incremental session that
+// shipped nothing at all).
+func ratio(full, incr int) float64 {
+	if incr == 0 {
+		return float64(full)
+	}
+	return float64(full) / float64(incr)
 }
 
 // fanoutBatching is B1: the outbound-pipeline benchmark. A fan-out update
@@ -157,9 +254,11 @@ func fanoutBatching(ctx context.Context) {
 			label     string
 			unbatched bool
 		}{{"batched", false}, {"unbatched", true}} {
+			// FullExport keeps repeated sessions re-shipping the full
+			// frontier — B1 measures the pipeline, not the watermarks.
 			net, err := experiment.Build(experiment.Params{
 				Shape: topo.Fanout, Nodes: n + 1, TuplesPerNode: 5, FanRules: 32, Seed: *seedFlag,
-				TCP: true, DisableOutbox: mode.unbatched,
+				TCP: true, DisableOutbox: mode.unbatched, FullExport: true,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "codb-bench:", err)

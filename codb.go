@@ -95,6 +95,7 @@ type Network struct {
 	mu    sync.Mutex
 	bus   *transport.Bus
 	peers map[string]*peer.Peer
+	dbs   map[string]*storage.DB // databases the network opened and owns
 	super *superpeer.SuperPeer
 	opts  NetworkOptions
 }
@@ -110,6 +111,12 @@ type NetworkOptions struct {
 	DisableDedup bool
 	// Naive disables semi-naive delta evaluation (A1).
 	Naive bool
+	// FullExport disables cross-session incremental export: every update
+	// session re-evaluates and re-ships every link in full, as the paper's
+	// algorithm does (the B2 baseline). By default peers keep per-rule LSN
+	// watermarks and shipped-binding fingerprints, so repeated updates
+	// ship only what changed since the previous session.
+	FullExport bool
 }
 
 // NewNetwork creates an empty in-process network.
@@ -117,7 +124,12 @@ func NewNetwork() *Network { return NewNetworkWithOptions(NetworkOptions{}) }
 
 // NewNetworkWithOptions creates an empty network with algorithm toggles.
 func NewNetworkWithOptions(opts NetworkOptions) *Network {
-	return &Network{bus: transport.NewBus(), peers: make(map[string]*peer.Peer), opts: opts}
+	return &Network{
+		bus:   transport.NewBus(),
+		peers: make(map[string]*peer.Peer),
+		dbs:   make(map[string]*storage.DB),
+		opts:  opts,
+	}
 }
 
 func (nw *Network) peerOptions(name string, w core.Wrapper) peer.Options {
@@ -132,6 +144,7 @@ func (nw *Network) peerOptions(name string, w core.Wrapper) peer.Options {
 		Eval:         eval,
 		DisableDedup: nw.opts.DisableDedup,
 		Naive:        nw.opts.Naive,
+		FullExport:   nw.opts.FullExport,
 	}
 }
 
@@ -166,7 +179,15 @@ func (nw *Network) addPeer(name, dir string, relations ...string) (*Peer, error)
 			return nil, err
 		}
 	}
-	return nw.join(name, core.NewStoreWrapper(db))
+	p, err := nw.join(name, core.NewStoreWrapper(db))
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	nw.mu.Lock()
+	nw.dbs[name] = db
+	nw.mu.Unlock()
+	return p, nil
 }
 
 // AddMediator starts a peer without a local database: the schema must still
@@ -235,14 +256,32 @@ func (nw *Network) Peers() []string {
 }
 
 // RemovePeer stops a peer and removes it from the network (it "disappears",
-// as the paper's dynamic networks allow).
+// as the paper's dynamic networks allow). A database the network opened for
+// the peer is closed — durable ones checkpoint on the way out, so a future
+// AddDurablePeer over the same directory recovers from the snapshot instead
+// of replaying the whole log. The remaining peers forget their incremental-
+// export state toward the departed name: if a fresh peer later takes it,
+// nothing is wrongly assumed already materialised there (a durable
+// replacement over the same directory just costs one full re-export).
 func (nw *Network) RemovePeer(name string) {
 	nw.mu.Lock()
 	p := nw.peers[name]
 	delete(nw.peers, name)
+	db := nw.dbs[name]
+	delete(nw.dbs, name)
+	rest := make([]*peer.Peer, 0, len(nw.peers))
+	for _, other := range nw.peers {
+		rest = append(rest, other)
+	}
 	nw.mu.Unlock()
 	if p != nil {
 		p.Stop()
+	}
+	if db != nil {
+		db.Close()
+	}
+	for _, other := range rest {
+		other.ResetExportStateToward(name)
 	}
 }
 
@@ -370,11 +409,14 @@ func (nw *Network) SuperPeer() (*SuperPeer, error) {
 	return sp, nil
 }
 
-// Close stops every peer (and the super-peer).
+// Close stops every peer (and the super-peer) and closes the databases the
+// network opened; durable ones checkpoint pending commits on the way out.
 func (nw *Network) Close() {
 	nw.mu.Lock()
 	peers := nw.peers
 	nw.peers = make(map[string]*peer.Peer)
+	dbs := nw.dbs
+	nw.dbs = make(map[string]*storage.DB)
 	super := nw.super
 	nw.super = nil
 	nw.mu.Unlock()
@@ -383,6 +425,9 @@ func (nw *Network) Close() {
 	}
 	if super != nil {
 		super.Stop()
+	}
+	for _, db := range dbs {
+		db.Close()
 	}
 }
 
@@ -411,6 +456,9 @@ func NewNetworkFromConfigWithOptions(text string, opts NetworkOptions) (*Network
 			nw.Close()
 			return nil, err
 		}
+		nw.mu.Lock()
+		nw.dbs[node.Name] = db
+		nw.mu.Unlock()
 	}
 	for _, r := range cfg.Rules {
 		if err := nw.AddRule(r.ID, r.Text); err != nil {

@@ -47,6 +47,20 @@ import (
 	"codb/internal/relation"
 )
 
+// ChangeTracker is the optional change-capture interface of a Wrapper.
+// When the local storage implements it, the node keeps a persistent LSN
+// watermark per incoming link and exports incrementally across sessions
+// (exportSince); wrappers without it always export in full.
+type ChangeTracker interface {
+	// LSN returns the storage's monotone commit sequence number.
+	LSN() uint64
+	// Changes returns the tuples committed into rel after sinceLSN, in
+	// commit order; ok is false when that history is unavailable (deletes,
+	// changelog truncation, restart past a checkpoint) and the caller must
+	// fall back to a full scan.
+	Changes(rel string, sinceLSN uint64) (inserts []relation.Tuple, ok bool)
+}
+
 // Wrapper is the storage interface the algorithm needs from the Local
 // Database — the paper's Wrapper module. StoreWrapper (over the embedded
 // engine) and MediatorWrapper (no LDB; operations executed in the wrapper)
@@ -87,6 +101,16 @@ type Config struct {
 	// Naive replaces semi-naive delta re-evaluation with full
 	// re-evaluation of dependent links (A1 ablation).
 	Naive bool
+	// FullExport disables the cross-session incremental export machinery:
+	// every session re-evaluates and re-ships every incoming link in full,
+	// as the paper's algorithm does. The default (incremental) evaluates
+	// only tuples committed past each link's persistent LSN watermark and
+	// suppresses bindings already shipped in earlier sessions.
+	FullExport bool
+	// MaxFingerprints bounds the per-rule persistent shipped-binding
+	// fingerprint set (0 = 1<<20). On overflow the rule's export state is
+	// reset, degrading the next session to a full export.
+	MaxFingerprints int
 	// Clock supplies timestamps (UnixNano); nil uses a zero clock, which
 	// keeps pure-core tests deterministic. The peer layer injects real
 	// time.
@@ -118,6 +142,11 @@ type Result struct {
 	AnswersSID string
 	// Finished lists sessions that completed during this call.
 	Finished []Finished
+	// Errors lists chase/eval failures encountered while exporting or
+	// streaming answers. The session keeps going (termination must still
+	// be reached), but its result may be incomplete; the per-session
+	// report counts them as EvalErrors.
+	Errors []error
 }
 
 func (r *Result) send(to string, p msg.Payload) {
@@ -157,12 +186,34 @@ func (r *Result) merge(other Result) {
 	r.Out = append(r.Out, other.Out...)
 	r.Answers = append(r.Answers, other.Answers...)
 	r.Finished = append(r.Finished, other.Finished...)
+	r.Errors = append(r.Errors, other.Errors...)
 }
 
 // ruleState is one coordination rule known to this node.
 type ruleState struct {
 	rule *cq.Rule
 	text string
+}
+
+// exportState is one incoming link's persistent export state: it survives
+// sessions (and, via ExportState/RestoreExportState, process restarts), so
+// a later session exports only what changed since the watermark and never
+// re-ships a binding the importer already materialised.
+//
+// Like the per-session sent caches, the fingerprints record *sends*, not
+// deliveries: a data message written off by the termination detector on a
+// failed pipe (Report.CompensatedLost != 0, which already signals possibly
+// incomplete materialisation) stays suppressed in later sessions too. The
+// recovery paths are ResetExportStateToward (used when an importer is known
+// to have lost its data), a FullExport configuration, or dropping the state
+// file — set semantics make blanket re-ships safe.
+type exportState struct {
+	// watermark is the storage LSN up to which the rule's body relations
+	// have been evaluated and exported.
+	watermark uint64
+	// shipped fingerprints every binding shipped through the rule (by
+	// tuple key), across sessions.
+	shipped map[string]bool
 }
 
 // Node is the algorithm state machine for one peer.
@@ -174,6 +225,19 @@ type Node struct {
 	sessions map[string]*session
 	ds       *diffuse.Engine
 	reports  []msg.UpdateReport
+
+	// tracker is the wrapper's change-capture interface (nil when the
+	// storage has none); exports holds the per-rule persistent export
+	// state of the incremental machinery (Source == Self rules only).
+	// pendingExports buffers restored snapshots for rules not yet
+	// declared (see RestoreExportState).
+	tracker        ChangeTracker
+	exports        map[string]*exportState
+	pendingExports map[string]ExportSnapshot
+	// exportsChanged counts mutations of the export state (watermark
+	// advances, new fingerprints, resets), so the peer layer persists only
+	// when something actually changed.
+	exportsChanged uint64
 
 	// deferAcks batches acknowledgement flushes across a burst of Handle
 	// calls; dirty tracks the sessions awaiting a flush. See DeferAcks.
@@ -215,6 +279,10 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.MaxReports == 0 {
 		cfg.MaxReports = 128
 	}
+	if cfg.MaxFingerprints == 0 {
+		cfg.MaxFingerprints = 1 << 20
+	}
+	tracker, _ := cfg.Wrapper.(ChangeTracker)
 	return &Node{
 		cfg:      cfg,
 		maxDepth: maxDepth,
@@ -223,6 +291,8 @@ func NewNode(cfg Config) (*Node, error) {
 		sessions: make(map[string]*session),
 		ds:       diffuse.New(cfg.Self),
 		dirty:    make(map[string]*session),
+		tracker:  tracker,
+		exports:  make(map[string]*exportState),
 	}, nil
 }
 
@@ -282,7 +352,19 @@ func (n *Node) addParsedRule(rule *cq.Rule, text string) error {
 	if prev, ok := n.rules[rule.ID]; ok && prev.text == text {
 		return nil // idempotent re-add
 	}
-	n.rules[rule.ID] = &ruleState{rule: rule, text: text}
+	// A redefined rule invalidates its export state: the old watermark and
+	// fingerprints describe a different query. (Pending restored snapshots
+	// are kept for the text check below.)
+	if _, ok := n.exports[rule.ID]; ok {
+		delete(n.exports, rule.ID)
+		n.exportsChanged++
+	}
+	rs := &ruleState{rule: rule, text: text}
+	n.rules[rule.ID] = rs
+	if snap, ok := n.pendingExports[rule.ID]; ok {
+		delete(n.pendingExports, rule.ID)
+		n.installExportSnapshot(rs, snap)
+	}
 	n.invalidateRuleCaches()
 	if rule.Target == n.cfg.Self {
 		a, err := chase.NewApplier(rule, n.chaseOpts())
@@ -298,13 +380,43 @@ func (n *Node) addParsedRule(rule *cq.Rule, text string) error {
 func (n *Node) RemoveRule(id string) {
 	delete(n.rules, id)
 	delete(n.appliers, id)
+	n.dropExportState(id)
 	n.invalidateRuleCaches()
 }
+
+// dropExportState forgets one rule's export state (counted as a change
+// only when there was state to forget).
+func (n *Node) dropExportState(id string) {
+	if _, ok := n.exports[id]; ok {
+		delete(n.exports, id)
+		n.exportsChanged++
+	}
+	delete(n.pendingExports, id)
+}
+
+// ResetExportStateToward forgets the export state of every rule importing
+// into the given peer. Callers use it when that peer's materialised data is
+// known to be gone (it left the network, or was rebuilt from scratch):
+// the watermarks and fingerprints assert "the importer already has this",
+// which no longer holds, so the next session degrades to a full export and
+// re-materialises the importer completely.
+func (n *Node) ResetExportStateToward(peer string) {
+	for id, rs := range n.rules {
+		if rs.rule.Source == n.cfg.Self && rs.rule.Target == peer {
+			n.dropExportState(id)
+		}
+	}
+}
+
+// ExportStateVersion returns a counter that advances whenever the export
+// state mutates; the peer layer persists the state only when it moved.
+func (n *Node) ExportStateVersion() uint64 { return n.exportsChanged }
 
 // SetRules replaces the whole rule set (dynamic reconfiguration by the
 // super-peer). Rules not involving this node are ignored, matching the
 // paper's "each peer looks for relevant coordination rules".
 func (n *Node) SetRules(defs []msg.RuleDef) error {
+	old, oldAppliers := n.rules, n.appliers
 	n.rules = make(map[string]*ruleState)
 	n.appliers = make(map[string]*chase.Applier)
 	n.invalidateRuleCaches()
@@ -316,11 +428,111 @@ func (n *Node) SetRules(defs []msg.RuleDef) error {
 		if rule.Source != n.cfg.Self && rule.Target != n.cfg.Self {
 			continue
 		}
+		// Carry unchanged rules (and their appliers) into the fresh maps,
+		// so addParsedRule's idempotent early-return preserves their
+		// export state instead of invalidating it.
+		if prev, ok := old[rule.ID]; ok && prev.text == d.Text {
+			n.rules[rule.ID] = prev
+			if a, ok := oldAppliers[rule.ID]; ok {
+				n.appliers[rule.ID] = a
+			}
+		}
 		if err := n.addParsedRule(rule, d.Text); err != nil {
 			return err
 		}
 	}
+	// Export state of rules the new configuration dropped goes with them
+	// (addParsedRule already invalidated redefined ones).
+	for id := range n.exports {
+		if _, ok := n.rules[id]; !ok {
+			delete(n.exports, id)
+			n.exportsChanged++
+		}
+	}
 	return nil
+}
+
+// ExportSnapshot is the serialisable export state of one incoming link.
+type ExportSnapshot struct {
+	// RuleText pins the snapshot to one rule definition: state restored
+	// for a rule whose text has changed is discarded.
+	RuleText string
+	// Watermark is the storage LSN up to which the rule's body relations
+	// have been exported.
+	Watermark uint64
+	// Shipped lists the binding keys already shipped through the rule.
+	Shipped []string
+}
+
+// ExportState snapshots the persistent per-rule export state (watermarks
+// plus shipped-binding fingerprints), for the peer layer to persist across
+// process restarts.
+func (n *Node) ExportState() map[string]ExportSnapshot {
+	out := make(map[string]ExportSnapshot, len(n.exports))
+	for id, es := range n.exports {
+		rs, ok := n.rules[id]
+		if !ok {
+			continue
+		}
+		shipped := make([]string, 0, len(es.shipped))
+		for k := range es.shipped {
+			shipped = append(shipped, k)
+		}
+		out[id] = ExportSnapshot{RuleText: rs.text, Watermark: es.watermark, Shipped: shipped}
+	}
+	return out
+}
+
+// RestoreExportState installs a previously snapshotted export state. Rules
+// are typically declared after construction, so snapshots wait in a pending
+// set and attach when a matching rule arrives. An entry that cannot be
+// trusted is dropped, degrading that rule to a full first export: a changed
+// rule definition, a watermark ahead of the storage's current LSN (the
+// state file outlived the data), or a wrapper without change capture.
+func (n *Node) RestoreExportState(state map[string]ExportSnapshot) {
+	if n.tracker == nil || n.cfg.FullExport {
+		return
+	}
+	if n.pendingExports == nil {
+		n.pendingExports = make(map[string]ExportSnapshot, len(state))
+	}
+	for id, snap := range state {
+		if rs, ok := n.rules[id]; ok {
+			n.installExportSnapshot(rs, snap)
+			continue
+		}
+		n.pendingExports[id] = snap
+	}
+}
+
+// installExportSnapshot validates one restored snapshot against the (now
+// known) rule and the storage state, installing it only when safe.
+func (n *Node) installExportSnapshot(rs *ruleState, snap ExportSnapshot) {
+	if n.tracker == nil || n.cfg.FullExport {
+		return
+	}
+	if rs.rule.Source != n.cfg.Self || snap.RuleText != rs.text {
+		return
+	}
+	if snap.Watermark > n.tracker.LSN() || len(snap.Shipped) > n.cfg.MaxFingerprints {
+		return
+	}
+	shipped := make(map[string]bool, len(snap.Shipped))
+	for _, k := range snap.Shipped {
+		shipped[k] = true
+	}
+	n.exports[rs.rule.ID] = &exportState{watermark: snap.Watermark, shipped: shipped}
+	n.exportsChanged++
+}
+
+// ExportWatermarks reports each incoming link's persistent LSN watermark
+// (diagnostics and tests).
+func (n *Node) ExportWatermarks() map[string]uint64 {
+	out := make(map[string]uint64, len(n.exports))
+	for id, es := range n.exports {
+		out[id] = es.watermark
+	}
+	return out
 }
 
 // Rules returns the known rules, sorted by ID.

@@ -127,7 +127,7 @@ func (n *Node) joinUpdate(s *session, r *Result) {
 	}
 	s.joined = true
 	for _, rule := range n.Incoming() {
-		n.exportFull(s, rule, rule.Target, r)
+		n.exportSince(s, rule, rule.Target, r)
 	}
 	if !s.flooded {
 		s.flooded = true
@@ -206,11 +206,11 @@ func (n *Node) handleRequest(from string, req *msg.SessionRequest) Result {
 		n.joinUpdate(s, &r)
 		// Export any requested link the join pass did not cover (rules
 		// adopted just now are covered by joinUpdate only if joined here;
-		// re-run export for listed rules explicitly — exportFull is
+		// re-run export for listed rules explicitly — exportSince is
 		// idempotent per session).
 		for _, d := range req.Rules {
 			if rs, ok := n.rules[d.ID]; ok && rs.rule.Source == n.cfg.Self {
-				n.exportFull(s, rs.rule, rs.rule.Target, &r)
+				n.exportSince(s, rs.rule, rs.rule.Target, &r)
 			}
 		}
 
@@ -234,7 +234,7 @@ func (n *Node) handleRequest(from string, req *msg.SessionRequest) Result {
 			}
 			listed = append(listed, rule)
 			s.activeIncoming[rule.ID] = rule.Target
-			n.exportFull(s, rule, rule.Target, &r)
+			n.exportSince(s, rule, rule.Target, &r)
 		}
 		// Forward to the outgoing links relevant to what was requested.
 		var relevant []*cq.Rule
@@ -269,6 +269,9 @@ func (n *Node) handleData(from string, d *msg.SessionData) Result {
 	s.rep.MsgsPerRule[d.RuleID]++
 	s.rep.BytesPerRule[d.RuleID] += d.Size()
 	s.rep.TuplesPerRule[d.RuleID] += len(d.Bindings)
+	if d.Mode == msg.ExportIncremental {
+		s.rep.IncrementalMsgs++
+	}
 	if len(d.Path) > s.rep.LongestPath {
 		s.rep.LongestPath = len(d.Path)
 	}
@@ -364,25 +367,155 @@ func (n *Node) handleDone(from string, d *msg.SessionDone) Result {
 	return r
 }
 
-// exportFull runs the initial full evaluation of an incoming link and ships
-// the bindings to the importer. Idempotent per session.
-func (n *Node) exportFull(s *session, rule *cq.Rule, to string, r *Result) {
+// noteEvalError counts a chase/eval failure in the session report and
+// surfaces it on the Result; the session continues (termination must still
+// be reached) but its outcome may be incomplete.
+func (n *Node) noteEvalError(s *session, r *Result, err error) {
+	s.rep.EvalErrors++
+	r.Errors = append(r.Errors, fmt.Errorf("core: %s session %s: %w", s.kind, s.sid, err))
+}
+
+// incrementalFor reports whether cross-session incremental export applies
+// to the given session: the wrapper must capture changes, FullExport must
+// be off, and the session must materialise at the importer (query sessions
+// sink into per-session overlays that are discarded at completion, so
+// nothing shipped for one query can be assumed present for the next).
+func (n *Node) incrementalFor(s *session) bool {
+	return n.tracker != nil && !n.cfg.FullExport && s.kind != msg.KindQuery
+}
+
+// exportSince runs the initial evaluation of an incoming link for a session
+// and ships the bindings to the importer. Idempotent per session.
+//
+// This is the cross-session refactor of the seed's exportFull: when the
+// wrapper captures changes, the link keeps a persistent LSN watermark (the
+// commit horizon up to which its body relations have been exported) and
+// only tuples committed past it are evaluated, through the same semi-naive
+// machinery the in-session delta step uses. The first session, lost change
+// history (deletes, changelog truncation, restart past a checkpoint), and
+// the FullExport toggle all fall back to a full evaluation.
+func (n *Node) exportSince(s *session, rule *cq.Rule, to string, r *Result) {
 	if s.evaluated[rule.ID] {
 		return
 	}
 	s.evaluated[rule.ID] = true
-	bindings, err := chase.Bindings(rule, n.sessionView(s), n.chaseOpts())
-	if err != nil {
-		return
+
+	mode := msg.ExportFull
+	var bindings []relation.Tuple
+	var skipped int
+	full := func() bool {
+		bs, err := chase.Bindings(rule, n.sessionView(s), n.chaseOpts())
+		if err != nil {
+			n.noteEvalError(s, r, fmt.Errorf("export %s: %w", rule.ID, err))
+			return false
+		}
+		bindings = bs
+		return true
 	}
-	n.sendData(s, rule, to, bindings, []string{n.cfg.Self}, r)
+
+	es := n.exports[rule.ID]
+	switch {
+	case !n.incrementalFor(s):
+		if !full() {
+			return
+		}
+	case es == nil:
+		// First session for this link: full export establishes the
+		// watermark and the fingerprint base.
+		cur := n.tracker.LSN()
+		if !full() {
+			return
+		}
+		n.exports[rule.ID] = &exportState{watermark: cur, shipped: make(map[string]bool)}
+		n.exportsChanged++
+	default:
+		cur := n.tracker.LSN()
+		deltas := make(map[string][]relation.Tuple)
+		intact := true
+		for _, rel := range rule.BodyRelations() {
+			delta, ok := n.tracker.Changes(rel, es.watermark)
+			if !ok {
+				intact = false
+				break
+			}
+			if len(delta) > 0 {
+				deltas[rel] = delta
+			}
+			skipped += n.cfg.Wrapper.Count(rel) - len(delta)
+		}
+		if !intact {
+			mode, skipped = msg.ExportFallback, 0
+			if !full() {
+				return
+			}
+		} else {
+			mode = msg.ExportIncremental
+			bs, evalFailed := n.deltaBindings(s, rule, deltas, r)
+			bindings = bs
+			if evalFailed {
+				// A failed delta evaluation must stay above the
+				// watermark: ship what did evaluate (fingerprints keep
+				// re-derivations off the wire), but let the next session
+				// re-attempt the whole delta instead of permanently
+				// losing the failed relation's tuples.
+				n.sendData(s, rule, to, bindings, []string{n.cfg.Self}, mode, skipped, r)
+				s.rep.ExportsIncremental++
+				s.rep.SkippedByWatermark += skipped
+				return
+			}
+		}
+		if es.watermark != cur {
+			es.watermark = cur
+			n.exportsChanged++
+		}
+	}
+
+	switch mode {
+	case msg.ExportIncremental:
+		s.rep.ExportsIncremental++
+		s.rep.SkippedByWatermark += skipped
+	case msg.ExportFallback:
+		s.rep.ExportsFallback++
+	default:
+		s.rep.ExportsFull++
+	}
+	n.sendData(s, rule, to, bindings, []string{n.cfg.Self}, mode, skipped, r)
 }
 
-// exportDelta re-evaluates an incoming link against the fresh tuples and
-// ships any new bindings.
+// deltaBindings evaluates a rule semi-naively over per-relation deltas,
+// deduplicating bindings produced through more than one delta relation.
+// evalFailed reports whether any per-relation evaluation errored (the
+// returned bindings then cover only the relations that succeeded).
+func (n *Node) deltaBindings(s *session, rule *cq.Rule, deltas map[string][]relation.Tuple, r *Result) (bindings []relation.Tuple, evalFailed bool) {
+	v := n.sessionView(s)
+	seen := make(map[string]bool)
+	for _, rel := range rule.BodyRelations() {
+		delta := deltas[rel]
+		if len(delta) == 0 {
+			continue
+		}
+		bs, err := chase.BindingsDelta(rule, v, rel, delta, n.chaseOpts())
+		if err != nil {
+			n.noteEvalError(s, r, fmt.Errorf("delta export %s over %s: %w", rule.ID, rel, err))
+			evalFailed = true
+			continue
+		}
+		for _, b := range bs {
+			k := b.Key()
+			if !seen[k] {
+				seen[k] = true
+				bindings = append(bindings, b)
+			}
+		}
+	}
+	return bindings, evalFailed
+}
+
+// exportDelta re-evaluates an incoming link against the fresh tuples of the
+// running session (the in-session semi-naive step) and ships any new
+// bindings.
 func (n *Node) exportDelta(s *session, rule *cq.Rule, to string, fresh map[string][]relation.Tuple, path []string, r *Result) {
 	reads := rule.BodyRelations()
-	v := n.sessionView(s)
 	var bindings []relation.Tuple
 	if n.cfg.Naive {
 		// A1 ablation: recompute the link in full.
@@ -396,36 +529,24 @@ func (n *Node) exportDelta(s *session, rule *cq.Rule, to string, fresh map[strin
 		if !touched {
 			return
 		}
-		bs, err := chase.Bindings(rule, v, n.chaseOpts())
+		bs, err := chase.Bindings(rule, n.sessionView(s), n.chaseOpts())
 		if err != nil {
+			n.noteEvalError(s, r, fmt.Errorf("naive re-export %s: %w", rule.ID, err))
 			return
 		}
 		bindings = bs
 	} else {
-		seen := make(map[string]bool)
-		for _, rel := range reads {
-			delta := fresh[rel]
-			if len(delta) == 0 {
-				continue
-			}
-			bs, err := chase.BindingsDelta(rule, v, rel, delta, n.chaseOpts())
-			if err != nil {
-				continue
-			}
-			for _, b := range bs {
-				k := b.Key()
-				if !seen[k] {
-					seen[k] = true
-					bindings = append(bindings, b)
-				}
-			}
-		}
+		// Failed per-relation evaluations are counted inside; ship what
+		// did evaluate (the session stays live either way).
+		bs, _ := n.deltaBindings(s, rule, fresh, r)
+		bindings = bs
 	}
-	n.sendData(s, rule, to, bindings, path, r)
+	n.sendData(s, rule, to, bindings, path, msg.ExportSessionDelta, 0, r)
 }
 
-// sendData filters against the link's sent cache and ships one data batch.
-func (n *Node) sendData(s *session, rule *cq.Rule, to string, bindings []relation.Tuple, path []string, r *Result) {
+// sendData filters the bindings against the link's session sent cache and
+// its persistent shipped-fingerprint set, then ships one data batch.
+func (n *Node) sendData(s *session, rule *cq.Rule, to string, bindings []relation.Tuple, path []string, mode msg.ExportMode, skipped int, r *Result) {
 	if !n.cfg.DisableDedup {
 		sent := s.sentSet(rule.ID)
 		kept := bindings[:0:0]
@@ -437,6 +558,32 @@ func (n *Node) sendData(s *session, rule *cq.Rule, to string, bindings []relatio
 			}
 		}
 		bindings = kept
+
+		// Cross-session suppression: a binding shipped in an earlier
+		// update session is already materialised at the importer. The
+		// state advances inside running sessions too, so the in-session
+		// delta step contributes to the next session's savings.
+		if es := n.exports[rule.ID]; es != nil && n.incrementalFor(s) {
+			kept := bindings[:0:0]
+			for _, b := range bindings {
+				k := b.Key()
+				if !es.shipped[k] {
+					es.shipped[k] = true
+					kept = append(kept, b)
+				}
+			}
+			s.rep.SuppressedBindings += len(bindings) - len(kept)
+			bindings = kept
+			if len(kept) > 0 {
+				n.exportsChanged++
+			}
+			if len(es.shipped) > n.cfg.MaxFingerprints {
+				// Bound the memory: drop the state; the next session
+				// re-exports in full (set semantics make that safe).
+				delete(n.exports, rule.ID)
+				n.exportsChanged++
+			}
+		}
 	}
 	if len(bindings) == 0 {
 		return
@@ -450,6 +597,8 @@ func (n *Node) sendData(s *session, rule *cq.Rule, to string, bindings []relatio
 		Bindings: bindings,
 		Path:     path,
 		Seq:      s.seqOut[rule.ID],
+		Mode:     mode,
+		Skipped:  skipped,
 	}
 	r.send(to, data)
 	n.ds.Sent(s.sid, to, 1)
@@ -463,6 +612,7 @@ func (n *Node) sendData(s *session, rule *cq.Rule, to string, bindings []relatio
 func (n *Node) streamAnswers(s *session, r *Result) {
 	answers, err := cq.Eval(s.query, n.sessionView(s), n.cfg.Eval)
 	if err != nil {
+		n.noteEvalError(s, r, fmt.Errorf("query eval: %w", err))
 		return
 	}
 	r.AnswersSID = s.sid

@@ -48,6 +48,15 @@ func (w *StoreWrapper) InsertMany(rel string, ts []relation.Tuple) ([]relation.T
 // Count implements Wrapper.
 func (w *StoreWrapper) Count(rel string) int { return w.db.Count(rel) }
 
+// LSN implements ChangeTracker: the engine's commit sequence number.
+func (w *StoreWrapper) LSN() uint64 { return w.db.LSN() }
+
+// Changes implements ChangeTracker: the tuples committed after sinceLSN,
+// with ok=false when the engine's changelog no longer covers that horizon.
+func (w *StoreWrapper) Changes(rel string, sinceLSN uint64) ([]relation.Tuple, bool) {
+	return w.db.Changes(rel, sinceLSN)
+}
+
 // MediatorWrapper is the Wrapper for a node whose LDB is absent (the dashed
 // rectangle of the paper's Figure 1): the schema must still be specified,
 // and "all required database operations (as join and project) are executed
@@ -98,6 +107,7 @@ func (w *MediatorWrapper) Count(rel string) int { return len(w.data[rel]) }
 func (w *MediatorWrapper) Reset() { w.data = relation.NewInstance() }
 
 var (
-	_ Wrapper = (*StoreWrapper)(nil)
-	_ Wrapper = (*MediatorWrapper)(nil)
+	_ Wrapper       = (*StoreWrapper)(nil)
+	_ Wrapper       = (*MediatorWrapper)(nil)
+	_ ChangeTracker = (*StoreWrapper)(nil)
 )

@@ -15,6 +15,7 @@ import (
 	"codb/internal/core"
 	"codb/internal/cq"
 	"codb/internal/peer"
+	"codb/internal/relation"
 	"codb/internal/storage"
 	"codb/internal/topo"
 	"codb/internal/transport"
@@ -52,6 +53,11 @@ type Params struct {
 	// DisableOutbox sends synchronously per message (the unbatched
 	// baseline of the batching benchmarks).
 	DisableOutbox bool
+	// FullExport disables cross-session incremental export: repeated
+	// update sessions re-evaluate and re-ship every link in full (the
+	// paper-faithful baseline of B2, and the steady-state re-ship
+	// behaviour the repeated-update benchmarks measure).
+	FullExport bool
 }
 
 // Result aggregates one run.
@@ -72,6 +78,16 @@ type Result struct {
 	// whenever coalescing packed messages together.
 	Frames    int
 	WireBytes int
+	// Incremental-export statistics, summed network-wide: initial link
+	// exports by mode, body tuples the LSN watermarks let exporters skip
+	// re-evaluating, bindings the persistent fingerprint sets kept off the
+	// wire, and chase/eval errors surfaced during the session.
+	ExportsFull        int
+	ExportsIncremental int
+	ExportsFallback    int
+	SkippedByWatermark int
+	SuppressedBindings int
+	EvalErrors         int
 }
 
 // Net is a built, seeded network ready for measurement.
@@ -154,6 +170,7 @@ func Build(p Params) (*Net, error) {
 			Eval:          eval,
 			DisableDedup:  p.DisableDedup,
 			Naive:         p.Naive,
+			FullExport:    p.FullExport,
 			DisableOutbox: p.DisableOutbox,
 		})
 		if err != nil {
@@ -208,11 +225,13 @@ func RunUpdate(ctx context.Context, p Params) (Result, error) {
 }
 
 // RunUpdateOn runs one measured global update on an already-built network,
-// so benchmarks can amortise the build across iterations. Updates are
-// repeatable: per-link sent caches are per-session, so a later session
-// re-ships the full frontier over the same pipes (materialising nothing
-// new) — steady-state messaging without the rebuild cost. Frames and
-// WireBytes are deltas for this run.
+// so benchmarks can amortise the build across iterations. With
+// Params.FullExport, updates are repeatable re-ships: per-link sent caches
+// are per-session, so a later session re-ships the full frontier over the
+// same pipes (materialising nothing new) — steady-state messaging without
+// the rebuild cost. In the default incremental mode, later sessions ship
+// only what changed since the previous one (that delta is what B2
+// measures). Frames and WireBytes are deltas for this run.
 func RunUpdateOn(ctx context.Context, net *Net) (Result, error) {
 	frames0, bytes0 := net.FramesSent()
 	start := time.Now()
@@ -250,6 +269,12 @@ func collect(ctx context.Context, net *Net, sid string, res *Result) {
 				res.NewTuples += rep.NewTuples
 				res.ClosedEarly += rep.LinksClosedEarly
 				res.ClosedForce += rep.LinksClosedForced
+				res.ExportsFull += rep.ExportsFull
+				res.ExportsIncremental += rep.ExportsIncremental
+				res.ExportsFallback += rep.ExportsFallback
+				res.SkippedByWatermark += rep.SkippedByWatermark
+				res.SuppressedBindings += rep.SuppressedBindings
+				res.EvalErrors += rep.EvalErrors
 				for _, n := range rep.TuplesPerRule {
 					res.TotalTuples += n
 				}
@@ -317,6 +342,72 @@ func RunQueryMaterialised(ctx context.Context, p Params) (Result, error) {
 	res := Result{Params: p, Wall: time.Since(start), Answers: len(answers)}
 	collect(ctx, net, urep.SID, &res)
 	return res, nil
+}
+
+// RunRounds is the B2 programme on one network: an initial update over the
+// seed data (round 0), then rounds-1 repetitions of "commit a small burst
+// of fresh tuples at every node, run a global update". The per-round
+// results expose what each session actually shipped, so incremental export
+// (default) can be compared against Params.FullExport re-shipping. The
+// final per-peer contents of data are returned for cross-mode equality
+// checks.
+func RunRounds(ctx context.Context, p Params, rounds, burst int) ([]Result, map[string][]relation.Tuple, error) {
+	net, err := Build(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer net.Close()
+	results := make([]Result, 0, rounds)
+	for round := 0; round < rounds; round++ {
+		if round > 0 {
+			// Burst keys live far above the workload generator's ranges,
+			// so every round commits genuinely fresh tuples.
+			nodeIdx := 0
+			for _, node := range net.Cfg.Nodes {
+				tuples := make([]relation.Tuple, burst)
+				for i := range tuples {
+					k := 10_000_000 + round*1_000_000 + nodeIdx*burst + i
+					tuples[i] = relation.Tuple{relation.Int(k), relation.Int(round)}
+				}
+				if err := net.Peers[node.Name].Insert("data", tuples...); err != nil {
+					return nil, nil, err
+				}
+				nodeIdx++
+			}
+		}
+		res, err := RunUpdateOn(ctx, net)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Params = p
+		results = append(results, res)
+	}
+	states := make(map[string][]relation.Tuple, len(net.Peers))
+	for name, pr := range net.Peers {
+		states[name] = pr.Tuples("data")
+	}
+	return results, states, nil
+}
+
+// StatesEqual compares two per-peer state snapshots (as RunRounds returns
+// them) for exact equality; Tuples returns key order, so a positional
+// comparison suffices.
+func StatesEqual(a, b map[string][]relation.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for name, ta := range a {
+		tb, ok := b[name]
+		if !ok || len(ta) != len(tb) {
+			return false
+		}
+		for i := range ta {
+			if ta[i].Key() != tb[i].Key() {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Header returns the experiment table header.

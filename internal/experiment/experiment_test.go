@@ -208,3 +208,51 @@ func TestFanoutOverTCP(t *testing.T) {
 		t.Errorf("batched frames %d, unbatched %d: coalescing had no effect", res.Frames, unb.Frames)
 	}
 }
+
+// TestIncrementalRoundsConvergeAndSave locks in the B2 programme: after the
+// first round, incremental sessions ship a small multiple of the burst
+// instead of the whole extent, and both modes converge to identical
+// databases.
+func TestIncrementalRoundsConvergeAndSave(t *testing.T) {
+	p := Params{Shape: topo.Chain, Nodes: 4, TuplesPerNode: 40, Seed: 11}
+	const rounds, burst = 3, 5
+
+	incr, incrStates, err := RunRounds(ctxT(t), p, rounds, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullP := p
+	fullP.FullExport = true
+	full, fullStates, err := RunRounds(ctxT(t), fullP, rounds, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !StatesEqual(incrStates, fullStates) {
+		t.Fatal("incremental and full exports converged to different databases")
+	}
+	if incr[0].NewTuples != full[0].NewTuples {
+		t.Errorf("round 0 diverged: %d vs %d new tuples", incr[0].NewTuples, full[0].NewTuples)
+	}
+	var incrShipped, fullShipped int
+	for _, r := range incr[1:] {
+		incrShipped += r.TotalTuples
+	}
+	for _, r := range full[1:] {
+		fullShipped += r.TotalTuples
+	}
+	if incrShipped == 0 {
+		t.Fatal("incremental rounds shipped nothing; the bursts were lost")
+	}
+	if fullShipped < 5*incrShipped {
+		t.Errorf("full re-export shipped %d tuples vs incremental %d: want >= 5x savings",
+			fullShipped, incrShipped)
+	}
+	if incr[1].ExportsIncremental == 0 || incr[1].SkippedByWatermark == 0 {
+		t.Errorf("round 1 counters: incr exports=%d skipped=%d, want both nonzero",
+			incr[1].ExportsIncremental, incr[1].SkippedByWatermark)
+	}
+	if full[1].ExportsIncremental != 0 {
+		t.Errorf("FullExport mode ran %d incremental exports", full[1].ExportsIncremental)
+	}
+}

@@ -103,11 +103,49 @@ func (m *SessionRequest) Size() int {
 	return n
 }
 
+// ExportMode records how the exporter produced a SessionData batch, so the
+// statistical module can attribute wire savings to the cross-session
+// incremental machinery.
+type ExportMode uint8
+
+const (
+	// ExportFull is a full evaluation of the link (first session, paper-
+	// faithful FullExport mode, or a wrapper without change capture).
+	ExportFull ExportMode = iota
+	// ExportIncremental is a cross-session incremental export: only tuples
+	// committed past the link's persistent LSN watermark were evaluated.
+	ExportIncremental
+	// ExportFallback is a full re-evaluation forced by lost change history
+	// (changelog truncation, deletes, or a restart past a checkpoint).
+	ExportFallback
+	// ExportSessionDelta is the in-session semi-naive step: a re-export
+	// triggered by data that arrived during the same session.
+	ExportSessionDelta
+)
+
+// String names the mode.
+func (m ExportMode) String() string {
+	switch m {
+	case ExportFull:
+		return "full"
+	case ExportIncremental:
+		return "incremental"
+	case ExportFallback:
+		return "fallback"
+	case ExportSessionDelta:
+		return "delta"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
 // SessionData ships frontier bindings for one coordination rule from its
 // source node to its target node. Kind and Origin let a node that first
 // hears of a session through data (updates push proactively) join it. Path
 // is the update propagation path the data has travelled (for the
 // longest-path statistic); Seq numbers the batches per (session, rule).
+// Mode tells the importer how the batch was produced; Skipped counts the
+// body tuples the exporter's watermark let it skip re-evaluating.
 type SessionData struct {
 	SID      string
 	Kind     Kind
@@ -116,6 +154,8 @@ type SessionData struct {
 	Bindings []relation.Tuple
 	Path     []string
 	Seq      int
+	Mode     ExportMode
+	Skipped  int
 }
 
 // Size implements Payload.
@@ -219,6 +259,21 @@ type UpdateReport struct {
 	// delivered, i.e. possibly incomplete materialisation on a dynamic
 	// network.
 	CompensatedLost int
+	// ExportsFull / ExportsIncremental / ExportsFallback count this node's
+	// initial link exports by mode (see ExportMode); SkippedByWatermark
+	// counts body tuples the persistent LSN watermarks let incremental
+	// exports skip re-evaluating; SuppressedBindings counts bindings the
+	// persistent shipped-fingerprint sets kept off the wire.
+	ExportsFull, ExportsIncremental, ExportsFallback int
+	SkippedByWatermark                               int
+	SuppressedBindings                               int
+	// IncrementalMsgs counts received SessionData batches produced by
+	// cross-session incremental exports.
+	IncrementalMsgs int
+	// EvalErrors counts chase/eval failures during this node's exports and
+	// answer streaming; nonzero means the session's result may be
+	// incomplete (the errors are also surfaced on core.Result).
+	EvalErrors int
 }
 
 // StatsReport returns a peer's reports to the super-peer.

@@ -46,12 +46,13 @@ type Options struct {
 	// Directory seeds the node -> dial-address map used to establish
 	// pipes (TCP); in-process buses resolve names themselves.
 	Directory map[string]string
-	// MaxDepth, Eval, DisableDedup, Naive tune the algorithm; see
-	// core.Config.
+	// MaxDepth, Eval, DisableDedup, Naive, FullExport tune the algorithm;
+	// see core.Config.
 	MaxDepth     int
 	Eval         cq.EvalOptions
 	DisableDedup bool
 	Naive        bool
+	FullExport   bool
 	// DisableOutbox bypasses the asynchronous outbound pipeline and sends
 	// synchronously per message, as the seed implementation did (the
 	// unbatched baseline of the batching benchmarks).
@@ -67,11 +68,13 @@ type Options struct {
 
 // Peer is a running coDB node.
 type Peer struct {
-	name   string
-	node   *core.Node
-	tr     transport.Transport
-	outbox *transport.Outbox // == tr unless Options.DisableOutbox
-	log    *slog.Logger
+	name       string
+	node       *core.Node
+	tr         transport.Transport
+	outbox     *transport.Outbox // == tr unless Options.DisableOutbox
+	statePath  string            // export-state sidecar file ("" = not durable)
+	stateSaved uint64            // node.ExportStateVersion() at the last save
+	log        *slog.Logger
 
 	inbox chan any // envelopes and commands, consumed by the actor loop
 
@@ -110,6 +113,7 @@ func New(opts Options) (*Peer, error) {
 		Eval:         opts.Eval,
 		DisableDedup: opts.DisableDedup,
 		Naive:        opts.Naive,
+		FullExport:   opts.FullExport,
 		Clock:        func() int64 { return time.Now().UnixNano() },
 	})
 	if err != nil {
@@ -119,10 +123,21 @@ func New(opts Options) (*Peer, error) {
 	if log == nil {
 		log = slog.New(slog.DiscardHandler)
 	}
+	// Durable peers restore the incremental-export watermarks persisted
+	// next to their database; failures only cost a full re-export.
+	statePath := exportStatePath(opts.Wrapper)
+	if statePath != "" {
+		if state, err := loadExportState(statePath); err != nil {
+			log.Warn("export state unreadable, starting full", "peer", opts.Name, "err", err)
+		} else if len(state) > 0 {
+			node.RestoreExportState(state)
+		}
+	}
 	p := &Peer{
 		name:       opts.Name,
 		node:       node,
 		tr:         opts.Transport,
+		statePath:  statePath,
 		log:        log.With("peer", opts.Name),
 		inbox:      make(chan any, inboxCap),
 		directory:  make(map[string]string),
@@ -380,6 +395,9 @@ func (p *Peer) dispatch(res core.Result) {
 	for _, out := range res.GroupedOut() {
 		p.sendSessionMsg(out)
 	}
+	for _, err := range res.Errors {
+		p.log.Warn("eval error during session", "err", err)
+	}
 	// Answers must reach their waiter before Finished closes it.
 	if len(res.Answers) > 0 {
 		if w, ok := p.queries[res.AnswersSID]; ok {
@@ -390,6 +408,11 @@ func (p *Peer) dispatch(res core.Result) {
 	}
 	for _, f := range res.Finished {
 		p.log.Debug("session finished", "sid", f.SID, "initiator", f.Initiator)
+		// Materialising sessions advance the export watermarks; persist
+		// them so a restarted peer resumes incrementally.
+		if f.Report.Kind != msg.KindQuery {
+			p.persistExportState()
+		}
 		if ch, ok := p.updates[f.SID]; ok {
 			ch <- f.Report
 			delete(p.updates, f.SID)
@@ -823,6 +846,46 @@ func (p *Peer) Reports() []msg.UpdateReport {
 	var out []msg.UpdateReport
 	p.do(func() { out = p.node.Reports() })
 	return out
+}
+
+// ExportWatermarks reports each incoming link's persistent incremental-
+// export LSN watermark (empty before the first materialising session and
+// under FullExport).
+func (p *Peer) ExportWatermarks() map[string]uint64 {
+	var out map[string]uint64
+	p.do(func() { out = p.node.ExportWatermarks() })
+	return out
+}
+
+// persistExportState writes the export state to the sidecar file when the
+// peer is durable and the state changed since the last save. Runs inside
+// the actor loop.
+func (p *Peer) persistExportState() {
+	if p.statePath == "" {
+		return
+	}
+	v := p.node.ExportStateVersion()
+	if v == p.stateSaved {
+		return
+	}
+	if err := saveExportState(p.statePath, p.node.ExportState()); err != nil {
+		p.log.Warn("export state not persisted", "err", err)
+		return
+	}
+	p.stateSaved = v
+}
+
+// ResetExportStateToward forgets this peer's incremental-export state for
+// every rule importing into the given peer, forcing the next session to
+// re-export those links in full. Callers use it when the importer's
+// materialised data is known to be gone — e.g. it left the network and a
+// fresh peer took its name — since the watermarks and fingerprints would
+// otherwise suppress data the new importer never received.
+func (p *Peer) ResetExportStateToward(peer string) {
+	p.do(func() {
+		p.node.ResetExportStateToward(peer)
+		p.persistExportState()
+	})
 }
 
 // Rules lists the node's coordination rules.

@@ -1,0 +1,84 @@
+package peer
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"codb/internal/core"
+)
+
+// Export-state persistence: the per-rule LSN watermarks and shipped-binding
+// fingerprints of the incremental export machinery are written to a sidecar
+// file in the peer's durability directory after every finished
+// materialising session, and restored at construction. The file is pure
+// optimisation state — core.Node validates every restored entry against the
+// current rule text and storage LSN, so a missing, stale or corrupt file
+// only degrades the next session to a full export, never to missing tuples.
+
+// exportStateName is the sidecar file next to the storage snapshot/WAL.
+const exportStateName = "exports.state"
+
+// exportStateFile is the on-disk format (gob; binding keys are arbitrary
+// bytes, which gob strings carry verbatim).
+type exportStateFile struct {
+	Version int
+	Rules   map[string]core.ExportSnapshot
+}
+
+const exportStateVersion = 1
+
+// exportStatePath returns the peer's export-state file path ("" when the
+// peer has no durable store to keep it next to).
+func exportStatePath(w core.Wrapper) string {
+	sw, ok := w.(*core.StoreWrapper)
+	if !ok || sw.DB().Dir() == "" {
+		return ""
+	}
+	return filepath.Join(sw.DB().Dir(), exportStateName)
+}
+
+// loadExportState reads a state file; a missing file is an empty state and
+// any decode failure is reported (the caller logs and starts fresh).
+func loadExportState(path string) (map[string]core.ExportSnapshot, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("peer: open export state: %w", err)
+	}
+	defer f.Close()
+	var file exportStateFile
+	if err := gob.NewDecoder(f).Decode(&file); err != nil {
+		return nil, fmt.Errorf("peer: decode export state: %w", err)
+	}
+	if file.Version != exportStateVersion {
+		return nil, fmt.Errorf("peer: export state version %d unsupported", file.Version)
+	}
+	return file.Rules, nil
+}
+
+// saveExportState atomically writes the state file (tmp + rename).
+func saveExportState(path string, rules map[string]core.ExportSnapshot) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("peer: write export state: %w", err)
+	}
+	err = gob.NewEncoder(f).Encode(exportStateFile{Version: exportStateVersion, Rules: rules})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("peer: write export state: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("peer: rename export state: %w", err)
+	}
+	return nil
+}

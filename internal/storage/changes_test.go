@@ -1,0 +1,201 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"codb/internal/relation"
+)
+
+func TestLSNMonotonePerCommit(t *testing.T) {
+	db := newEmpDB(t)
+	if got := db.LSN(); got != 1 { // DDL is a commit
+		t.Fatalf("LSN after DDL = %d, want 1", got)
+	}
+	db.Insert("emp", emp(1, "a"))
+	db.InsertMany("emp", []relation.Tuple{emp(2, "b"), emp(3, "c")})
+	if got := db.LSN(); got != 3 {
+		t.Fatalf("LSN = %d, want 3 (one per commit, not per tuple)", got)
+	}
+	// A duplicate insert still commits (and burns an LSN) but captures no
+	// change.
+	db.Insert("emp", emp(1, "a"))
+	delta, ok := db.Changes("emp", 3)
+	if !ok || len(delta) != 0 {
+		t.Fatalf("Changes(3) = %v, %v; want empty, true", delta, ok)
+	}
+}
+
+func TestChangesReturnsCommitDelta(t *testing.T) {
+	db := newEmpDB(t)
+	db.Insert("emp", emp(1, "a"))
+	mark := db.LSN()
+	db.Insert("emp", emp(2, "b"))
+	db.Insert("emp", emp(3, "c"))
+
+	delta, ok := db.Changes("emp", mark)
+	if !ok {
+		t.Fatal("history reported lost with intact changelog")
+	}
+	if len(delta) != 2 || delta[0].Key() != emp(2, "b").Key() || delta[1].Key() != emp(3, "c").Key() {
+		t.Fatalf("Changes = %v, want [emp(2) emp(3)] in commit order", delta)
+	}
+	// Watermark at the head: empty delta, history intact.
+	if delta, ok := db.Changes("emp", db.LSN()); !ok || len(delta) != 0 {
+		t.Fatalf("Changes(head) = %v, %v", delta, ok)
+	}
+}
+
+func TestChangesHistoryLostAfterDelete(t *testing.T) {
+	db := newEmpDB(t)
+	db.Insert("emp", emp(1, "a"))
+	mark := db.LSN()
+	db.Insert("emp", emp(2, "b"))
+	db.Delete("emp", emp(1, "a"))
+
+	if _, ok := db.Changes("emp", mark); ok {
+		t.Fatal("delete did not poison history before it")
+	}
+	// History from the delete onward is intact again.
+	afterDelete := db.LSN()
+	db.Insert("emp", emp(4, "d"))
+	delta, ok := db.Changes("emp", afterDelete)
+	if !ok || len(delta) != 1 {
+		t.Fatalf("Changes(after delete) = %v, %v; want one insert, true", delta, ok)
+	}
+	// Deleting a tuple that is not present burns the commit but keeps
+	// history: nothing actually changed.
+	db.Delete("emp", emp(99, "nope"))
+	if _, ok := db.Changes("emp", afterDelete); !ok {
+		t.Error("no-op delete poisoned history")
+	}
+}
+
+func TestChangesHistoryLostAfterTruncation(t *testing.T) {
+	db, err := Open(Options{ChangelogLimit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineRelation(empDef()); err != nil {
+		t.Fatal(err)
+	}
+	mark := db.LSN()
+	for i := 0; i < 10; i++ {
+		db.Insert("emp", emp(i, "x"))
+	}
+	if _, ok := db.Changes("emp", mark); ok {
+		t.Fatal("truncated changelog did not report history lost")
+	}
+	// The most recent window is still answerable.
+	recent := db.LSN() - 2
+	delta, ok := db.Changes("emp", recent)
+	if !ok || len(delta) != 2 {
+		t.Fatalf("Changes(recent) = %v, %v; want 2 inserts, true", delta, ok)
+	}
+}
+
+func TestChangesUnknownRelationIsLost(t *testing.T) {
+	db := newEmpDB(t)
+	if _, ok := db.Changes("nope", 0); ok {
+		t.Fatal("unknown relation reported intact history")
+	}
+}
+
+func TestChangelogDisabled(t *testing.T) {
+	db, err := Open(Options{ChangelogLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.DefineRelation(empDef())
+	mark := db.LSN()
+	db.Insert("emp", emp(1, "a"))
+	if _, ok := db.Changes("emp", mark); ok {
+		t.Fatal("disabled change capture reported intact history")
+	}
+}
+
+func TestLSNAndChangesSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir, Options{})
+	db.DefineRelation(empDef())
+	db.Insert("emp", emp(1, "a"))
+	mark := db.LSN()
+	db.Insert("emp", emp(2, "b"))
+	lsnBefore := db.LSN()
+	// Sync the WAL without checkpointing, as a crash would leave it.
+	db.log.Sync()
+
+	db2 := openDurable(t, dir, Options{})
+	defer db2.Close()
+	if got := db2.LSN(); got != lsnBefore {
+		t.Fatalf("LSN after WAL replay = %d, want %d", got, lsnBefore)
+	}
+	// The replayed WAL repopulates the changelog, so a pre-crash watermark
+	// is still incrementally answerable.
+	delta, ok := db2.Changes("emp", mark)
+	if !ok || len(delta) != 1 || delta[0].Key() != emp(2, "b").Key() {
+		t.Fatalf("Changes after replay = %v, %v; want [emp(2)], true", delta, ok)
+	}
+}
+
+func TestLSNSurvivesCheckpointHistoryDoesNot(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir, Options{})
+	db.DefineRelation(empDef())
+	db.Insert("emp", emp(1, "a"))
+	mark := db.LSN()
+	db.Insert("emp", emp(2, "b"))
+	lsnBefore := db.LSN()
+	if err := db.Close(); err != nil { // Close checkpoints pending commits
+		t.Fatal(err)
+	}
+
+	db2 := openDurable(t, dir, Options{})
+	defer db2.Close()
+	if got := db2.LSN(); got != lsnBefore {
+		t.Fatalf("LSN after snapshot recovery = %d, want %d", got, lsnBefore)
+	}
+	// Snapshot-covered history is gone: degrade to full scans.
+	if _, ok := db2.Changes("emp", mark); ok {
+		t.Fatal("snapshot recovery claimed pre-snapshot history")
+	}
+	// New commits are captured again.
+	head := db2.LSN()
+	db2.Insert("emp", emp(3, "c"))
+	if delta, ok := db2.Changes("emp", head); !ok || len(delta) != 1 {
+		t.Fatalf("post-recovery Changes = %v, %v", delta, ok)
+	}
+}
+
+func TestCloseCheckpointsPendingCommits(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir, Options{})
+	db.DefineRelation(empDef())
+	for i := 0; i < 20; i++ {
+		db.Insert("emp", emp(i, "x"))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatalf("Close did not checkpoint: %v", err)
+	}
+	info, err := os.Stat(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 8 { // wal header only
+		t.Errorf("WAL not reset by Close checkpoint: %d bytes", info.Size())
+	}
+
+	db2 := openDurable(t, dir, Options{})
+	if db2.Count("emp") != 20 {
+		t.Fatalf("recovered Count = %d", db2.Count("emp"))
+	}
+	// Reopen without new commits: Close must not checkpoint again (WAL
+	// already empty, nothing pending) and must still succeed.
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -127,9 +127,13 @@ func encodeOps(ops []op) []byte {
 
 // applyLogRecord replays one WAL payload during recovery. It bypasses the
 // transaction layer and mutates tables directly (the DB is not yet shared).
+// Each record is one commit, so the LSN advances per record and replayed
+// inserts re-enter the changelog — a watermark taken after the last
+// checkpoint stays incrementally answerable across a restart.
 func (db *DB) applyLogRecord(payload []byte) error {
 	r := &reader{b: payload}
 	count := r.uvarint()
+	db.lsn++
 	for i := uint64(0); i < count && r.err == nil; i++ {
 		if r.off >= len(r.b) {
 			return fmt.Errorf("storage: truncated op")
@@ -162,9 +166,13 @@ func (db *DB) applyLogRecord(payload []byte) error {
 			}
 			t := db.tables[rel]
 			if kind == opInsert {
-				t.insert(tuple)
+				if t.insert(tuple) {
+					db.captureInsert(t, tuple)
+				}
 			} else {
-				t.delete(tuple)
+				if t.delete(tuple) {
+					db.captureDelete(t)
+				}
 			}
 		default:
 			return fmt.Errorf("storage: replay: bad op kind %d", kind)
@@ -175,11 +183,12 @@ func (db *DB) applyLogRecord(payload []byte) error {
 
 // Snapshot file layout: magic "cdbS", version u32, CRC u32 of body, body =
 // schema (uvarint count + defs) then per relation uvarint tuple count +
-// tuples.
+// tuples; since version 2 the commit LSN trails the body, so the sequence
+// numbers export watermarks reference survive a checkpoint + restart.
 
 var snapMagic = [4]byte{'c', 'd', 'b', 'S'}
 
-const snapVersion = 1
+const snapVersion = 2
 
 // Checkpoint atomically writes a snapshot of the current state and resets
 // the WAL. No-op for memory-only databases.
@@ -246,6 +255,7 @@ func (db *DB) encodeSnapshotBody() []byte {
 			return true
 		})
 	}
+	body = binary.AppendUvarint(body, db.lsn)
 	return body
 }
 
@@ -262,8 +272,9 @@ func (db *DB) loadSnapshot(path string) error {
 	if len(data) < 12 || [4]byte(data[:4]) != snapMagic {
 		return fmt.Errorf("storage: %s: not a snapshot file", path)
 	}
-	if v := binary.LittleEndian.Uint32(data[4:8]); v != snapVersion {
-		return fmt.Errorf("storage: %s: unsupported snapshot version %d", path, v)
+	version := binary.LittleEndian.Uint32(data[4:8])
+	if version != 1 && version != snapVersion {
+		return fmt.Errorf("storage: %s: unsupported snapshot version %d", path, version)
 	}
 	body := data[12:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[8:12]) {
@@ -298,11 +309,20 @@ func (db *DB) loadSnapshot(path string) error {
 			t.insert(tuple)
 		}
 	}
+	if version >= 2 {
+		db.lsn = r.uvarint()
+	}
 	if r.err != nil {
 		return r.err
 	}
 	if r.off != len(body) {
 		return fmt.Errorf("storage: snapshot has %d trailing bytes", len(body)-r.off)
+	}
+	// Snapshot-loaded state has no changelog: history up to the snapshot
+	// LSN is unavailable, so watermarks older than the snapshot degrade to
+	// full scans.
+	for _, t := range db.tables {
+		t.lostBelow = db.lsn
 	}
 	return nil
 }

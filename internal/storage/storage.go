@@ -35,7 +35,17 @@ type Options struct {
 	// CheckpointEvery triggers an automatic checkpoint after this many
 	// commits (0 disables automatic checkpoints).
 	CheckpointEvery int
+	// ChangelogLimit bounds the per-relation in-memory changelog backing
+	// Changes (0 selects DefaultChangelogLimit, negative disables change
+	// capture entirely). When a relation's changelog overflows, its oldest
+	// entries are dropped and Changes reports "history lost" for
+	// watermarks that precede the drop.
+	ChangelogLimit int
 }
+
+// DefaultChangelogLimit is the per-relation changelog bound used when
+// Options.ChangelogLimit is zero.
+const DefaultChangelogLimit = 4096
 
 // DB is an embedded relational database.
 type DB struct {
@@ -46,6 +56,12 @@ type DB struct {
 	log    *wal.Log // nil when memory-only
 	closed bool
 
+	// lsn is the monotone commit sequence number: every committed
+	// transaction (DDL included) gets the next value. It survives restarts
+	// (persisted in the snapshot, advanced by WAL replay), so export
+	// watermarks taken against it stay meaningful across process lives.
+	lsn uint64
+
 	commitsSinceCheckpoint int
 }
 
@@ -55,6 +71,20 @@ type table struct {
 	free    []int                   // reusable slots
 	primary *btree.Map[int]         // tuple key -> slot
 	second  map[int]*btree.Map[int] // attr position -> (attr value ‖ tuple key) -> slot
+
+	// Change capture for incremental export (see DB.Changes): committed
+	// inserts in commit order, each stamped with its commit LSN. Deletes
+	// are not replayable as a monotone delta, so they poison history
+	// instead: lostBelow rises to the deleting commit's LSN. Changelog
+	// truncation raises lostBelow the same way.
+	changes   []change
+	lostBelow uint64 // history before (and at) this LSN is unavailable
+}
+
+// change is one captured committed insert.
+type change struct {
+	lsn   uint64
+	tuple relation.Tuple
 }
 
 func newTable(def *relation.RelDef) *table {
@@ -126,14 +156,18 @@ func (db *DB) DefineRelation(def *relation.RelDef) error {
 		return err
 	}
 	db.tables[def.Name] = newTable(def)
+	db.lsn++
 	if db.log != nil {
 		rec := encodeDDL(def)
 		if err := db.log.Append(rec); err != nil {
 			return err
 		}
 		if db.opts.SyncOnCommit {
-			return db.log.Sync()
+			if err := db.log.Sync(); err != nil {
+				return err
+			}
 		}
+		db.commitsSinceCheckpoint++
 	}
 	return nil
 }
@@ -347,7 +381,78 @@ func (db *DB) Stats() Stats {
 	return s
 }
 
-// Close closes the database, syncing the WAL first when durable.
+// LSN returns the current commit sequence number: the LSN of the most
+// recently committed transaction (0 for a database nothing was ever
+// committed to).
+func (db *DB) LSN() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.lsn
+}
+
+// Dir returns the durability directory ("" for memory-only databases).
+func (db *DB) Dir() string { return db.opts.Dir }
+
+// changelogLimit resolves the configured per-relation changelog bound.
+func (db *DB) changelogLimit() int {
+	if db.opts.ChangelogLimit == 0 {
+		return DefaultChangelogLimit
+	}
+	return db.opts.ChangelogLimit
+}
+
+// captureInsert appends a committed insert to the relation's changelog
+// (caller holds the write lock). Overflow drops the oldest entries and
+// raises the history-lost floor.
+func (db *DB) captureInsert(t *table, tuple relation.Tuple) {
+	limit := db.changelogLimit()
+	if limit < 0 {
+		t.lostBelow = db.lsn
+		return
+	}
+	t.changes = append(t.changes, change{lsn: db.lsn, tuple: tuple})
+	if len(t.changes) > limit {
+		drop := len(t.changes) - limit
+		t.lostBelow = t.changes[drop-1].lsn
+		t.changes = append(t.changes[:0:0], t.changes[drop:]...)
+	}
+}
+
+// captureDelete records a committed delete (caller holds the write lock).
+// A delete cannot be expressed as a monotone insert delta, so the
+// relation's history is poisoned up to the deleting commit: callers of
+// Changes with an older watermark must fall back to a full scan.
+func (db *DB) captureDelete(t *table) {
+	t.lostBelow = db.lsn
+	if len(t.changes) > 0 {
+		t.changes = nil
+	}
+}
+
+// Changes reports the tuples committed into the relation after sinceLSN, in
+// commit order. ok is false when the requested history is unavailable — the
+// changelog was truncated past sinceLSN, a delete intervened, or the
+// relation is unknown — in which case the caller must fall back to a full
+// scan. ok is true with an empty delta when nothing changed.
+func (db *DB) Changes(rel string, sinceLSN uint64) (inserts []relation.Tuple, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t := db.tables[rel]
+	if t == nil || sinceLSN < t.lostBelow {
+		return nil, false
+	}
+	for _, c := range t.changes {
+		if c.lsn > sinceLSN {
+			inserts = append(inserts, c.tuple)
+		}
+	}
+	return inserts, true
+}
+
+// Close closes the database. Durable databases with commits since the last
+// checkpoint are checkpointed first, so reopening a long-lived peer loads
+// the snapshot instead of replaying the entire log; otherwise the WAL is
+// synced as before.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -355,11 +460,17 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
-	if db.log != nil {
-		if err := db.log.Sync(); err != nil {
-			return err
-		}
-		return db.log.Close()
+	if db.log == nil {
+		return nil
 	}
-	return nil
+	var err error
+	if db.commitsSinceCheckpoint > 0 {
+		err = db.checkpointLocked()
+	} else {
+		err = db.log.Sync()
+	}
+	if cerr := db.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

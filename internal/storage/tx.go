@@ -163,13 +163,18 @@ func (tx *Tx) Commit() error {
 	if db.closed {
 		return errClosed
 	}
+	db.lsn++
 	for _, o := range tx.ops {
 		t := db.tables[o.rel]
 		switch o.kind {
 		case opInsert:
-			t.insert(o.tuple)
+			if t.insert(o.tuple) {
+				db.captureInsert(t, o.tuple)
+			}
 		case opDelete:
-			t.delete(o.tuple)
+			if t.delete(o.tuple) {
+				db.captureDelete(t)
+			}
 		}
 	}
 	if db.log != nil {
