@@ -10,6 +10,7 @@
 //	codb-bench -exp E1,E4      # run a subset
 //	codb-bench -exp B1         # outbound-pipeline batching benchmark
 //	codb-bench -exp B2         # cross-session incremental propagation
+//	codb-bench -exp B3         # concurrent read path under update load
 //	codb-bench -nodes 4,8,16   # override the network sizes
 //	codb-bench -tuples 500     # override per-node cardinality
 //	codb-bench -json .         # also write machine-readable BENCH_<exp>.json
@@ -26,17 +27,22 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"codb/internal/core"
+	"codb/internal/cq"
 	"codb/internal/experiment"
+	"codb/internal/peer"
 	"codb/internal/relation"
 	"codb/internal/topo"
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "comma-separated experiments to run (E1..E7,A1..A4,B1,B2 or 'all')")
+	expFlag    = flag.String("exp", "all", "comma-separated experiments to run (E1..E7,A1..A4,B1..B3 or 'all')")
 	nodesFlag  = flag.String("nodes", "4,8,16,32", "comma-separated network sizes")
 	tuplesFlag = flag.Int("tuples", 250, "tuples per node")
 	seedFlag   = flag.Int64("seed", 42, "workload seed")
@@ -63,6 +69,14 @@ type benchRow struct {
 	TuplesRatio float64 `json:"tuples_ratio,omitempty"`
 	BytesRatio  float64 `json:"bytes_ratio,omitempty"`
 	EqualDBs    *bool   `json:"equal_dbs,omitempty"`
+	// B3 fields: reader latency tail, query throughput, the headline
+	// ratios (under-update p50 over idle p50; warm QPS over cold QPS), and
+	// the cache counters behind them.
+	P95Ns       float64 `json:"p95_ns,omitempty"`
+	QPS         float64 `json:"qps,omitempty"`
+	Ratio       float64 `json:"ratio,omitempty"`
+	CacheHits   uint64  `json:"cache_hits,omitempty"`
+	CacheMisses uint64  `json:"cache_misses,omitempty"`
 }
 
 func rowOf(name string, r experiment.Result) benchRow {
@@ -154,6 +168,237 @@ func main() {
 	if run("B2") {
 		incrementalRounds(ctx)
 	}
+	if run("B3") {
+		readHeavy(ctx)
+	}
+}
+
+// readHeavy is B3: the concurrent read path under a read-heavy mixed
+// workload. A star network over loopback TCP (the hub is both the queried
+// node and the importer every leaf ships to) is materialised once; then N
+// paced reader goroutines issue local queries against the hub while rounds
+// of "insert burst + global update" (FullExport, so sessions stay long and
+// heavy) run concurrently. Reader latency is measured with always-distinct
+// queries (every evaluation is a cache miss), so idle and under-update
+// phases compare evaluation latency like for like:
+//
+//   - snapshot read path (default): readers evaluate over pinned storage
+//     snapshots off the actor loop — with a core to run on, p50 under load
+//     stays within ~2x of idle p50 (on a single-CPU host the ratio also
+//     absorbs plain timesharing with the update work);
+//   - actor-loop baseline (DisableReadPath): the seed behaviour, every
+//     query serialises through the peer goroutine behind the running
+//     session's own evaluations.
+//
+// A final quiescent phase measures query throughput cold (every query
+// distinct: full evaluation) vs warm (one query repeated: LSN-validated
+// cache hits), the ≥5x headline of the result cache.
+func readHeavy(ctx context.Context) {
+	const (
+		nodes   = 6
+		tuples  = 200
+		readers = 4
+		rounds  = 3                    // update rounds per loaded phase
+		burst   = 20                   // insert burst per node per round
+		idleN   = 150                  // queries per reader, idle phase
+		qpsN    = 400                  // queries per throughput phase
+		pace    = 2 * time.Millisecond // open-loop reader inter-arrival
+	)
+	fmt.Println("== B3: read-heavy mixed workload — snapshot read path + result cache vs actor-loop reads")
+	fmt.Printf("%-34s %12s %12s %10s\n", "phase", "p50(µs)", "p95(µs)", "qps")
+
+	var rows []benchRow
+	emitLat := func(name string, lats []time.Duration, ratioTo float64) float64 {
+		p50, p95 := percentile(lats, 50), percentile(lats, 95)
+		row := benchRow{Name: name, NsPerOp: float64(p50.Nanoseconds()), P95Ns: float64(p95.Nanoseconds())}
+		if ratioTo > 0 {
+			row.Ratio = float64(p50.Nanoseconds()) / ratioTo
+		}
+		rows = append(rows, row)
+		fmt.Printf("%-34s %12.1f %12.1f %10s\n", name,
+			float64(p50.Microseconds()), float64(p95.Microseconds()), "-")
+		return float64(p50.Nanoseconds())
+	}
+
+	var idleP50 float64
+	for _, mode := range []struct {
+		label    string
+		disabled bool
+	}{{"snapshot", false}, {"actor-loop", true}} {
+		// Star: the hub (the queried origin) imports from every leaf, so
+		// update sessions concentrate work in exactly the actor loop the
+		// baseline readers must go through.
+		net, err := experiment.Build(experiment.Params{
+			Shape: topo.Star, Nodes: nodes, TuplesPerNode: tuples, Seed: *seedFlag,
+			TCP: true, FullExport: true, DisableReadPath: mode.disabled, EvalParallelism: 2,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "codb-bench:", err)
+			os.Exit(1)
+		}
+		origin := net.Peers[net.Origin]
+		if _, err := experiment.RunUpdateOn(ctx, net); err != nil { // materialise
+			net.Close()
+			fmt.Fprintln(os.Stderr, "codb-bench:", err)
+			os.Exit(1)
+		}
+
+		// Idle phase: evaluation latency with no session in flight (a
+		// short unmeasured warmup settles allocator and parser caches).
+		if !mode.disabled {
+			runReaders(origin, readers, func() bool { return false }, 30, 0)
+			idle := runReaders(origin, readers, func() bool { return false }, idleN, pace)
+			idleP50 = emitLat("reader/idle/p50", idle, 0)
+		}
+
+		// Loaded phase: the same reader workload while update rounds run.
+		stop := make(chan struct{})
+		updaterDone := make(chan error, 1)
+		var updateWall time.Duration
+		go func() {
+			defer close(stop)
+			for round := 0; round < rounds; round++ {
+				for i, node := range net.Cfg.Nodes {
+					ts := make([]relation.Tuple, burst)
+					for j := range ts {
+						k := 20_000_000 + round*1_000_000 + i*burst + j
+						ts[j] = relation.Tuple{relation.Int(k), relation.Int(round)}
+					}
+					if err := net.Peers[node.Name].Insert("data", ts...); err != nil {
+						updaterDone <- err
+						return
+					}
+				}
+				t0 := time.Now()
+				if _, err := experiment.RunUpdateOn(ctx, net); err != nil {
+					updaterDone <- err
+					return
+				}
+				updateWall += time.Since(t0)
+			}
+			updaterDone <- nil
+		}()
+		loaded := runReaders(origin, readers, func() bool {
+			select {
+			case <-stop:
+				return true
+			default:
+				return false
+			}
+		}, 0, pace)
+		if err := <-updaterDone; err != nil {
+			net.Close()
+			fmt.Fprintln(os.Stderr, "codb-bench:", err)
+			os.Exit(1)
+		}
+		emitLat("reader/under-update/"+mode.label+"/p50", loaded, idleP50)
+		rows = append(rows, benchRow{
+			Name:    "update/mean-wall/" + mode.label,
+			NsPerOp: float64(updateWall.Nanoseconds()) / rounds,
+		})
+
+		// Throughput phase (quiescent, snapshot net only): cold = every
+		// query distinct, warm = one query repeated (cache hits).
+		if !mode.disabled {
+			cold := queryQPS(origin, qpsN, true)
+			warm := queryQPS(origin, qpsN, false)
+			st, _ := origin.ReadStats()
+			rows = append(rows,
+				benchRow{Name: "qps/cold", QPS: cold},
+				benchRow{Name: "qps/warm", QPS: warm, Ratio: warm / cold,
+					CacheHits: st.Hits, CacheMisses: st.Misses})
+			fmt.Printf("%-34s %12s %12s %10.0f\n", "qps/cold", "-", "-", cold)
+			fmt.Printf("%-34s %12s %12s %10.0f\n", "qps/warm", "-", "-", warm)
+			fmt.Printf("warm/cold throughput: %.1fx (cache: %d hits, %d misses)\n",
+				warm/cold, st.Hits, st.Misses)
+		}
+		net.Close()
+	}
+	fmt.Println()
+	writeBench("B3", rows)
+}
+
+// readerQuery builds the i-th reader query: a self-join over the workload
+// relation with a varying comparison constant, so distinct i yield distinct
+// normalized queries — cache misses — with a non-trivial evaluation.
+// Latency readers draw i from [0, 100_000) in disjoint per-reader windows;
+// the cold throughput phase draws from 200_000 up, so its queries collide
+// with nothing cached earlier.
+func readerQuery(i int) *cq.Query {
+	return cq.MustParseQuery(fmt.Sprintf(`ans(x, z) :- data(x, y), data(y, z), x >= %d`, i))
+}
+
+// runReaders fans out n reader goroutines against one peer and returns the
+// merged per-query latencies. Readers draw constants from disjoint windows
+// of the constant space, so queries are distinct across readers (see
+// readerQuery), and pace themselves open-loop (one query per `pace`), so
+// the phases measure response time rather than saturation throughput. With
+// perReader > 0 each reader stops after that many queries; otherwise
+// readers run until stop() reports true.
+func runReaders(p *peer.Peer, n int, stop func() bool, perReader int, pace time.Duration) []time.Duration {
+	lats := make([][]time.Duration, n)
+	var wg sync.WaitGroup
+	window := 100_000 / n
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; perReader == 0 || i < perReader; i++ {
+				if perReader == 0 && stop() {
+					return
+				}
+				q := readerQuery(r*window + i%window)
+				t0 := time.Now()
+				if _, err := p.LocalQuery(q, core.AllAnswers); err != nil {
+					fmt.Fprintln(os.Stderr, "codb-bench: reader:", err)
+					os.Exit(1)
+				}
+				lats[r] = append(lats[r], time.Since(t0))
+				if pace > 0 {
+					time.Sleep(pace)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	return all
+}
+
+// queryQPS measures sequential query throughput: distinct queries when cold
+// (every evaluation runs), one repeated query when warm (cache hits after
+// the first).
+func queryQPS(p *peer.Peer, n int, cold bool) float64 {
+	warmQ := readerQuery(31_337)
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		q := warmQ
+		if cold {
+			q = readerQuery(200_000 + i)
+		}
+		if _, err := p.LocalQuery(q, core.AllAnswers); err != nil {
+			fmt.Fprintln(os.Stderr, "codb-bench:", err)
+			os.Exit(1)
+		}
+	}
+	return float64(n) / time.Since(t0).Seconds()
+}
+
+// percentile returns the pth percentile of the latency sample.
+func percentile(lats []time.Duration, p int) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // incrementalRounds is B2: cross-session incremental propagation. A chain

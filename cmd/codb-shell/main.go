@@ -19,6 +19,7 @@
 //	show <node> <rel>           dump a relation
 //	peers <node>                pipes, links and discovered peers (Fig. 3)
 //	report <node>               the node's session reports
+//	cache <node>                the node's query-result-cache counters
 //	stats                       super-peer: collect and aggregate statistics
 //	reload <file>               broadcast a new rules file (runtime change)
 //	topology                    list nodes and rules

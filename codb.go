@@ -62,6 +62,9 @@ type (
 	SuperPeer = superpeer.SuperPeer
 	// Aggregate is a cross-node per-session statistics summary.
 	Aggregate = superpeer.Aggregate
+	// ReadStats are a peer's query-result-cache counters (concurrent read
+	// path).
+	ReadStats = core.QueryCacheStats
 )
 
 // Query modes.
@@ -117,6 +120,20 @@ type NetworkOptions struct {
 	// watermarks and shipped-binding fingerprints, so repeated updates
 	// ship only what changed since the previous session.
 	FullExport bool
+	// EvalParallelism caps the worker fan-out of the hash-join probe phase
+	// on large relations (see cq.EvalOptions.Parallelism); 0 or 1 keeps
+	// evaluation serial.
+	EvalParallelism int
+	// QueryCacheSize bounds each peer's query-result cache (0 selects the
+	// default bound). Cached answers are invalidated by the storage commit
+	// LSN and the rule-set version, so they are always current.
+	QueryCacheSize int
+	// DisableReadPath forces every read through the peer actor loop, as
+	// the seed implementation did (the B3 baseline). By default peers with
+	// snapshot-capable storage answer LocalQuery / local-only queries /
+	// Count / Tuples from pinned snapshots, concurrently with running
+	// update sessions.
+	DisableReadPath bool
 }
 
 // NewNetwork creates an empty in-process network.
@@ -137,14 +154,17 @@ func (nw *Network) peerOptions(name string, w core.Wrapper) peer.Options {
 	if nw.opts.NestedLoopJoin {
 		eval.Strategy = cq.NestedLoop
 	}
+	eval.Parallelism = nw.opts.EvalParallelism
 	return peer.Options{
-		Name:         name,
-		Wrapper:      w,
-		MaxDepth:     nw.opts.MaxDepth,
-		Eval:         eval,
-		DisableDedup: nw.opts.DisableDedup,
-		Naive:        nw.opts.Naive,
-		FullExport:   nw.opts.FullExport,
+		Name:            name,
+		Wrapper:         w,
+		MaxDepth:        nw.opts.MaxDepth,
+		Eval:            eval,
+		DisableDedup:    nw.opts.DisableDedup,
+		Naive:           nw.opts.Naive,
+		FullExport:      nw.opts.FullExport,
+		QueryCacheSize:  nw.opts.QueryCacheSize,
+		DisableReadPath: nw.opts.DisableReadPath,
 	}
 }
 
@@ -369,6 +389,17 @@ func (nw *Network) QueryStream(node, query string, mode QueryMode) (<-chan Tuple
 		return nil, nil, err
 	}
 	return p.QueryStream(q, mode)
+}
+
+// PeerReadStats returns a node's query-cache counters; ok is false for
+// unknown peers and peers without a concurrent read path (mediators, or
+// NetworkOptions.DisableReadPath).
+func (nw *Network) PeerReadStats(node string) (stats ReadStats, ok bool) {
+	p := nw.Peer(node)
+	if p == nil {
+		return ReadStats{}, false
+	}
+	return p.ReadStats()
 }
 
 // LocalQuery evaluates a query against a node's local database only.

@@ -1,0 +1,366 @@
+package codb
+
+// Randomized differential test harness: the oracle for both the
+// incremental-export machinery and the concurrent read path.
+//
+// For every randomized scenario — topology shape (acyclic and cyclic),
+// network size, workload, insert/update trace — the same trace runs twice:
+// once with the default cross-session incremental export and once with
+// FullExport (the paper-faithful full re-ship, the reference
+// implementation). After every update round the two networks must hold
+// byte-identical databases, and their certain answers to a panel of
+// queries must agree exactly.
+//
+// The final round additionally checks the concurrent read path against
+// quiescent evaluation: queries issued *while* the update runs must be
+// sandwiched between the pre-update and post-quiescence answer sets
+// (updates only insert, and conjunctive queries are monotone, so any
+// consistent snapshot's answers lie between the two), and the
+// post-quiescence answers of the snapshot-plus-cache path must equal a
+// direct evaluation over the raw database instance.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"codb/internal/config"
+	"codb/internal/core"
+	"codb/internal/cq"
+	"codb/internal/relation"
+	"codb/internal/storage"
+	"codb/internal/topo"
+	"codb/internal/workload"
+)
+
+// diffScenario is one randomized differential trial.
+type diffScenario struct {
+	seed   int64
+	shape  topo.Shape
+	nodes  int
+	tuples int
+	rounds int
+	burst  int
+}
+
+// diffShapes mixes acyclic (chain, tree, star, grid) and cyclic (ring,
+// random-with-back-edges) rule graphs.
+var diffShapes = []topo.Shape{topo.Chain, topo.Ring, topo.Tree, topo.Star, topo.Grid, topo.Random}
+
+func diffScenarios(n int) []diffScenario {
+	out := make([]diffScenario, 0, n)
+	for s := 0; s < n; s++ {
+		out = append(out, diffScenario{
+			seed:   int64(1000 + s),
+			shape:  diffShapes[s%len(diffShapes)],
+			nodes:  3 + s%4,
+			tuples: 15 + (s%3)*10,
+			rounds: 2 + s%2,
+			burst:  4 + s%5,
+		})
+	}
+	return out
+}
+
+// networkFromTopo builds an in-process network (one in-memory peer per
+// node, rules on both endpoints) from a generated topology.
+func networkFromTopo(t *testing.T, cfg *config.Config, opts NetworkOptions) *Network {
+	t.Helper()
+	nw := NewNetworkWithOptions(opts)
+	for _, node := range cfg.Nodes {
+		db := storage.MustOpenMem()
+		if err := db.DefineSchema(node.Schema); err != nil {
+			nw.Close()
+			t.Fatal(err)
+		}
+		if _, err := nw.join(node.Name, core.NewStoreWrapper(db)); err != nil {
+			nw.Close()
+			t.Fatal(err)
+		}
+		nw.mu.Lock()
+		nw.dbs[node.Name] = db
+		nw.mu.Unlock()
+	}
+	for _, r := range cfg.Rules {
+		if err := nw.AddRule(r.ID, r.Text); err != nil {
+			nw.Close()
+			t.Fatal(err)
+		}
+	}
+	return nw
+}
+
+// fingerprint renders a network's entire data as deterministic bytes:
+// peers sorted, relations sorted, tuples in key order.
+func fingerprint(nw *Network) []byte {
+	nw.mu.Lock()
+	names := make([]string, 0, len(nw.dbs))
+	for name := range nw.dbs {
+		names = append(names, name)
+	}
+	dbs := make(map[string]*storage.DB, len(nw.dbs))
+	for name, db := range nw.dbs {
+		dbs[name] = db
+	}
+	nw.mu.Unlock()
+	sort.Strings(names)
+	var buf bytes.Buffer
+	for _, name := range names {
+		in := dbs[name].Instance()
+		rels := make([]string, 0, len(in))
+		for rel := range in {
+			rels = append(rels, rel)
+		}
+		sort.Strings(rels)
+		fmt.Fprintf(&buf, "@%s\n", name)
+		for _, rel := range rels {
+			fmt.Fprintf(&buf, "#%s\n", rel)
+			keys := make([]string, 0, len(in[rel]))
+			for _, tu := range in.Tuples(rel) {
+				keys = append(keys, tu.Key())
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				buf.WriteString(k)
+				buf.WriteByte('\n')
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// diffQueries is the certain-answer panel checked between the two modes.
+var diffQueries = []string{
+	`ans(x, y) :- data(x, y)`,
+	`ans(x) :- data(x, y), y >= 0`,
+	`ans(x, z) :- data(x, y), data(y, z)`,
+}
+
+// answerSet evaluates one query at one peer and returns the sorted answer
+// keys.
+func answerSet(t *testing.T, nw *Network, node, query string, mode QueryMode) []string {
+	t.Helper()
+	rows, err := nw.LocalQuery(node, query, mode)
+	if err != nil {
+		t.Fatalf("LocalQuery %s @ %s: %v", query, node, err)
+	}
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = r.Key()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func equalKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetKeys reports a ⊆ b for sorted key slices.
+func subsetKeys(a, b []string) bool {
+	i := 0
+	for _, k := range a {
+		for i < len(b) && b[i] < k {
+			i++
+		}
+		if i >= len(b) || b[i] != k {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// applyBurst commits the round's fresh tuples to every node of one network
+// (identically on both networks of a scenario).
+func applyBurst(t *testing.T, nw *Network, names []string, sc diffScenario, round int) {
+	t.Helper()
+	for ni, name := range names {
+		tuples := make([]relation.Tuple, sc.burst)
+		for j := range tuples {
+			k := 5_000_000 + round*100_000 + ni*1_000 + j
+			tuples[j] = relation.Tuple{relation.Int(k), relation.Int(round)}
+		}
+		if err := nw.Insert(name, "data", tuples...); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDifferentialIncrementalVsFullExport(t *testing.T) {
+	const scenarios = 26 // ≥ 25 randomized topologies
+	for _, sc := range diffScenarios(scenarios) {
+		sc := sc
+		t.Run(fmt.Sprintf("%s/n=%d/seed=%d", sc.shape, sc.nodes, sc.seed), func(t *testing.T) {
+			t.Parallel()
+			cfg, err := topo.Build(sc.shape, sc.nodes, topo.Options{Seed: sc.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			incr := networkFromTopo(t, cfg, NetworkOptions{})
+			defer incr.Close()
+			full := networkFromTopo(t, cfg, NetworkOptions{FullExport: true})
+			defer full.Close()
+
+			names := make([]string, 0, len(cfg.Nodes))
+			for _, n := range cfg.Nodes {
+				names = append(names, n.Name)
+			}
+			seed := workload.Generate(names, workload.Spec{
+				TuplesPerNode: sc.tuples,
+				Overlap:       0.2,
+				Seed:          sc.seed,
+			})
+			for node, tuples := range seed {
+				for _, nw := range []*Network{incr, full} {
+					if err := nw.Insert(node, "data", tuples...); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			rnd := rand.New(rand.NewSource(sc.seed))
+			for round := 0; round < sc.rounds; round++ {
+				if round > 0 {
+					applyBurst(t, incr, names, sc, round)
+					applyBurst(t, full, names, sc, round)
+				}
+				origin := names[rnd.Intn(len(names))]
+				if _, err := incr.Update(ctxT(t), origin); err != nil {
+					t.Fatalf("incremental update round %d: %v", round, err)
+				}
+				if _, err := full.Update(ctxT(t), origin); err != nil {
+					t.Fatalf("full update round %d: %v", round, err)
+				}
+
+				// Byte-identical databases after every round.
+				fi, ff := fingerprint(incr), fingerprint(full)
+				if !bytes.Equal(fi, ff) {
+					t.Fatalf("round %d (origin %s): databases diverged\nincremental:\n%s\nfull:\n%s",
+						round, origin, fi, ff)
+				}
+				// Identical certain answers, at every peer, for the panel.
+				for _, name := range names {
+					for _, q := range diffQueries {
+						ai := answerSet(t, incr, name, q, CertainAnswers)
+						af := answerSet(t, full, name, q, CertainAnswers)
+						if !equalKeys(ai, af) {
+							t.Fatalf("round %d: certain answers diverge at %s for %q: %d vs %d",
+								round, name, q, len(ai), len(af))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialConcurrentQueriesSandwich checks the concurrent read
+// path against quiescent evaluation on randomized topologies: queries
+// racing an update must return answer sets between the pre-update and
+// post-quiescence sets, and post-quiescence snapshot answers must equal a
+// direct evaluation over the raw database.
+func TestDifferentialConcurrentQueriesSandwich(t *testing.T) {
+	for _, sc := range diffScenarios(8) {
+		sc := sc
+		t.Run(fmt.Sprintf("%s/n=%d/seed=%d", sc.shape, sc.nodes, sc.seed), func(t *testing.T) {
+			t.Parallel()
+			cfg, err := topo.Build(sc.shape, sc.nodes, topo.Options{Seed: sc.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw := networkFromTopo(t, cfg, NetworkOptions{})
+			defer nw.Close()
+			names := make([]string, 0, len(cfg.Nodes))
+			for _, n := range cfg.Nodes {
+				names = append(names, n.Name)
+			}
+			seed := workload.Generate(names, workload.Spec{TuplesPerNode: 40, Overlap: 0.2, Seed: sc.seed})
+			for node, tuples := range seed {
+				if err := nw.Insert(node, "data", tuples...); err != nil {
+					t.Fatal(err)
+				}
+			}
+			applyBurst(t, nw, names, sc, 1)
+
+			const query = `ans(x, y) :- data(x, y)`
+			origin := names[0]
+			pre := answerSet(t, nw, origin, query, AllAnswers)
+
+			// Readers race the update.
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			var mu sync.Mutex
+			var concurrent [][]string
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						got := answerSet(t, nw, origin, query, AllAnswers)
+						mu.Lock()
+						concurrent = append(concurrent, got)
+						mu.Unlock()
+					}
+				}()
+			}
+			if _, err := nw.Update(ctxT(t), origin); err != nil {
+				t.Fatal(err)
+			}
+			close(stop)
+			wg.Wait()
+
+			post := answerSet(t, nw, origin, query, AllAnswers)
+			for i, got := range concurrent {
+				if !subsetKeys(pre, got) {
+					t.Fatalf("concurrent result %d lost pre-update answers (%d vs pre %d)", i, len(got), len(pre))
+				}
+				if !subsetKeys(got, post) {
+					t.Fatalf("concurrent result %d contains answers absent after quiescence (%d vs post %d)", i, len(got), len(post))
+				}
+			}
+
+			// Post-quiescence snapshot+cache answers == direct evaluation
+			// over the raw instance (cache invalidation correctness).
+			nw.mu.Lock()
+			db := nw.dbs[origin]
+			nw.mu.Unlock()
+			direct, err := cq.Eval(cq.MustParseQuery(query), db.Instance(), cq.EvalOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			directKeys := make([]string, len(direct))
+			for i, r := range direct {
+				directKeys[i] = r.Key()
+			}
+			sort.Strings(directKeys)
+			if !equalKeys(post, directKeys) {
+				t.Fatalf("post-quiescence snapshot answers (%d) != direct evaluation (%d)", len(post), len(directKeys))
+			}
+			// And the repeat is a cache hit that still matches.
+			again := answerSet(t, nw, origin, query, AllAnswers)
+			if !equalKeys(again, post) {
+				t.Fatal("cached repeat diverged from post-quiescence answers")
+			}
+			if st, ok := nw.PeerReadStats(origin); !ok || st.Hits == 0 {
+				t.Fatalf("expected cache hits at %s, stats %+v ok=%v", origin, st, ok)
+			}
+		})
+	}
+}

@@ -53,7 +53,7 @@ func (c *Console) Execute(line string) bool {
 	case "help":
 		c.printf("query|certain|local <node> <query>; update <node>; scoped <node> <rel,...>;\n")
 		c.printf("insert <node> <rel> v…; show <node> <rel>; peers <node>; report <node>;\n")
-		c.printf("stats; reload <file>; topology; quit\n")
+		c.printf("cache <node>; stats; reload <file>; topology; quit\n")
 	case "query", "certain", "local":
 		c.runQuery(cmd, rest)
 	case "update":
@@ -68,6 +68,8 @@ func (c *Console) Execute(line string) bool {
 		c.runPeers(fields[1:])
 	case "report":
 		c.runReport(fields[1:])
+	case "cache":
+		c.runCache(fields[1:])
 	case "stats":
 		c.runStats()
 	case "reload":
@@ -258,6 +260,20 @@ func (c *Console) runReport(args []string) {
 			rep.SID, rep.Kind, rep.Origin, dur.Round(time.Microsecond),
 			rep.NewTuples, rep.SentBytes, rep.Queried, rep.SentTo)
 	}
+}
+
+func (c *Console) runCache(args []string) {
+	if len(args) != 1 {
+		c.printf("usage: cache <node>\n")
+		return
+	}
+	st, ok := c.nw.PeerReadStats(args[0])
+	if !ok {
+		c.printf("no read path on %s (unknown peer, mediator, or read path disabled)\n", args[0])
+		return
+	}
+	c.printf("query cache: %d entries, %d hits, %d misses (%d stale)\n",
+		st.Entries, st.Hits, st.Misses, st.Stale)
 }
 
 func (c *Console) runStats() {

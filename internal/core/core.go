@@ -39,6 +39,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"codb/internal/chase"
 	"codb/internal/cq"
@@ -59,6 +60,35 @@ type ChangeTracker interface {
 	// changelog truncation, restart past a checkpoint) and the caller must
 	// fall back to a full scan.
 	Changes(rel string, sinceLSN uint64) (inserts []relation.Tuple, ok bool)
+}
+
+// ReadView is an immutable point-in-time view of a wrapper's data, pinned
+// at one storage commit LSN: the unit of the concurrent query path. A view
+// is safe for concurrent use and never blocks (or is blocked by) writers.
+type ReadView interface {
+	cq.Source
+	// Has reports tuple presence as of the view.
+	Has(rel string, t relation.Tuple) bool
+	// Count returns a relation's cardinality as of the view.
+	Count(rel string) int
+	// Tuples returns all tuples of a relation as of the view, in key order.
+	Tuples(rel string) []relation.Tuple
+	// Schema returns the schema as of the view.
+	Schema() *relation.Schema
+	// LSN is the commit sequence number the view is pinned at — the
+	// query-result cache's invalidation token.
+	LSN() uint64
+}
+
+// Snapshotter is the optional snapshot capability of a Wrapper. Wrappers
+// implementing it let the peer serve queries off the actor loop: readers
+// evaluate over pinned views concurrently with update sessions, while
+// writes keep serialising through the loop. Implementing Snapshotter also
+// asserts that the wrapper's plain read methods (Schema, Scan, Has, Count)
+// are safe for concurrent use — the peer answers point reads like Count
+// through them directly, reserving snapshots for whole evaluations.
+type Snapshotter interface {
+	ReadSnapshot() ReadView
 }
 
 // Wrapper is the storage interface the algorithm needs from the Local
@@ -251,12 +281,24 @@ type Node struct {
 	outgoingCache []*cq.Rule
 	incomingCache []*cq.Rule
 	acqCache      []string
+
+	// rulesVer advances on every rule-set mutation. Unlike the rest of the
+	// Node it is atomic, because the peer's concurrent read path uses it as
+	// a cache-invalidation token from outside the actor loop.
+	rulesVer atomic.Uint64
 }
 
 // invalidateRuleCaches drops the cached rule-set views after a mutation.
 func (n *Node) invalidateRuleCaches() {
 	n.outgoingCache, n.incomingCache, n.acqCache = nil, nil, nil
+	n.rulesVer.Add(1)
 }
+
+// RuleSetVersion returns a counter that advances whenever the rule set
+// mutates. Safe to call from any goroutine (it is the one piece of Node
+// state read off the actor loop): the query-result cache keys validity on
+// it, so a rule broadcast mid-query invalidates cached results.
+func (n *Node) RuleSetVersion() uint64 { return n.rulesVer.Load() }
 
 // NewNode builds a node. Config.Self and Config.Wrapper are required.
 func NewNode(cfg Config) (*Node, error) {
@@ -628,6 +670,12 @@ func (n *Node) ActiveSessions() []string {
 	sort.Strings(out)
 	return out
 }
+
+// NoteReport records an externally produced per-session report in the
+// statistics module — the peer's session-free local query path uses it so
+// bypassed queries still show up in Reports() and super-peer aggregation.
+// Must be called from the owning actor loop, like every other Node method.
+func (n *Node) NoteReport(rep msg.UpdateReport) { n.recordReport(rep) }
 
 func (n *Node) recordReport(rep msg.UpdateReport) {
 	n.reports = append(n.reports, rep)

@@ -90,7 +90,15 @@ func (n *Node) StartScopedUpdate(sid string, rels []string) (Result, error) {
 // LocalQuery evaluates a query against the local database only (no
 // session), as nodes do after a global update has materialised everything.
 func (n *Node) LocalQuery(q *cq.Query, mode QueryMode) ([]relation.Tuple, error) {
-	answers, err := cq.Eval(q, n.cfg.Wrapper, n.cfg.Eval)
+	return EvalQuery(q, n.cfg.Wrapper, mode, n.cfg.Eval)
+}
+
+// EvalQuery evaluates a query over any source under the given answer mode.
+// It is the evaluation step shared by Node.LocalQuery (over the live
+// wrapper, inside the actor loop) and the peer's concurrent read path
+// (over pinned ReadViews, off the loop).
+func EvalQuery(q *cq.Query, src cq.Source, mode QueryMode, opts cq.EvalOptions) ([]relation.Tuple, error) {
+	answers, err := cq.Eval(q, src, opts)
 	if err != nil {
 		return nil, err
 	}

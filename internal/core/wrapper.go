@@ -51,6 +51,11 @@ func (w *StoreWrapper) Count(rel string) int { return w.db.Count(rel) }
 // LSN implements ChangeTracker: the engine's commit sequence number.
 func (w *StoreWrapper) LSN() uint64 { return w.db.LSN() }
 
+// ReadSnapshot implements Snapshotter: an immutable view pinned at the
+// engine's current commit LSN (storage.DB.Snapshot), enabling the peer's
+// concurrent query path.
+func (w *StoreWrapper) ReadSnapshot() ReadView { return w.db.Snapshot() }
+
 // Changes implements ChangeTracker: the tuples committed after sinceLSN,
 // with ok=false when the engine's changelog no longer covers that horizon.
 func (w *StoreWrapper) Changes(rel string, sinceLSN uint64) ([]relation.Tuple, bool) {
@@ -110,4 +115,5 @@ var (
 	_ Wrapper       = (*StoreWrapper)(nil)
 	_ Wrapper       = (*MediatorWrapper)(nil)
 	_ ChangeTracker = (*StoreWrapper)(nil)
+	_ Snapshotter   = (*StoreWrapper)(nil)
 )

@@ -2,6 +2,7 @@ package cq
 
 import (
 	"fmt"
+	"sync"
 
 	"codb/internal/relation"
 )
@@ -34,7 +35,19 @@ const (
 // EvalOptions tunes evaluation.
 type EvalOptions struct {
 	Strategy Strategy
+	// Parallelism caps the worker fan-out of the hash-join probe phase:
+	// once the partial-binding set is large enough (it originates from the
+	// partitions of the outermost atom's scan), each join stage probes its
+	// partitions on up to this many goroutines. 0 or 1 evaluates serially;
+	// the nested-loop strategy (a correctness reference) is always serial.
+	// Results are identical to serial evaluation, in the same order.
+	Parallelism int
 }
+
+// parallelMinBindings is the binding-set size below which a probe stays
+// serial: fan-out overhead (goroutines, per-worker slices) only pays off
+// against relations large enough to matter.
+const parallelMinBindings = 256
 
 // Eval evaluates a conjunctive query over src and returns the deduplicated
 // head tuples.
@@ -321,7 +334,7 @@ func evalProject(terms []Term, body []Atom, cmps []Comparison, src Source, delta
 	case NestedLoop:
 		bindings = p.evalNested(src, delta)
 	default:
-		bindings = p.evalHash(src, delta)
+		bindings = p.evalHash(src, delta, opts.Parallelism)
 	}
 	seen := make(map[string]bool, len(bindings))
 	var out []relation.Tuple
@@ -400,7 +413,10 @@ func (p *plan) evalNested(src Source, delta []relation.Tuple) []*binding {
 
 // evalHash is the hash-join strategy: a pipeline of partial-binding sets,
 // each atom joined via a hash table keyed on the shared bound variables.
-func (p *plan) evalHash(src Source, delta []relation.Tuple) []*binding {
+// With parallelism > 1, once the binding set is large each stage's probe
+// fans out over partitions of it (the build phase — one scan per atom —
+// stays serial, so sources only ever see sequential access).
+func (p *plan) evalHash(src Source, delta []relation.Tuple, parallelism int) []*binding {
 	cur := []*binding{{vals: make([]relation.Value, len(p.vars)), bound: make([]bool, len(p.vars))}}
 	boundSoFar := make([]bool, len(p.vars))
 	for i := range p.atoms {
@@ -437,31 +453,7 @@ func (p *plan) evalHash(src Source, delta []relation.Tuple) []*binding {
 			buckets[k] = append(buckets[k], t.Clone())
 			return true
 		})
-		// Probe.
-		var next []*binding
-		for _, b := range cur {
-			var kb []byte
-			for _, ti := range keyTermIdx {
-				kb = relation.EncodeValue(kb, b.vals[pa.varPos[ti]])
-			}
-			for _, t := range buckets[string(kb)] {
-				nb := b.clone()
-				if !unify(pa, t, nb) {
-					continue
-				}
-				ok := true
-				for ci := range p.cmps {
-					if p.cmps[ci].lastVarAtoms == i+1 && !p.cmps[ci].eval(nb) {
-						ok = false
-						break
-					}
-				}
-				if ok {
-					next = append(next, nb)
-				}
-			}
-		}
-		cur = next
+		cur = p.probe(cur, pa, i, keyTermIdx, buckets, parallelism)
 		for _, vp := range pa.varPos {
 			if vp >= 0 {
 				boundSoFar[vp] = true
@@ -472,4 +464,72 @@ func (p *plan) evalHash(src Source, delta []relation.Tuple) []*binding {
 		}
 	}
 	return cur
+}
+
+// probe extends every partial binding with the matching tuples of one atom.
+// Large binding sets are probed by a worker pool over contiguous partitions;
+// buckets and the plan are read-only during the probe, each worker appends
+// to its own output, and outputs concatenate in partition order, so the
+// result is bit-identical to the serial probe.
+func (p *plan) probe(cur []*binding, pa *patom, atomIdx int, keyTermIdx []int, buckets map[string][]relation.Tuple, parallelism int) []*binding {
+	workers := parallelism
+	if limit := len(cur) / parallelMinBindings; workers > limit {
+		workers = limit
+	}
+	if workers <= 1 {
+		return p.probeRange(cur, pa, atomIdx, keyTermIdx, buckets)
+	}
+	parts := make([][]*binding, workers)
+	var wg sync.WaitGroup
+	chunk := (len(cur) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(cur) {
+			hi = len(cur)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w] = p.probeRange(cur[lo:hi], pa, atomIdx, keyTermIdx, buckets)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	next := make([]*binding, 0, total)
+	for _, part := range parts {
+		next = append(next, part...)
+	}
+	return next
+}
+
+// probeRange is the serial probe over one partition of the binding set.
+func (p *plan) probeRange(cur []*binding, pa *patom, atomIdx int, keyTermIdx []int, buckets map[string][]relation.Tuple) []*binding {
+	var next []*binding
+	for _, b := range cur {
+		var kb []byte
+		for _, ti := range keyTermIdx {
+			kb = relation.EncodeValue(kb, b.vals[pa.varPos[ti]])
+		}
+		for _, t := range buckets[string(kb)] {
+			nb := b.clone()
+			if !unify(pa, t, nb) {
+				continue
+			}
+			ok := true
+			for ci := range p.cmps {
+				if p.cmps[ci].lastVarAtoms == atomIdx+1 && !p.cmps[ci].eval(nb) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				next = append(next, nb)
+			}
+		}
+	}
+	return next
 }

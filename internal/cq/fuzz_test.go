@@ -1,0 +1,68 @@
+package cq
+
+import "testing"
+
+// Native Go fuzz targets for the parser: any input may be rejected with an
+// error, but must never panic, and accepted inputs must round-trip —
+// re-parsing the String() rendering of a parsed query/rule must succeed
+// (the concrete syntax the AST prints is the syntax the parser reads).
+
+func FuzzParseQuery(f *testing.F) {
+	for _, seed := range []string{
+		`ans(x, y) :- data(x, y)`,
+		`ans(x) :- r(x, y), s(y, z), z != 3`,
+		`ans(n) :- patient(x, n)`,
+		`ans(x, z) :- data(x, y), data(y, z), x >= 10`,
+		`q(x) :- r(x, "lit"), x < 4.5`,
+		`q() :- r(true)`,
+		`a(x) :- b(x), x != "a, b"`,
+		`ans(x):-r(x),x>=-7`,
+		`ans (x) :- r ( x , y ) , x = y`,
+		``,
+		`:-`,
+		`ans(x :- r(x)`,
+		"ans(x) :- r(\x00)",
+		`ans(𝛼) :- r(𝛼)`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil || q == nil {
+			return
+		}
+		rendered := q.String()
+		if _, err := ParseQuery(rendered); err != nil {
+			t.Fatalf("round-trip failed: %q parsed but its rendering %q did not: %v", src, rendered, err)
+		}
+	})
+}
+
+func FuzzParseRule(f *testing.F) {
+	for _, seed := range []string{
+		`A.r(x) <- B.r(x)`,
+		`hospital.patient(x, n) <- clinic.visitor(x, n)`,
+		`T.out(x, z) <- S.a(x, y), S.b(y, z), y > 0`,
+		`T.e(x, y) <- S.e(x, y)`,
+		`N1.data(k, v) <- N0.data(k, v), k != 0`,
+		`T.r(x, n) <- S.r(x)`, // existential head variable
+		`T.a(x), T.b(x) <- S.c(x)`,
+		`A.r("s") <- B.r("s")`,
+		``,
+		`<-`,
+		`A.r(x) <- `,
+		`A.r(x <- B.r(x)`,
+		`A.r(x) <- B.r(x), x <`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		r, err := ParseRule("f1", src)
+		if err != nil || r == nil {
+			return
+		}
+		if r.Target == "" || r.Source == "" {
+			t.Fatalf("parsed rule %q has empty endpoint: %+v", src, r)
+		}
+	})
+}

@@ -117,30 +117,28 @@ scan:
 		}
 		return token{}, l.errf(start, "expected '!='")
 	case c == '"':
+		// Scan to the closing unescaped quote, then let strconv.Unquote
+		// interpret the literal: string values render with strconv.Quote
+		// (relation.Value.String), so the lexer must accept exactly the Go
+		// escape vocabulary for rendered terms to round-trip.
 		l.pos++
-		var b strings.Builder
 		for l.pos < len(l.src) {
 			ch := l.src[l.pos]
 			if ch == '\\' && l.pos+1 < len(l.src) {
-				esc := l.src[l.pos+1]
-				switch esc {
-				case '"', '\\':
-					b.WriteByte(esc)
-				case 'n':
-					b.WriteByte('\n')
-				case 't':
-					b.WriteByte('\t')
-				default:
-					return token{}, l.errf(l.pos, "bad escape \\%c", esc)
-				}
 				l.pos += 2
 				continue
 			}
 			if ch == '"' {
 				l.pos++
-				return token{kind: tokString, text: b.String(), pos: start}, nil
+				text, err := strconv.Unquote(l.src[start:l.pos])
+				if err != nil {
+					return token{}, l.errf(start, "bad string literal: %v", err)
+				}
+				return token{kind: tokString, text: text, pos: start}, nil
 			}
-			b.WriteByte(ch)
+			if ch == '\n' {
+				break // strconv.Unquote would reject it anyway; report cleanly
+			}
 			l.pos++
 		}
 		return token{}, l.errf(start, "unterminated string")
@@ -157,6 +155,21 @@ scan:
 				isFloat = true
 				l.pos++
 				continue
+			}
+			// Exponent: floats render in Go's 'g' format (e.g. 1e+06), so
+			// the lexer accepts [eE][+-]?digits after the mantissa.
+			if (ch == 'e' || ch == 'E') && l.pos > start && l.src[l.pos-1] >= '0' && l.src[l.pos-1] <= '9' {
+				rest := l.src[l.pos+1:]
+				if len(rest) > 0 && (rest[0] == '+' || rest[0] == '-') {
+					rest = rest[1:]
+				}
+				if len(rest) > 0 && rest[0] >= '0' && rest[0] <= '9' {
+					isFloat = true
+					l.pos += len(l.src[l.pos:]) - len(rest) // past e and sign
+					for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+						l.pos++
+					}
+				}
 			}
 			break
 		}

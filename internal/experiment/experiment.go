@@ -58,6 +58,13 @@ type Params struct {
 	// paper-faithful baseline of B2, and the steady-state re-ship
 	// behaviour the repeated-update benchmarks measure).
 	FullExport bool
+	// DisableReadPath forces reads through the peer actor loop (the seed
+	// behaviour, and the B3 baseline) instead of the concurrent snapshot
+	// read path.
+	DisableReadPath bool
+	// EvalParallelism caps the hash-join probe fan-out on large binding
+	// sets (see cq.EvalOptions.Parallelism); 0 or 1 is serial.
+	EvalParallelism int
 }
 
 // Result aggregates one run.
@@ -131,7 +138,7 @@ func Build(p Params) (*Net, error) {
 			}
 		}
 	}
-	eval := cq.EvalOptions{}
+	eval := cq.EvalOptions{Parallelism: p.EvalParallelism}
 	if p.NestedLoop {
 		eval.Strategy = cq.NestedLoop
 	}
@@ -162,16 +169,17 @@ func Build(p Params) (*Net, error) {
 			return nil, err
 		}
 		pr, err := peer.New(peer.Options{
-			Name:          node.Name,
-			Transport:     transports[node.Name],
-			Wrapper:       core.NewStoreWrapper(db),
-			Directory:     directory,
-			MaxDepth:      p.MaxDepth,
-			Eval:          eval,
-			DisableDedup:  p.DisableDedup,
-			Naive:         p.Naive,
-			FullExport:    p.FullExport,
-			DisableOutbox: p.DisableOutbox,
+			Name:            node.Name,
+			Transport:       transports[node.Name],
+			Wrapper:         core.NewStoreWrapper(db),
+			Directory:       directory,
+			MaxDepth:        p.MaxDepth,
+			Eval:            eval,
+			DisableDedup:    p.DisableDedup,
+			Naive:           p.Naive,
+			FullExport:      p.FullExport,
+			DisableOutbox:   p.DisableOutbox,
+			DisableReadPath: p.DisableReadPath,
 		})
 		if err != nil {
 			closeAll()

@@ -274,6 +274,11 @@ type UpdateReport struct {
 	// answer streaming; nonzero means the session's result may be
 	// incomplete (the errors are also surfaced on core.Result).
 	EvalErrors int
+	// CacheHits / CacheMisses report the query-result cache's involvement
+	// in producing this report: set on the synthetic reports of the peer's
+	// concurrent local read path (1/0 or 0/1 per query), zero for
+	// distributed sessions, which never consult the cache.
+	CacheHits, CacheMisses int
 }
 
 // StatsReport returns a peer's reports to the super-peer.

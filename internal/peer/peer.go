@@ -57,6 +57,14 @@ type Options struct {
 	// synchronously per message, as the seed implementation did (the
 	// unbatched baseline of the batching benchmarks).
 	DisableOutbox bool
+	// QueryCacheSize bounds the concurrent read path's query-result cache
+	// (0 selects core.DefaultQueryCacheSize). The read path exists only
+	// when the Wrapper implements core.Snapshotter; other wrappers keep
+	// serving reads through the actor loop.
+	QueryCacheSize int
+	// DisableReadPath forces every read through the actor loop, as the
+	// seed implementation did — the baseline of the B3 benchmark.
+	DisableReadPath bool
 	// Outbox tunes the outbound pipeline (queue bound, batch caps); the
 	// OnDrop hook is owned by the peer, which uses it to compensate the
 	// termination detector for undeliverable messages. A caller-supplied
@@ -74,6 +82,7 @@ type Peer struct {
 	outbox     *transport.Outbox // == tr unless Options.DisableOutbox
 	statePath  string            // export-state sidecar file ("" = not durable)
 	stateSaved uint64            // node.ExportStateVersion() at the last save
+	readPath   *readPath         // concurrent reads; nil when the wrapper cannot snapshot
 	log        *slog.Logger
 
 	inbox chan any // envelopes and commands, consumed by the actor loop
@@ -151,6 +160,11 @@ func New(opts Options) (*Peer, error) {
 	for k, v := range opts.Directory {
 		p.directory[k] = v
 	}
+	if sn, ok := opts.Wrapper.(core.Snapshotter); ok && !opts.DisableReadPath {
+		p.readPath = newReadPath(opts.Name, sn, node, opts.Eval, opts.QueryCacheSize)
+		p.readPath.record = p.noteLocalQueryReport
+		p.refreshReadRules() // loop not yet running: safe here
+	}
 	if !opts.DisableOutbox {
 		oo := opts.Outbox
 		userDrop := oo.OnDrop
@@ -209,6 +223,21 @@ func (p *Peer) noteLostSend(to string, payload msg.Payload, err error) {
 		case <-p.stopped:
 		}
 	}()
+}
+
+// noteLocalQueryReport records a bypassed query's synthetic report in the
+// node's statistics module, so session-free local queries still appear in
+// Reports() and super-peer aggregation. The post is strictly best-effort
+// and non-blocking: when the inbox is saturated (a heavy update session in
+// flight — exactly when readers must not re-couple to the loop), the
+// report is dropped rather than parking a goroutine per query.
+func (p *Peer) noteLocalQueryReport(rep msg.UpdateReport) {
+	cmd := command{run: func() { p.node.NoteReport(rep) }, done: make(chan struct{})}
+	select {
+	case p.inbox <- cmd:
+	case <-p.stopped:
+	default:
+	}
 }
 
 // Name returns the peer's node name.
@@ -385,6 +414,9 @@ func (p *Peer) handleEnvelope(env msg.Envelope) {
 		res := p.node.Handle(env)
 		p.dispatch(res)
 	}
+	// Update requests can adopt rules (core.handleRequest) and broadcasts
+	// reconfigure: republish the read path's rule copy when that happened.
+	p.refreshReadRules()
 }
 
 // dispatch ships a core Result: messages out, answers to query waiters,
@@ -595,6 +627,7 @@ func (p *Peer) installConfig(cfg *config.Config) error {
 	for a := range after {
 		p.ensurePipe(a)
 	}
+	p.refreshReadRules()
 	return nil
 }
 
@@ -649,6 +682,7 @@ func (p *Peer) AddRule(id, text string) error {
 				p.ensurePipe(a)
 			}
 		}
+		p.refreshReadRules()
 	}); derr != nil {
 		return derr
 	}
@@ -693,15 +727,28 @@ func (p *Peer) Insert(rel string, tuples ...relation.Tuple) error {
 	return err
 }
 
-// Count returns a local relation's cardinality.
+// Count returns a local relation's cardinality. With a snapshot-capable
+// wrapper it reads the engine directly (short read lock, off the actor
+// loop); see core.Snapshotter for the concurrency contract.
 func (p *Peer) Count(rel string) int {
+	if rp := p.readPath; rp != nil {
+		return rp.wrapper().Count(rel)
+	}
 	var n int
 	p.do(func() { n = p.node.Wrapper().Count(rel) })
 	return n
 }
 
-// Tuples returns a snapshot of a local relation.
+// Tuples returns a snapshot of a local relation. Served from a pinned read
+// view, off the actor loop, when the wrapper supports snapshots.
 func (p *Peer) Tuples(rel string) []relation.Tuple {
+	if rp := p.readPath; rp != nil {
+		out := rp.view().Tuples(rel)
+		for i, t := range out {
+			out[i] = t.Clone()
+		}
+		return out
+	}
 	var out []relation.Tuple
 	p.do(func() {
 		p.node.Wrapper().Scan(rel, func(t relation.Tuple) bool {
@@ -714,6 +761,9 @@ func (p *Peer) Tuples(rel string) []relation.Tuple {
 
 // Schema returns the node's shared schema.
 func (p *Peer) Schema() *relation.Schema {
+	if rp := p.readPath; rp != nil {
+		return rp.wrapper().Schema()
+	}
 	var s *relation.Schema
 	p.do(func() { s = p.node.Wrapper().Schema() })
 	return s
@@ -783,8 +833,17 @@ func (p *Peer) RunScopedUpdate(ctx context.Context, rels []string) (msg.UpdateRe
 }
 
 // QueryStream starts a distributed query and returns a channel of streamed
-// answers (closed at completion) plus a completion-report channel.
+// answers (closed at completion) plus a completion-report channel. A query
+// with no relevant outgoing links — everything it reads is local, the
+// steady state after a global update — is answered entirely on the
+// concurrent read path (snapshot plus result cache), without entering the
+// actor loop or the session machinery.
 func (p *Peer) QueryStream(q *cq.Query, mode core.QueryMode) (<-chan relation.Tuple, <-chan msg.UpdateReport, error) {
+	if rp := p.readPath; rp != nil {
+		if answers, done, ok := rp.tryLocalStream(q, mode); ok {
+			return answers, done, nil
+		}
+	}
 	sid := msg.NewSID(p.name)
 	w := &queryWaiter{answers: make(chan relation.Tuple, 1024), done: make(chan msg.UpdateReport, 1)}
 	var startErr error
@@ -829,8 +888,16 @@ func (p *Peer) Query(ctx context.Context, q *cq.Query, mode core.QueryMode) ([]r
 	}
 }
 
-// LocalQuery evaluates a query against local data only.
+// LocalQuery evaluates a query against local data only. With a
+// snapshot-capable wrapper it runs on the concurrent read path: evaluation
+// happens on the caller's goroutine over a pinned view, with results
+// memoised in the LSN-invalidated query cache, so local queries neither
+// wait for nor delay the actor loop.
 func (p *Peer) LocalQuery(q *cq.Query, mode core.QueryMode) ([]relation.Tuple, error) {
+	if rp := p.readPath; rp != nil {
+		out, _, err := rp.localQuery(q, mode)
+		return out, err
+	}
 	var (
 		out []relation.Tuple
 		err error
@@ -839,6 +906,16 @@ func (p *Peer) LocalQuery(q *cq.Query, mode core.QueryMode) ([]relation.Tuple, e
 		return nil, derr
 	}
 	return out, err
+}
+
+// ReadStats returns the concurrent read path's query-cache counters; ok is
+// false when the peer has no read path (wrapper without snapshots, or
+// Options.DisableReadPath).
+func (p *Peer) ReadStats() (stats core.QueryCacheStats, ok bool) {
+	if p.readPath == nil {
+		return core.QueryCacheStats{}, false
+	}
+	return p.readPath.stats(), true
 }
 
 // Reports returns the statistics module's accumulated per-session reports.

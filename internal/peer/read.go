@@ -1,0 +1,188 @@
+package peer
+
+import (
+	"sync"
+	"time"
+
+	"codb/internal/core"
+	"codb/internal/cq"
+	"codb/internal/msg"
+	"codb/internal/relation"
+)
+
+// wrapper returns the snapshotter as the Wrapper it is (only wrappers
+// implement core.Snapshotter), for thread-safe point reads — Count and
+// Schema go straight to the storage engine's short-lock methods instead of
+// pinning (and possibly rebuilding) a whole-database snapshot.
+func (rp *readPath) wrapper() core.Wrapper { return rp.snap.(core.Wrapper) }
+
+// readPath is the peer's concurrent read subsystem: queries served off the
+// actor loop.
+//
+// The seed implementation funnelled every read — LocalQuery, Count, Tuples
+// — through the peer's single actor goroutine, so one long update session
+// (or one slow query evaluation) stalled every reader behind it. When the
+// wrapper can pin snapshots (core.Snapshotter; the embedded storage engine
+// can), the peer instead serves reads from immutable views taken at the
+// current commit LSN: any number of queries evaluate concurrently with the
+// actor loop, with each other, and with committing writers. Writes keep
+// serialising through the loop, unchanged.
+//
+// Results are memoised in a bounded query-result cache keyed by the
+// normalized query plus answer mode and validated against the pair
+// (storage commit LSN, rule-set version): any commit or rule broadcast
+// implicitly invalidates every older entry, so a cached answer is always
+// exactly what evaluating the query right now would return.
+type readPath struct {
+	name  string
+	snap  core.Snapshotter
+	node  *core.Node // only the atomic RuleSetVersion is touched off-loop
+	eval  cq.EvalOptions
+	cache *core.QueryCache
+	// lsn reads the wrapper's current commit LSN without pinning a
+	// snapshot (nil when the wrapper cannot; hits then pin a view).
+	lsn func() uint64
+
+	// record posts a bypassed query's synthetic report to the statistics
+	// module (set by the peer; never blocks the reader).
+	record func(msg.UpdateReport)
+
+	// outgoing is the actor loop's published copy of the node's outgoing
+	// rules at rule-set version ver, consulted by the local-only query
+	// bypass. Written by the loop (refresh), read by query goroutines.
+	mu       sync.RWMutex
+	outgoing []*cq.Rule
+	ver      uint64
+}
+
+func newReadPath(name string, snap core.Snapshotter, node *core.Node, eval cq.EvalOptions, cacheSize int) *readPath {
+	rp := &readPath{
+		name:  name,
+		snap:  snap,
+		node:  node,
+		eval:  eval,
+		cache: core.NewQueryCache(cacheSize),
+	}
+	// Cheap validity probe for the cache-hit path: when the wrapper
+	// exposes its commit LSN directly (the storage engine does, via
+	// ChangeTracker), a hit costs one atomic-ish LSN read instead of
+	// pinning a whole-database snapshot.
+	if tr, ok := snap.(interface{ LSN() uint64 }); ok {
+		rp.lsn = tr.LSN
+	}
+	return rp
+}
+
+// refreshReadRules republishes the outgoing-rule copy after a rule-set
+// mutation. Must run inside the actor loop (rules only mutate there, so
+// version and copy are taken consistently); a no-op when the version is
+// already current, which makes it cheap enough to call after every
+// envelope.
+func (p *Peer) refreshReadRules() {
+	rp := p.readPath
+	if rp == nil {
+		return
+	}
+	ver := p.node.RuleSetVersion()
+	rp.mu.RLock()
+	cur := rp.ver
+	rp.mu.RUnlock()
+	if cur == ver {
+		return
+	}
+	out := append([]*cq.Rule(nil), p.node.Outgoing()...)
+	rp.mu.Lock()
+	rp.outgoing, rp.ver = out, ver
+	rp.mu.Unlock()
+}
+
+// view pins a fresh read view.
+func (rp *readPath) view() core.ReadView { return rp.snap.ReadSnapshot() }
+
+// localQuery evaluates a query over a pinned view, consulting the result
+// cache first. hit reports whether the cache answered. A hit validates
+// against the engine's current commit LSN without pinning a snapshot; a
+// snapshot is taken (and the entry stamped with *its* LSN) only when the
+// query must actually evaluate.
+func (rp *readPath) localQuery(q *cq.Query, mode core.QueryMode) (answers []relation.Tuple, hit bool, err error) {
+	key := core.CacheKey(q, mode)
+	ver := rp.node.RuleSetVersion()
+	var view core.ReadView
+	var lsnNow uint64
+	if rp.lsn != nil {
+		lsnNow = rp.lsn()
+	} else {
+		view = rp.view()
+		lsnNow = view.LSN()
+	}
+	if ans, ok := rp.cache.Get(key, lsnNow, ver); ok {
+		return ans, true, nil
+	}
+	if view == nil {
+		view = rp.view()
+	}
+	ans, err := core.EvalQuery(q, view, mode, rp.eval)
+	if err != nil {
+		return nil, false, err
+	}
+	// The cache keeps its own copy of the slice: callers own (and may
+	// mutate) the one returned to them, on hit and miss alike.
+	rp.cache.Put(key, view.LSN(), ver, append([]relation.Tuple(nil), ans...))
+	return ans, false, nil
+}
+
+// tryLocalStream serves a distributed-query call entirely from the read
+// path when no outgoing link is relevant to the query — the common case
+// after a global update has materialised everything — so the session
+// machinery (and the actor loop) is never involved. ok is false when the
+// query needs remote data, fails validation (the actor path surfaces the
+// error), or the published rule copy is stale; callers then fall through
+// to the ordinary session start.
+func (rp *readPath) tryLocalStream(q *cq.Query, mode core.QueryMode) (<-chan relation.Tuple, <-chan msg.UpdateReport, bool) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, false
+	}
+	rp.mu.RLock()
+	outgoing, ver := rp.outgoing, rp.ver
+	rp.mu.RUnlock()
+	if ver != rp.node.RuleSetVersion() {
+		// Rules changed and the loop has not republished yet: be
+		// conservative, a relevant link may have just appeared.
+		return nil, nil, false
+	}
+	if len(cq.Closure(q.Relations(), outgoing)) > 0 {
+		return nil, nil, false
+	}
+	done := make(chan msg.UpdateReport, 1)
+	rep := msg.UpdateReport{
+		SID:           msg.NewSID(rp.name),
+		Kind:          msg.KindQuery,
+		Origin:        rp.name,
+		StartUnixNano: time.Now().UnixNano(),
+	}
+	ans, hit, err := rp.localQuery(q, mode)
+	if err != nil {
+		rep.EvalErrors++
+	}
+	if hit {
+		rep.CacheHits++
+	} else {
+		rep.CacheMisses++
+	}
+	// Full buffering: the consumer can abandon the stream without leaking
+	// a goroutine or blocking anything.
+	answers := make(chan relation.Tuple, len(ans))
+	for _, a := range ans {
+		answers <- a
+	}
+	close(answers)
+	rep.EndUnixNano = time.Now().UnixNano()
+	if rp.record != nil {
+		rp.record(rep)
+	}
+	done <- rep
+	return answers, done, true
+}
+
+// stats returns the cache counters.
+func (rp *readPath) stats() core.QueryCacheStats { return rp.cache.Stats() }

@@ -1,0 +1,208 @@
+package peer
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"codb/internal/core"
+	"codb/internal/cq"
+	"codb/internal/msg"
+	"codb/internal/relation"
+	"codb/internal/transport"
+)
+
+func sortedKeys(ts []relation.Tuple) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Key()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestReadPathLocalQueryCaching(t *testing.T) {
+	bus := transport.NewBus()
+	p := newBusPeer(t, bus, "A", "r/2")
+	if _, ok := p.ReadStats(); !ok {
+		t.Fatal("store-backed peer has no read path")
+	}
+	if err := p.Insert("r", ints(1, 10), ints(2, 20)); err != nil {
+		t.Fatal(err)
+	}
+	q := cq.MustParseQuery(`ans(x) :- r(x, y)`)
+
+	first, err := p.LocalQuery(q, core.AllAnswers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 2 {
+		t.Fatalf("LocalQuery returned %d answers, want 2", len(first))
+	}
+	second, err := p.LocalQuery(q, core.AllAnswers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := p.ReadStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("cache stats after repeat query: %+v, want 1 hit / 1 miss", st)
+	}
+	if len(second) != len(first) {
+		t.Fatalf("cached answers differ: %d vs %d", len(second), len(first))
+	}
+
+	// A commit invalidates: the next query re-evaluates and sees new data.
+	if err := p.Insert("r", ints(3, 30)); err != nil {
+		t.Fatal(err)
+	}
+	third, err := p.LocalQuery(q, core.AllAnswers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(third) != 3 {
+		t.Fatalf("post-commit query returned %d answers, want 3", len(third))
+	}
+	st, _ = p.ReadStats()
+	if st.Misses != 2 || st.Stale != 1 {
+		t.Fatalf("cache stats after invalidation: %+v, want 2 misses / 1 stale", st)
+	}
+}
+
+func TestReadPathQueryStreamLocalBypass(t *testing.T) {
+	bus := transport.NewBus()
+	p := newBusPeer(t, bus, "A", "r/2")
+	if err := p.Insert("r", ints(1, 10), ints(2, 20)); err != nil {
+		t.Fatal(err)
+	}
+	// No rules at all: every query is local-only and must bypass the
+	// session machinery (report kind is still a query report).
+	answers, done, err := p.QueryStream(cq.MustParseQuery(`ans(x, y) :- r(x, y)`), core.AllAnswers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for range answers {
+		n++
+	}
+	rep := <-done
+	if n != 2 {
+		t.Fatalf("local bypass streamed %d answers, want 2", n)
+	}
+	if rep.Kind != msg.KindQuery || rep.Origin != "A" {
+		t.Fatalf("bypass report = %+v", rep)
+	}
+	if rep.CacheHits+rep.CacheMisses != 1 {
+		t.Fatalf("bypass report cache counters = %d/%d, want exactly one lookup", rep.CacheHits, rep.CacheMisses)
+	}
+	if p.node.ActiveSessions() != nil {
+		t.Fatalf("local bypass left sessions behind: %v", p.node.ActiveSessions())
+	}
+	// The synthetic report still reaches the statistics module (it is
+	// posted into the actor loop asynchronously, so poll briefly).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		found := false
+		for _, r := range p.Reports() {
+			if r.SID == rep.SID {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bypass report never reached the statistics module")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestReadPathQueryStreamStillDistributed(t *testing.T) {
+	bus := transport.NewBus()
+	a := newBusPeer(t, bus, "A", "r/1")
+	b := newBusPeer(t, bus, "B", "r/1")
+	if err := b.Insert("r", ints(1), ints(2)); err != nil {
+		t.Fatal(err)
+	}
+	rule := `A.r(x) <- B.r(x)`
+	if err := a.AddRule("r1", rule); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRule("r1", rule); err != nil {
+		t.Fatal(err)
+	}
+	// The query's relation is fed by an outgoing link: the bypass must
+	// stand aside and the distributed session must fetch B's data.
+	got, err := a.Query(ctxT(t), cq.MustParseQuery(`ans(x) :- r(x)`), core.AllAnswers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("distributed query returned %d answers, want 2", len(got))
+	}
+}
+
+// TestReadPathRuleChangeInvalidates ensures a rule reconfiguration flips
+// the validity token even without any storage commit.
+func TestReadPathRuleChangeInvalidates(t *testing.T) {
+	bus := transport.NewBus()
+	a := newBusPeer(t, bus, "A", "r/1")
+	newBusPeer(t, bus, "B", "r/1")
+	q := cq.MustParseQuery(`ans(x) :- r(x)`)
+	if _, err := a.LocalQuery(q, core.AllAnswers); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddRule("r1", `A.r(x) <- B.r(x)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.LocalQuery(q, core.AllAnswers); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := a.ReadStats()
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("cache stats across rule change: %+v, want 0 hits / 2 misses", st)
+	}
+}
+
+// TestReadPathMatchesActorPath cross-checks the two read implementations.
+func TestReadPathMatchesActorPath(t *testing.T) {
+	bus := transport.NewBus()
+	p := newBusPeer(t, bus, "A", "r/2")
+	if err := p.Insert("r", ints(1, 10), ints(2, 20), ints(3, 10)); err != nil {
+		t.Fatal(err)
+	}
+	q := cq.MustParseQuery(`ans(y) :- r(x, y)`)
+	viaRead, err := p.LocalQuery(q, core.AllAnswers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaActor []relation.Tuple
+	if err := p.do(func() { viaActor, err = p.node.LocalQuery(q, core.AllAnswers) }); err != nil {
+		t.Fatal(err)
+	}
+	gotR, gotA := sortedKeys(viaRead), sortedKeys(viaActor)
+	if len(gotR) != len(gotA) {
+		t.Fatalf("read path %d answers, actor path %d", len(gotR), len(gotA))
+	}
+	for i := range gotR {
+		if gotR[i] != gotA[i] {
+			t.Fatalf("answer %d differs: %q vs %q", i, gotR[i], gotA[i])
+		}
+	}
+	// Mediator wrappers cannot snapshot: the peer must fall back cleanly.
+	schema := relation.NewSchema()
+	if err := schema.Add(&relation.RelDef{Name: "m", Attrs: []relation.Attr{{Name: "a", Type: relation.TInt}}}); err != nil {
+		t.Fatal(err)
+	}
+	med, err := New(Options{Name: "M", Transport: bus.MustJoin("M"), Wrapper: core.NewMediatorWrapper(schema)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer med.Stop()
+	if _, ok := med.ReadStats(); ok {
+		t.Fatal("mediator peer claims a read path")
+	}
+	if got := med.Count("m"); got != 0 {
+		t.Fatalf("mediator Count = %d", got)
+	}
+}

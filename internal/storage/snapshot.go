@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"sort"
+
+	"codb/internal/relation"
+)
+
+// Snapshot is an immutable point-in-time read view of the database, pinned
+// at the commit LSN current when it was taken. Snapshots are the storage
+// half of the concurrent query path: a reader holding one never touches the
+// database mutex again, so any number of query evaluations run concurrently
+// with committing writers (and with each other) without lock coupling.
+//
+// The implementation is copy-on-write per relation: each table keeps one
+// cached immutable view of its committed state (a flat, key-ordered tuple
+// array), built lazily by the first snapshot that needs it and shared by
+// every later snapshot until a commit touching the relation invalidates it.
+// Taking a snapshot of a quiescent database is therefore O(relations);
+// after a commit only the touched relations are rebuilt. Tuples are shared
+// with the live table (they are never mutated in place), so a snapshot
+// costs memory only for the key/row arrays.
+type Snapshot struct {
+	lsn    uint64
+	schema *relation.Schema
+	tables map[string]*tableSnap
+}
+
+// tableSnap is the immutable view of one relation: tuples in key order,
+// with the parallel key array supporting binary-search lookups.
+type tableSnap struct {
+	def  *relation.RelDef
+	keys []string         // sorted tuple keys
+	rows []relation.Tuple // parallel to keys
+}
+
+// Snapshot pins a read view at the current commit LSN. The returned
+// Snapshot is immutable and safe for concurrent use; it observes every
+// transaction committed before the call and none committed after.
+func (db *DB) Snapshot() *Snapshot {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := &Snapshot{
+		lsn:    db.lsn,
+		schema: db.schema.Clone(),
+		tables: make(map[string]*tableSnap, len(db.tables)),
+	}
+	for name, t := range db.tables {
+		s.tables[name] = t.snapshot()
+	}
+	return s
+}
+
+// snapshot returns the table's cached immutable view, building it if a
+// commit invalidated the previous one. The caller holds the database read
+// lock (so no writer mutates primary/rows concurrently); snapMu serialises
+// concurrent builders. Writers reset t.snap under the database write lock,
+// which excludes every reader, so all access to t.snap is race-free.
+func (t *table) snapshot() *tableSnap {
+	t.snapMu.Lock()
+	defer t.snapMu.Unlock()
+	if t.snap == nil {
+		n := t.primary.Len()
+		s := &tableSnap{
+			def:  t.def,
+			keys: make([]string, 0, n),
+			rows: make([]relation.Tuple, 0, n),
+		}
+		t.primary.AscendAll(func(k string, slot int) bool {
+			s.keys = append(s.keys, k)
+			s.rows = append(s.rows, t.rows[slot])
+			return true
+		})
+		t.snap = s
+	}
+	return t.snap
+}
+
+// invalidateSnap drops the cached view after a commit touched the relation
+// (caller holds the database write lock).
+func (t *table) invalidateSnap() { t.snap = nil }
+
+// LSN returns the commit sequence number the snapshot is pinned at.
+func (s *Snapshot) LSN() uint64 { return s.lsn }
+
+// Schema returns the schema as of the snapshot.
+func (s *Snapshot) Schema() *relation.Schema { return s.schema }
+
+// Rel returns the definition of a relation as of the snapshot, or nil.
+func (s *Snapshot) Rel(name string) *relation.RelDef {
+	if t, ok := s.tables[name]; ok {
+		return t.def
+	}
+	return nil
+}
+
+// Count returns the number of tuples in the relation as of the snapshot.
+func (s *Snapshot) Count(rel string) int {
+	if t, ok := s.tables[rel]; ok {
+		return len(t.rows)
+	}
+	return 0
+}
+
+// Has reports whether the tuple is present in the relation as of the
+// snapshot.
+func (s *Snapshot) Has(rel string, tuple relation.Tuple) bool {
+	t, ok := s.tables[rel]
+	if !ok {
+		return false
+	}
+	key := tuple.Key()
+	i := sort.SearchStrings(t.keys, key)
+	return i < len(t.keys) && t.keys[i] == key
+}
+
+// Scan calls fn for every tuple of the relation in key order; fn returning
+// false stops the scan. No locks are held: fn may take arbitrarily long and
+// may read back into the live database.
+func (s *Snapshot) Scan(rel string, fn func(relation.Tuple) bool) {
+	t, ok := s.tables[rel]
+	if !ok {
+		return
+	}
+	for _, row := range t.rows {
+		if !fn(row) {
+			return
+		}
+	}
+}
+
+// ScanEq scans the tuples whose attribute at position pos equals v, in key
+// order. Snapshots carry no secondary indexes, so this is a filtered full
+// scan — callers treating ScanEq as an access-path optimisation (the CQ
+// evaluator's constant pushdown) get identical results either way.
+func (s *Snapshot) ScanEq(rel string, pos int, v relation.Value, fn func(relation.Tuple) bool) {
+	t, ok := s.tables[rel]
+	if !ok || pos < 0 || pos >= t.def.Arity() {
+		return
+	}
+	for _, row := range t.rows {
+		if row[pos] == v {
+			if !fn(row) {
+				return
+			}
+		}
+	}
+}
+
+// Tuples returns all tuples of the relation as of the snapshot, in key
+// order. The tuples are shared with the snapshot (immutable); the slice is
+// fresh.
+func (s *Snapshot) Tuples(rel string) []relation.Tuple {
+	t, ok := s.tables[rel]
+	if !ok {
+		return nil
+	}
+	out := make([]relation.Tuple, len(t.rows))
+	copy(out, t.rows)
+	return out
+}
+
+// Instance exports the snapshot as a relation.Instance (oracles and tests).
+func (s *Snapshot) Instance() relation.Instance {
+	in := relation.NewInstance()
+	for name, t := range s.tables {
+		for _, row := range t.rows {
+			in.Insert(name, row)
+		}
+	}
+	return in
+}

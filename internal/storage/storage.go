@@ -79,6 +79,13 @@ type table struct {
 	// truncation raises lostBelow the same way.
 	changes   []change
 	lostBelow uint64 // history before (and at) this LSN is unavailable
+
+	// snap is the cached immutable view backing DB.Snapshot (copy-on-write
+	// per relation): built lazily under snapMu by the first snapshot after
+	// a change, shared by later snapshots, reset by insert/delete. See
+	// table.snapshot for the locking discipline.
+	snapMu sync.Mutex
+	snap   *tableSnap
 }
 
 // change is one captured committed insert.

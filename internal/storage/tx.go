@@ -222,6 +222,7 @@ func (t *table) insert(tuple relation.Tuple) bool {
 	for pos, idx := range t.second {
 		idx.Put(secondaryKey(tuple, pos), slot)
 	}
+	t.invalidateSnap()
 	return true
 }
 
@@ -239,6 +240,7 @@ func (t *table) delete(tuple relation.Tuple) bool {
 	}
 	t.rows[slot] = nil
 	t.free = append(t.free, slot)
+	t.invalidateSnap()
 	return true
 }
 
