@@ -34,6 +34,9 @@ func main() {
 	listen := flag.String("listen", "", "listen address (defaults to the address in -config)")
 	cfgPath := flag.String("config", "", "network configuration file")
 	dataDir := flag.String("data", "", "durable storage directory (empty = in-memory)")
+	shards := flag.Int("shards", 0, "hash shards per relation (0 = recovered count, else 1)")
+	syncCommit := flag.Bool("sync-commit", false, "make every commit durable before it returns (group-committed)")
+	noGroupCommit := flag.Bool("no-group-commit", false, "disable the WAL group-commit pipeline (one fsync per commit with -sync-commit)")
 	mediator := flag.Bool("mediator", false, "run without a local database")
 	verbose := flag.Bool("v", false, "verbose logging")
 	flag.Parse()
@@ -81,7 +84,12 @@ func main() {
 		wrapper = core.NewMediatorWrapper(schema)
 	} else {
 		var err error
-		db, err = storage.Open(storage.Options{Dir: *dataDir})
+		db, err = storage.Open(storage.Options{
+			Dir:                *dataDir,
+			Shards:             *shards,
+			SyncOnCommit:       *syncCommit,
+			DisableGroupCommit: *noGroupCommit,
+		})
 		if err != nil {
 			fatal(err)
 		}

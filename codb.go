@@ -65,6 +65,9 @@ type (
 	// ReadStats are a peer's query-result-cache counters (concurrent read
 	// path).
 	ReadStats = core.QueryCacheStats
+	// StorageStats is a peer's storage-engine report: per-shard row/byte
+	// counts, WAL size, group-commit batching counters.
+	StorageStats = storage.DetailedStats
 )
 
 // Query modes.
@@ -134,6 +137,21 @@ type NetworkOptions struct {
 	// Count / Tuples from pinned snapshots, concurrently with running
 	// update sessions.
 	DisableReadPath bool
+	// Shards hash-partitions every peer database's relations into this
+	// many shards, each with its own lock, indexes, changelog and snapshot
+	// view, so concurrent writers to different shards never contend (see
+	// storage.Options.Shards). 0 keeps a recovered database's own count
+	// (1 for fresh databases).
+	Shards int
+	// SyncOnCommit makes every commit of a durable peer database reach
+	// stable storage before the commit returns. Viable under load thanks
+	// to the WAL group-commit pipeline, which shares one fsync across a
+	// batch of concurrent commits.
+	SyncOnCommit bool
+	// DisableGroupCommit reverts durable peer databases to inline
+	// per-commit WAL appends (and with SyncOnCommit one fsync per commit):
+	// the B4 baseline.
+	DisableGroupCommit bool
 }
 
 // NewNetwork creates an empty in-process network.
@@ -180,8 +198,19 @@ func (nw *Network) AddDurablePeer(name, dir string, relations ...string) (*Peer,
 	return nw.addPeer(name, dir, relations...)
 }
 
+// storageOptions resolves the network's storage knobs for one peer
+// database.
+func (nw *Network) storageOptions(dir string) storage.Options {
+	return storage.Options{
+		Dir:                dir,
+		Shards:             nw.opts.Shards,
+		SyncOnCommit:       nw.opts.SyncOnCommit,
+		DisableGroupCommit: nw.opts.DisableGroupCommit,
+	}
+}
+
 func (nw *Network) addPeer(name, dir string, relations ...string) (*Peer, error) {
-	db, err := storage.Open(storage.Options{Dir: dir})
+	db, err := storage.Open(nw.storageOptions(dir))
 	if err != nil {
 		return nil, err
 	}
@@ -402,6 +431,17 @@ func (nw *Network) PeerReadStats(node string) (stats ReadStats, ok bool) {
 	return p.ReadStats()
 }
 
+// PeerStorageStats returns a node's storage-engine report (per-shard
+// row/byte counts, WAL size, group-commit batching counters); ok is false
+// for unknown peers and mediators.
+func (nw *Network) PeerStorageStats(node string) (stats StorageStats, ok bool) {
+	p := nw.Peer(node)
+	if p == nil {
+		return StorageStats{}, false
+	}
+	return p.StorageStats()
+}
+
 // LocalQuery evaluates a query against a node's local database only.
 func (nw *Network) LocalQuery(node, query string, mode QueryMode) ([]Tuple, error) {
 	p := nw.Peer(node)
@@ -478,7 +518,11 @@ func NewNetworkFromConfigWithOptions(text string, opts NetworkOptions) (*Network
 	}
 	nw := NewNetworkWithOptions(opts)
 	for _, node := range cfg.Nodes {
-		db := storage.MustOpenMem()
+		db, err := storage.Open(nw.storageOptions(""))
+		if err != nil {
+			nw.Close()
+			return nil, err
+		}
 		if err := db.DefineSchema(node.Schema); err != nil {
 			nw.Close()
 			return nil, err

@@ -44,11 +44,17 @@ type diffScenario struct {
 	tuples int
 	rounds int
 	burst  int
+	shards int // storage shard count of the network under test
 }
 
 // diffShapes mixes acyclic (chain, tree, star, grid) and cyclic (ring,
 // random-with-back-edges) rule graphs.
 var diffShapes = []topo.Shape{topo.Chain, topo.Ring, topo.Tree, topo.Star, topo.Grid, topo.Random}
+
+// diffShards cycles the storage shard counts the scenarios exercise; the
+// reference network always runs shards=1, so every scenario with shards>1
+// doubles as a sharded-vs-unsharded differential check.
+var diffShards = []int{1, 2, 8}
 
 func diffScenarios(n int) []diffScenario {
 	out := make([]diffScenario, 0, n)
@@ -60,18 +66,24 @@ func diffScenarios(n int) []diffScenario {
 			tuples: 15 + (s%3)*10,
 			rounds: 2 + s%2,
 			burst:  4 + s%5,
+			shards: diffShards[s%len(diffShards)],
 		})
 	}
 	return out
 }
 
 // networkFromTopo builds an in-process network (one in-memory peer per
-// node, rules on both endpoints) from a generated topology.
-func networkFromTopo(t *testing.T, cfg *config.Config, opts NetworkOptions) *Network {
+// node with the given storage shard count, rules on both endpoints) from a
+// generated topology.
+func networkFromTopo(t *testing.T, cfg *config.Config, opts NetworkOptions, shards int) *Network {
 	t.Helper()
 	nw := NewNetworkWithOptions(opts)
 	for _, node := range cfg.Nodes {
-		db := storage.MustOpenMem()
+		db, err := storage.Open(storage.Options{Shards: shards})
+		if err != nil {
+			nw.Close()
+			t.Fatal(err)
+		}
 		if err := db.DefineSchema(node.Schema); err != nil {
 			nw.Close()
 			t.Fatal(err)
@@ -202,15 +214,19 @@ func TestDifferentialIncrementalVsFullExport(t *testing.T) {
 	const scenarios = 26 // ≥ 25 randomized topologies
 	for _, sc := range diffScenarios(scenarios) {
 		sc := sc
-		t.Run(fmt.Sprintf("%s/n=%d/seed=%d", sc.shape, sc.nodes, sc.seed), func(t *testing.T) {
+		t.Run(fmt.Sprintf("%s/n=%d/seed=%d/shards=%d", sc.shape, sc.nodes, sc.seed, sc.shards), func(t *testing.T) {
 			t.Parallel()
 			cfg, err := topo.Build(sc.shape, sc.nodes, topo.Options{Seed: sc.seed})
 			if err != nil {
 				t.Fatal(err)
 			}
-			incr := networkFromTopo(t, cfg, NetworkOptions{})
+			// The network under test runs the scenario's shard count (and
+			// shard-parallel evaluation); the FullExport reference always
+			// runs unsharded, so the byte-identity check also covers
+			// sharded-vs-unsharded storage.
+			incr := networkFromTopo(t, cfg, NetworkOptions{EvalParallelism: 2}, sc.shards)
 			defer incr.Close()
-			full := networkFromTopo(t, cfg, NetworkOptions{FullExport: true})
+			full := networkFromTopo(t, cfg, NetworkOptions{FullExport: true}, 1)
 			defer full.Close()
 
 			names := make([]string, 0, len(cfg.Nodes))
@@ -274,13 +290,13 @@ func TestDifferentialIncrementalVsFullExport(t *testing.T) {
 func TestDifferentialConcurrentQueriesSandwich(t *testing.T) {
 	for _, sc := range diffScenarios(8) {
 		sc := sc
-		t.Run(fmt.Sprintf("%s/n=%d/seed=%d", sc.shape, sc.nodes, sc.seed), func(t *testing.T) {
+		t.Run(fmt.Sprintf("%s/n=%d/seed=%d/shards=%d", sc.shape, sc.nodes, sc.seed, sc.shards), func(t *testing.T) {
 			t.Parallel()
 			cfg, err := topo.Build(sc.shape, sc.nodes, topo.Options{Seed: sc.seed})
 			if err != nil {
 				t.Fatal(err)
 			}
-			nw := networkFromTopo(t, cfg, NetworkOptions{})
+			nw := networkFromTopo(t, cfg, NetworkOptions{}, sc.shards)
 			defer nw.Close()
 			names := make([]string, 0, len(cfg.Nodes))
 			for _, n := range cfg.Nodes {

@@ -288,6 +288,57 @@ func (m *Map[V]) AscendPrefix(prefix string, fn func(key string, value V) bool) 
 	})
 }
 
+// Iterator is a pull-style cursor over the tree in ascending key order,
+// built on the leaf chain. It lets callers merge several trees (the sharded
+// storage engine's per-shard indexes) without callback inversion. The tree
+// must not be mutated while an iterator is live; the storage layer holds
+// the owning shard's lock for the duration of a merge.
+type Iterator[V any] struct {
+	n *node[V]
+	i int
+}
+
+// Iter returns an iterator positioned at the smallest key >= from (the
+// whole tree for from == "").
+func (m *Map[V]) Iter(from string) *Iterator[V] {
+	n := m.root
+	for !n.leaf() {
+		i := sort.SearchStrings(n.keys, from)
+		if i < len(n.keys) && n.keys[i] == from {
+			i++
+		}
+		n = n.children[i]
+	}
+	return &Iterator[V]{n: n, i: sort.SearchStrings(n.keys, from)}
+}
+
+// Next returns the current key/value and advances, or ok=false at the end.
+func (it *Iterator[V]) Next() (key string, value V, ok bool) {
+	for it.n != nil && it.i >= len(it.n.keys) {
+		it.n = it.n.next
+		it.i = 0
+	}
+	if it.n == nil {
+		var zero V
+		return "", zero, false
+	}
+	key, value = it.n.keys[it.i], it.n.vals[it.i]
+	it.i++
+	return key, value, true
+}
+
+// Peek returns the current key without advancing, or ok=false at the end.
+func (it *Iterator[V]) Peek() (key string, ok bool) {
+	for it.n != nil && it.i >= len(it.n.keys) {
+		it.n = it.n.next
+		it.i = 0
+	}
+	if it.n == nil {
+		return "", false
+	}
+	return it.n.keys[it.i], true
+}
+
 // Min returns the smallest key, if any.
 func (m *Map[V]) Min() (string, V, bool) {
 	n := m.root

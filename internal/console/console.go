@@ -53,7 +53,7 @@ func (c *Console) Execute(line string) bool {
 	case "help":
 		c.printf("query|certain|local <node> <query>; update <node>; scoped <node> <rel,...>;\n")
 		c.printf("insert <node> <rel> v…; show <node> <rel>; peers <node>; report <node>;\n")
-		c.printf("cache <node>; stats; reload <file>; topology; quit\n")
+		c.printf("cache <node>; storage <node>; stats; reload <file>; topology; quit\n")
 	case "query", "certain", "local":
 		c.runQuery(cmd, rest)
 	case "update":
@@ -70,6 +70,8 @@ func (c *Console) Execute(line string) bool {
 		c.runReport(fields[1:])
 	case "cache":
 		c.runCache(fields[1:])
+	case "storage":
+		c.runStorage(fields[1:])
 	case "stats":
 		c.runStats()
 	case "reload":
@@ -274,6 +276,39 @@ func (c *Console) runCache(args []string) {
 	}
 	c.printf("query cache: %d entries, %d hits, %d misses (%d stale)\n",
 		st.Entries, st.Hits, st.Misses, st.Stale)
+}
+
+func (c *Console) runStorage(args []string) {
+	if len(args) != 1 {
+		c.printf("usage: storage <node>\n")
+		return
+	}
+	st, ok := c.nw.PeerStorageStats(args[0])
+	if !ok {
+		c.printf("no storage engine on %s (unknown peer or mediator)\n", args[0])
+		return
+	}
+	c.printf("shards: %d, commit LSN: %d, WAL: %d bytes\n", st.Shards, st.LSN, st.WALBytes)
+	for _, rel := range st.Relations {
+		c.printf("  %s:\n", rel.Name)
+		for i, sh := range rel.Shards {
+			if sh.Tuples == 0 && len(rel.Shards) > 1 {
+				continue
+			}
+			c.printf("    shard %2d: %6d rows %8d bytes\n", i, sh.Tuples, sh.Bytes)
+		}
+	}
+	if st.GroupCommitEnabled {
+		gc := st.GroupCommit
+		mean := 0.0
+		if gc.Batches > 0 {
+			mean = float64(gc.Commits) / float64(gc.Batches)
+		}
+		c.printf("group commit: %d commits in %d batches (mean %.1f, max %d), %d fsyncs\n",
+			gc.Commits, gc.Batches, mean, gc.MaxBatch, gc.Syncs)
+	} else {
+		c.printf("group commit: off (memory-only database or disabled)\n")
+	}
 }
 
 func (c *Console) runStats() {

@@ -173,6 +173,29 @@ rule swapped: b.r(x, s) <- a.r(x, s)
 	}
 }
 
+func TestExecuteStorage(t *testing.T) {
+	c, _, out := newTestConsole(t)
+	for _, s := range []string{`insert b r 1 "ann"`, `storage b`, `storage nope`, `storage`} {
+		if !c.Execute(s) {
+			t.Fatalf("command %q ended the session", s)
+		}
+	}
+	text := out.String()
+	for _, want := range []string{
+		"shards: 1",
+		"commit LSN:",
+		"  r:",
+		"rows",
+		"group commit: off",
+		"no storage engine on nope",
+		"usage: storage <node>",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
 func TestParseValue(t *testing.T) {
 	cases := map[string]codb.Value{
 		"true":  codb.Bool(true),

@@ -2,6 +2,7 @@ package cq
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"codb/internal/relation"
@@ -19,6 +20,18 @@ type Source interface {
 // first constant of an atom down to it when available.
 type EqScanner interface {
 	ScanEq(rel string, pos int, v relation.Value, fn func(relation.Tuple) bool)
+}
+
+// ShardedSource is optionally implemented by sources whose relations are
+// hash-partitioned into independently scannable shards (the storage
+// engine's snapshots are). With EvalOptions.Parallelism > 1 the hash-join
+// build phase fans its scan out across shards — safe only because such
+// sources are immutable views, so per-shard scans at different times still
+// observe one consistent state. Per-shard iteration must be in key order;
+// the union of all shards must equal Scan's tuples.
+type ShardedSource interface {
+	ShardCount(rel string) int
+	ScanShard(rel string, shard int, fn func(relation.Tuple) bool)
 }
 
 // Strategy selects the join algorithm.
@@ -428,31 +441,7 @@ func (p *plan) evalHash(src Source, delta []relation.Tuple, parallelism int) []*
 				keyTermIdx = append(keyTermIdx, ti)
 			}
 		}
-		// Build: bucket the atom's tuples by key (also filtering constants
-		// and intra-atom repeated variables via unify later).
-		buckets := make(map[string][]relation.Tuple)
-		p.scanAtom(src, pa, delta, func(t relation.Tuple) bool {
-			if len(t) != len(pa.varPos) {
-				return true
-			}
-			ok := true
-			for ti, vp := range pa.varPos {
-				if vp < 0 && t[ti] != pa.consts[ti] {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				return true
-			}
-			var kb []byte
-			for _, ti := range keyTermIdx {
-				kb = relation.EncodeValue(kb, t[ti])
-			}
-			k := string(kb)
-			buckets[k] = append(buckets[k], t.Clone())
-			return true
-		})
+		buckets := p.buildBuckets(src, pa, delta, keyTermIdx, parallelism)
 		cur = p.probe(cur, pa, i, keyTermIdx, buckets, parallelism)
 		for _, vp := range pa.varPos {
 			if vp >= 0 {
@@ -464,6 +453,95 @@ func (p *plan) evalHash(src Source, delta []relation.Tuple, parallelism int) []*
 		}
 	}
 	return cur
+}
+
+// buildBuckets is the hash-join build phase for one atom: bucket the
+// atom's tuples by join key (also filtering constants; intra-atom repeated
+// variables are re-checked via unify at probe time). When the source
+// exposes hash-sharded relations (ShardedSource — storage snapshots do)
+// and parallelism allows, the scan fans out across shards on a worker
+// pool; each bucket is then re-sorted into tuple order, so the bucket
+// contents are bit-identical to the serial scan's (tuple keys are unique
+// and serial scans deliver global key order).
+func (p *plan) buildBuckets(src Source, pa *patom, delta []relation.Tuple, keyTermIdx []int, parallelism int) map[string][]relation.Tuple {
+	collect := func(buckets map[string][]relation.Tuple) func(relation.Tuple) bool {
+		return func(t relation.Tuple) bool {
+			if len(t) != len(pa.varPos) {
+				return true
+			}
+			for ti, vp := range pa.varPos {
+				if vp < 0 && t[ti] != pa.consts[ti] {
+					return true
+				}
+			}
+			var kb []byte
+			for _, ti := range keyTermIdx {
+				kb = relation.EncodeValue(kb, t[ti])
+			}
+			k := string(kb)
+			buckets[k] = append(buckets[k], t.Clone())
+			return true
+		}
+	}
+	if ss, ok := shardableScan(src, pa, delta, parallelism); ok {
+		n := ss.ShardCount(pa.rel)
+		workers := parallelism
+		if workers > n {
+			workers = n
+		}
+		parts := make([]map[string][]relation.Tuple, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				m := make(map[string][]relation.Tuple)
+				fn := collect(m)
+				for sh := w; sh < n; sh += workers {
+					ss.ScanShard(pa.rel, sh, fn)
+				}
+				parts[w] = m
+			}(w)
+		}
+		wg.Wait()
+		buckets := parts[0]
+		for _, m := range parts[1:] {
+			for k, ts := range m {
+				buckets[k] = append(buckets[k], ts...)
+			}
+		}
+		for _, ts := range buckets {
+			if len(ts) > 1 {
+				sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+			}
+		}
+		return buckets
+	}
+	buckets := make(map[string][]relation.Tuple)
+	p.scanAtom(src, pa, delta, collect(buckets))
+	return buckets
+}
+
+// shardableScan reports whether the atom's build scan may fan out per
+// shard: a non-delta atom, no constant-pushdown access path in play
+// (scanAtom would prefer ScanEq), a sharded source, more than one shard,
+// and parallelism enabled.
+func shardableScan(src Source, pa *patom, delta []relation.Tuple, parallelism int) (ShardedSource, bool) {
+	if pa.delta || parallelism <= 1 {
+		return nil, false
+	}
+	if _, eq := src.(EqScanner); eq {
+		for _, vp := range pa.varPos {
+			if vp < 0 {
+				return nil, false // constant pushdown wins
+			}
+		}
+	}
+	ss, ok := src.(ShardedSource)
+	if !ok || ss.ShardCount(pa.rel) <= 1 {
+		return nil, false
+	}
+	return ss, true
 }
 
 // probe extends every partial binding with the matching tuples of one atom.

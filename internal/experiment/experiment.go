@@ -65,6 +65,9 @@ type Params struct {
 	// EvalParallelism caps the hash-join probe fan-out on large binding
 	// sets (see cq.EvalOptions.Parallelism); 0 or 1 is serial.
 	EvalParallelism int
+	// Shards hash-partitions every node database's relations (see
+	// storage.Options.Shards); 0/1 keeps the unsharded layout.
+	Shards int
 }
 
 // Result aggregates one run.
@@ -163,7 +166,11 @@ func Build(p Params) (*Net, error) {
 		}
 	}
 	for _, node := range cfg.Nodes {
-		db := storage.MustOpenMem()
+		db, err := storage.Open(storage.Options{Shards: p.Shards})
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
 		if err := db.DefineSchema(node.Schema); err != nil {
 			closeAll()
 			return nil, err

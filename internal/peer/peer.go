@@ -31,6 +31,7 @@ import (
 	"codb/internal/cq"
 	"codb/internal/msg"
 	"codb/internal/relation"
+	"codb/internal/storage"
 	"codb/internal/transport"
 )
 
@@ -916,6 +917,18 @@ func (p *Peer) ReadStats() (stats core.QueryCacheStats, ok bool) {
 		return core.QueryCacheStats{}, false
 	}
 	return p.readPath.stats(), true
+}
+
+// StorageStats returns the storage engine's per-shard report (row/byte
+// counts per shard, WAL size, group-commit batching counters); ok is false
+// for peers without an embedded storage engine (mediators). Safe to call
+// concurrently with the actor loop: the engine takes its own locks.
+func (p *Peer) StorageStats() (stats storage.DetailedStats, ok bool) {
+	w, ok := p.node.Wrapper().(interface{ DB() *storage.DB })
+	if !ok {
+		return storage.DetailedStats{}, false
+	}
+	return w.DB().DetailedStats(), true
 }
 
 // Reports returns the statistics module's accumulated per-session reports.

@@ -133,6 +133,12 @@ func DecodeValue(b []byte) (Value, int, error) {
 		if len(rest) < 1 {
 			return Value{}, 0, fmt.Errorf("codec: truncated bool")
 		}
+		// Only the two canonical payloads decode: the encoding doubles as
+		// a deduplication identity, so decode must invert encode exactly
+		// (found by FuzzTupleCodec).
+		if rest[0] > 1 {
+			return Value{}, 0, fmt.Errorf("codec: bad bool byte 0x%02x", rest[0])
+		}
 		return Value{Kind: KindBool, Bool: rest[0] == 1}, 2, nil
 	case KindInt:
 		if len(rest) < 8 {

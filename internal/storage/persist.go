@@ -126,10 +126,12 @@ func encodeOps(ops []op) []byte {
 }
 
 // applyLogRecord replays one WAL payload during recovery. It bypasses the
-// transaction layer and mutates tables directly (the DB is not yet shared).
+// transaction layer and mutates shards directly (the DB is not yet shared).
 // Each record is one commit, so the LSN advances per record and replayed
-// inserts re-enter the changelog — a watermark taken after the last
-// checkpoint stays incrementally answerable across a restart.
+// inserts re-enter the changelogs — a watermark taken after the last
+// checkpoint stays incrementally answerable across a restart. The WAL is
+// written in LSN order (group commit preserves enqueue order), so replay
+// reproduces the original sequence numbers.
 func (db *DB) applyLogRecord(payload []byte) error {
 	r := &reader{b: payload}
 	count := r.uvarint()
@@ -149,7 +151,7 @@ func (db *DB) applyLogRecord(payload []byte) error {
 			if err := db.schema.Add(def); err != nil {
 				return fmt.Errorf("storage: replay ddl: %w", err)
 			}
-			db.tables[def.Name] = newTable(def)
+			db.tables[def.Name] = newTable(def, db.nshards)
 		case opInsert, opDelete:
 			rel := r.str()
 			enc := r.bytes()
@@ -164,14 +166,16 @@ func (db *DB) applyLogRecord(payload []byte) error {
 			if err != nil {
 				return fmt.Errorf("storage: replay %s: %w", rel, err)
 			}
-			t := db.tables[rel]
+			// The encoded op payload IS the tuple key, so routing needs no
+			// re-encoding.
+			s := db.tables[rel].shardFor(string(enc))
 			if kind == opInsert {
-				if t.insert(tuple) {
-					db.captureInsert(t, tuple)
+				if s.insert(tuple) {
+					db.captureInsert(s, db.lsn, tuple)
 				}
 			} else {
-				if t.delete(tuple) {
-					db.captureDelete(t)
+				if s.delete(tuple) {
+					db.captureDelete(s, db.lsn)
 				}
 			}
 		default:
@@ -181,14 +185,22 @@ func (db *DB) applyLogRecord(payload []byte) error {
 	return r.err
 }
 
-// Snapshot file layout: magic "cdbS", version u32, CRC u32 of body, body =
-// schema (uvarint count + defs) then per relation uvarint tuple count +
-// tuples; since version 2 the commit LSN trails the body, so the sequence
-// numbers export watermarks reference survive a checkpoint + restart.
-
+// Snapshot file layout: magic "cdbS", version u32, CRC u32 of body.
+//
+//	v1 body: schema (uvarint count + defs), then per relation uvarint
+//	         tuple count + tuples.
+//	v2 body: v1 plus the commit LSN trailing the body, so the sequence
+//	         numbers export watermarks reference survive a checkpoint +
+//	         restart.
+//	v3 body: the shard count leads the body, then the v2 layout. Tuples
+//	         are always written in global (shard-merged) key order, so the
+//	         post-shard-count bytes are identical for every shard count —
+//	         and a v2 snapshot upgrades transparently: it is read as
+//	         "shard count unrecorded" and rewritten as v3 by the next
+//	         checkpoint.
 var snapMagic = [4]byte{'c', 'd', 'b', 'S'}
 
-const snapVersion = 2
+const snapVersion = 3
 
 // Checkpoint atomically writes a snapshot of the current state and resets
 // the WAL. No-op for memory-only databases.
@@ -201,9 +213,35 @@ func (db *DB) Checkpoint() error {
 	return db.checkpointLocked()
 }
 
+// autoCheckpoint is the CheckpointEvery trigger, called from Commit after
+// durability with no locks held. Re-checks the counter under the exclusive
+// lock, so concurrent committers crossing the threshold together produce
+// one checkpoint.
+func (db *DB) autoCheckpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil // a concurrent Close checkpointed on its way out
+	}
+	if db.commitsSinceCheckpoint.Load() < int64(db.opts.CheckpointEvery) {
+		return nil
+	}
+	return db.checkpointLocked()
+}
+
+// checkpointLocked writes the snapshot and resets the WAL. The caller
+// holds db.mu exclusively, which excludes every commit (commits hold it
+// shared for their whole span), so no shard locks are needed. The
+// group-commit pipeline is flushed first: every record enqueued by an
+// already-applied commit must reach the log before the log is reset.
 func (db *DB) checkpointLocked() error {
 	if db.log == nil {
 		return nil
+	}
+	if db.group != nil && !db.closed {
+		if err := db.group.Flush(); err != nil {
+			return fmt.Errorf("storage: checkpoint flush: %w", err)
+		}
 	}
 	body := db.encodeSnapshotBody()
 	path := filepath.Join(db.opts.Dir, snapshotName)
@@ -237,20 +275,27 @@ func (db *DB) checkpointLocked() error {
 		os.Remove(tmp)
 		return fmt.Errorf("storage: checkpoint rename: %w", err)
 	}
-	db.commitsSinceCheckpoint = 0
+	db.commitsSinceCheckpoint.Store(0)
 	return db.log.Reset()
 }
 
 func (db *DB) encodeSnapshotBody() []byte {
 	names := db.schema.Names()
-	body := binary.AppendUvarint(nil, uint64(len(names)))
+	body := binary.AppendUvarint(nil, uint64(db.nshards))
+	body = binary.AppendUvarint(body, uint64(len(names)))
 	for _, name := range names {
 		body = encodeDef(body, db.schema.Rel(name))
 	}
 	for _, name := range names {
 		t := db.tables[name]
-		body = binary.AppendUvarint(body, uint64(t.primary.Len()))
-		t.primary.AscendAll(func(key string, _ int) bool {
+		n := 0
+		for _, s := range t.shards {
+			n += s.primary.Len()
+		}
+		body = binary.AppendUvarint(body, uint64(n))
+		// Shard-merged key order: identical snapshot bytes (after the
+		// shard-count field) for every shard count.
+		mergeAscend(t.primaryIters(), func(_ int, key string, _ int) bool {
 			body = putBytes(body, []byte(key))
 			return true
 		})
@@ -273,7 +318,7 @@ func (db *DB) loadSnapshot(path string) error {
 		return fmt.Errorf("storage: %s: not a snapshot file", path)
 	}
 	version := binary.LittleEndian.Uint32(data[4:8])
-	if version != 1 && version != snapVersion {
+	if version < 1 || version > snapVersion {
 		return fmt.Errorf("storage: %s: unsupported snapshot version %d", path, version)
 	}
 	body := data[12:]
@@ -281,6 +326,21 @@ func (db *DB) loadSnapshot(path string) error {
 		return fmt.Errorf("storage: %s: snapshot checksum mismatch", path)
 	}
 	r := &reader{b: body}
+	if version >= 3 {
+		recorded := r.uvarint()
+		if r.err != nil {
+			return r.err
+		}
+		if recorded < 1 || recorded > maxShards {
+			return fmt.Errorf("storage: %s: recorded shard count %d out of range", path, recorded)
+		}
+		// Options.Shards == 0 means "keep the database's own sharding";
+		// an explicit option reshards on load (routing is key-determined,
+		// so any count reproduces the same logical contents).
+		if db.opts.Shards == 0 {
+			db.nshards = int(recorded)
+		}
+	}
 	nrels := r.uvarint()
 	defs := make([]*relation.RelDef, 0, nrels)
 	for i := uint64(0); i < nrels; i++ {
@@ -291,7 +351,7 @@ func (db *DB) loadSnapshot(path string) error {
 		if err := db.schema.Add(def); err != nil {
 			return fmt.Errorf("storage: snapshot schema: %w", err)
 		}
-		db.tables[def.Name] = newTable(def)
+		db.tables[def.Name] = newTable(def, db.nshards)
 		defs = append(defs, def)
 	}
 	for _, def := range defs {
@@ -306,7 +366,7 @@ func (db *DB) loadSnapshot(path string) error {
 			if err != nil {
 				return fmt.Errorf("storage: snapshot %s: %w", def.Name, err)
 			}
-			t.insert(tuple)
+			t.shardFor(string(enc)).insert(tuple)
 		}
 	}
 	if version >= 2 {
@@ -322,7 +382,9 @@ func (db *DB) loadSnapshot(path string) error {
 	// LSN is unavailable, so watermarks older than the snapshot degrade to
 	// full scans.
 	for _, t := range db.tables {
-		t.lostBelow = db.lsn
+		for _, s := range t.shards {
+			s.lostBelow = db.lsn
+		}
 	}
 	return nil
 }

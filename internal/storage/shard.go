@@ -1,0 +1,190 @@
+package storage
+
+import (
+	"sync"
+
+	"codb/internal/btree"
+	"codb/internal/relation"
+)
+
+// table is one relation: a fixed set of hash shards. The shard count is
+// decided at Open (Options.Shards / the snapshot-recorded count) and never
+// changes for a live database; reopening with a different count simply
+// redistributes tuples, since routing is a pure function of the tuple key.
+type table struct {
+	def    *relation.RelDef
+	shards []*shard
+}
+
+// shard is one hash partition of a relation, with its own lock, heap,
+// primary B+tree, secondary indexes, changelog segment and cached
+// copy-on-write snapshot view. Writers to different shards never contend.
+type shard struct {
+	mu      sync.RWMutex
+	rows    []relation.Tuple        // heap; nil = deleted slot
+	free    []int                   // reusable slots
+	primary *btree.Map[int]         // tuple key -> slot
+	second  map[int]*btree.Map[int] // attr position -> (attr value ‖ tuple key) -> slot
+
+	// Change capture for incremental export (see DB.Changes): committed
+	// inserts in commit order, each stamped with its commit LSN and a
+	// global capture sequence (the tie-break for multi-shard commits).
+	// Deletes are not replayable as a monotone delta, so they poison
+	// history instead: lostBelow rises to the deleting commit's LSN.
+	// Changelog truncation raises lostBelow the same way.
+	changes   []change
+	lostBelow uint64 // history before (and at) this LSN is unavailable
+
+	// snap is the cached immutable view backing DB.Snapshot (copy-on-write
+	// per shard): built lazily under snapMu by the first snapshot after a
+	// change, shared by later snapshots, reset by insert/delete. See
+	// shard.snapshot for the locking discipline.
+	snapMu sync.Mutex
+	snap   *tableSnap
+}
+
+// change is one captured committed insert.
+type change struct {
+	lsn   uint64
+	seq   uint64
+	tuple relation.Tuple
+}
+
+func newTable(def *relation.RelDef, nshards int) *table {
+	t := &table{def: def, shards: make([]*shard, nshards)}
+	for i := range t.shards {
+		t.shards[i] = &shard{primary: btree.New[int](), second: make(map[int]*btree.Map[int])}
+	}
+	return t
+}
+
+// shardIndex routes a tuple key to its shard: FNV-1a over the
+// order-preserving encoding, reduced modulo the shard count. Deterministic
+// across processes, so recovery redistributes identically.
+func shardIndex(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+func (t *table) shardFor(key string) *shard {
+	return t.shards[shardIndex(key, len(t.shards))]
+}
+
+// rlockAll / runlockAll take and release every shard's read lock in index
+// order (part of the global (relation name, shard index) lock order).
+func (t *table) rlockAll() {
+	for _, s := range t.shards {
+		s.mu.RLock()
+	}
+}
+
+func (t *table) runlockAll() {
+	for _, s := range t.shards {
+		s.mu.RUnlock()
+	}
+}
+
+// insert adds the tuple to the shard (caller holds the shard write lock).
+// Returns whether the tuple was new.
+func (s *shard) insert(tuple relation.Tuple) bool {
+	key := tuple.Key()
+	if _, dup := s.primary.Get(key); dup {
+		return false
+	}
+	var slot int
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+		s.rows[slot] = tuple
+	} else {
+		slot = len(s.rows)
+		s.rows = append(s.rows, tuple)
+	}
+	s.primary.Put(key, slot)
+	for pos, idx := range s.second {
+		idx.Put(secondaryKey(tuple, pos), slot)
+	}
+	s.invalidateSnap()
+	return true
+}
+
+// delete removes the tuple (caller holds the shard write lock). Returns
+// whether it was present.
+func (s *shard) delete(tuple relation.Tuple) bool {
+	key := tuple.Key()
+	slot, ok := s.primary.Get(key)
+	if !ok {
+		return false
+	}
+	s.primary.Delete(key)
+	for pos, idx := range s.second {
+		idx.Delete(secondaryKey(s.rows[slot], pos))
+	}
+	s.rows[slot] = nil
+	s.free = append(s.free, slot)
+	s.invalidateSnap()
+	return true
+}
+
+// buildSecondary creates the shard's secondary index over one attribute
+// position (caller holds the database write lock, which excludes commits).
+func (s *shard) buildSecondary(pos int) {
+	idx := btree.New[int]()
+	for slot, row := range s.rows {
+		if row != nil {
+			idx.Put(secondaryKey(row, pos), slot)
+		}
+	}
+	s.second[pos] = idx
+}
+
+// btreeIter aliases the index iterator type used by merged scans.
+type btreeIter = btree.Iterator[int]
+
+// primaryIters positions one iterator at the start of each shard's primary
+// index (shard locks held by the caller).
+func (t *table) primaryIters() []*btreeIter {
+	iters := make([]*btreeIter, len(t.shards))
+	for i, s := range t.shards {
+		iters[i] = s.primary.Iter("")
+	}
+	return iters
+}
+
+// mergeAscend advances the per-shard iterators in global ascending key
+// order, calling fn with the owning shard's index for each entry. Keys are
+// unique across shards (a tuple lives in exactly one), so the merge is a
+// straight k-way minimum selection. fn returning false stops the merge.
+func mergeAscend(iters []*btreeIter, fn func(shard int, key string, slot int) bool) {
+	for {
+		best := -1
+		var bestKey string
+		for i, it := range iters {
+			key, ok := it.Peek()
+			if !ok {
+				continue
+			}
+			if best < 0 || key < bestKey {
+				best, bestKey = i, key
+			}
+		}
+		if best < 0 {
+			return
+		}
+		_, slot, _ := iters[best].Next()
+		if !fn(best, bestKey, slot) {
+			return
+		}
+	}
+}

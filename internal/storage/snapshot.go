@@ -8,77 +8,100 @@ import (
 
 // Snapshot is an immutable point-in-time read view of the database, pinned
 // at the commit LSN current when it was taken. Snapshots are the storage
-// half of the concurrent query path: a reader holding one never touches the
-// database mutex again, so any number of query evaluations run concurrently
+// half of the concurrent query path: a reader holding one never touches a
+// database lock again, so any number of query evaluations run concurrently
 // with committing writers (and with each other) without lock coupling.
 //
-// The implementation is copy-on-write per relation: each table keeps one
+// The implementation is copy-on-write per shard: each shard keeps one
 // cached immutable view of its committed state (a flat, key-ordered tuple
 // array), built lazily by the first snapshot that needs it and shared by
-// every later snapshot until a commit touching the relation invalidates it.
-// Taking a snapshot of a quiescent database is therefore O(relations);
-// after a commit only the touched relations are rebuilt. Tuples are shared
-// with the live table (they are never mutated in place), so a snapshot
-// costs memory only for the key/row arrays.
+// every later snapshot until a commit touching the shard invalidates it.
+// Taking a snapshot of a quiescent database is therefore O(relations ×
+// shards); after a commit only the touched shards are rebuilt. Tuples are
+// shared with the live shards (they are never mutated in place), so a
+// snapshot costs memory only for the key/row arrays.
+//
+// Snapshots expose their sharding (ShardCount / ScanShard): the CQ
+// evaluator fans its hash-join build scans out across shards when
+// EvalOptions.Parallelism allows, which is safe exactly because the views
+// are immutable.
 type Snapshot struct {
 	lsn    uint64
 	schema *relation.Schema
-	tables map[string]*tableSnap
+	tables map[string]*relSnap
 }
 
-// tableSnap is the immutable view of one relation: tuples in key order,
-// with the parallel key array supporting binary-search lookups.
+// relSnap is the immutable view of one relation: one tableSnap per shard.
+type relSnap struct {
+	def    *relation.RelDef
+	shards []*tableSnap
+}
+
+// tableSnap is the immutable view of one shard: tuples in key order, with
+// the parallel key array supporting binary-search lookups.
 type tableSnap struct {
-	def  *relation.RelDef
 	keys []string         // sorted tuple keys
 	rows []relation.Tuple // parallel to keys
 }
 
 // Snapshot pins a read view at the current commit LSN. The returned
 // Snapshot is immutable and safe for concurrent use; it observes every
-// transaction committed before the call and none committed after.
+// transaction committed before the call and none committed after. Every
+// shard lock is held at once while the view is assembled — and a commit
+// holds all its shard write locks from LSN assignment through application —
+// so the cut is consistent even under concurrent multi-shard commits.
 func (db *DB) Snapshot() *Snapshot {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	names := db.sortedTableNames()
+	unlock := db.rlockTables(names)
+	defer unlock()
+	db.lsnMu.Lock()
+	lsn := db.lsn // == visible here: no commit is between assignment and apply
+	db.lsnMu.Unlock()
 	s := &Snapshot{
-		lsn:    db.lsn,
+		lsn:    lsn,
 		schema: db.schema.Clone(),
-		tables: make(map[string]*tableSnap, len(db.tables)),
+		tables: make(map[string]*relSnap, len(db.tables)),
 	}
-	for name, t := range db.tables {
-		s.tables[name] = t.snapshot()
+	for _, name := range names {
+		t := db.tables[name]
+		rs := &relSnap{def: t.def, shards: make([]*tableSnap, len(t.shards))}
+		for i, sh := range t.shards {
+			rs.shards[i] = sh.snapshot()
+		}
+		s.tables[name] = rs
 	}
 	return s
 }
 
-// snapshot returns the table's cached immutable view, building it if a
-// commit invalidated the previous one. The caller holds the database read
+// snapshot returns the shard's cached immutable view, building it if a
+// commit invalidated the previous one. The caller holds the shard read
 // lock (so no writer mutates primary/rows concurrently); snapMu serialises
-// concurrent builders. Writers reset t.snap under the database write lock,
-// which excludes every reader, so all access to t.snap is race-free.
-func (t *table) snapshot() *tableSnap {
-	t.snapMu.Lock()
-	defer t.snapMu.Unlock()
-	if t.snap == nil {
-		n := t.primary.Len()
-		s := &tableSnap{
-			def:  t.def,
+// concurrent builders. Writers reset s.snap under the shard write lock,
+// which excludes every reader, so all access to s.snap is race-free.
+func (s *shard) snapshot() *tableSnap {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.snap == nil {
+		n := s.primary.Len()
+		v := &tableSnap{
 			keys: make([]string, 0, n),
 			rows: make([]relation.Tuple, 0, n),
 		}
-		t.primary.AscendAll(func(k string, slot int) bool {
-			s.keys = append(s.keys, k)
-			s.rows = append(s.rows, t.rows[slot])
+		s.primary.AscendAll(func(k string, slot int) bool {
+			v.keys = append(v.keys, k)
+			v.rows = append(v.rows, s.rows[slot])
 			return true
 		})
-		t.snap = s
+		s.snap = v
 	}
-	return t.snap
+	return s.snap
 }
 
-// invalidateSnap drops the cached view after a commit touched the relation
-// (caller holds the database write lock).
-func (t *table) invalidateSnap() { t.snap = nil }
+// invalidateSnap drops the cached view after a commit touched the shard
+// (caller holds the shard write lock).
+func (s *shard) invalidateSnap() { s.snap = nil }
 
 // LSN returns the commit sequence number the snapshot is pinned at.
 func (s *Snapshot) LSN() uint64 { return s.lsn }
@@ -96,10 +119,15 @@ func (s *Snapshot) Rel(name string) *relation.RelDef {
 
 // Count returns the number of tuples in the relation as of the snapshot.
 func (s *Snapshot) Count(rel string) int {
-	if t, ok := s.tables[rel]; ok {
-		return len(t.rows)
+	t, ok := s.tables[rel]
+	if !ok {
+		return 0
 	}
-	return 0
+	n := 0
+	for _, sh := range t.shards {
+		n += len(sh.rows)
+	}
+	return n
 }
 
 // Has reports whether the tuple is present in the relation as of the
@@ -110,19 +138,67 @@ func (s *Snapshot) Has(rel string, tuple relation.Tuple) bool {
 		return false
 	}
 	key := tuple.Key()
-	i := sort.SearchStrings(t.keys, key)
-	return i < len(t.keys) && t.keys[i] == key
+	sh := t.shards[shardIndex(key, len(t.shards))]
+	i := sort.SearchStrings(sh.keys, key)
+	return i < len(sh.keys) && sh.keys[i] == key
 }
 
-// Scan calls fn for every tuple of the relation in key order; fn returning
-// false stops the scan. No locks are held: fn may take arbitrarily long and
-// may read back into the live database.
+// Scan calls fn for every tuple of the relation in global key order (a
+// k-way merge over the per-shard views); fn returning false stops the
+// scan. No locks are held: fn may take arbitrarily long and may read back
+// into the live database.
 func (s *Snapshot) Scan(rel string, fn func(relation.Tuple) bool) {
 	t, ok := s.tables[rel]
 	if !ok {
 		return
 	}
-	for _, row := range t.rows {
+	if len(t.shards) == 1 {
+		for _, row := range t.shards[0].rows {
+			if !fn(row) {
+				return
+			}
+		}
+		return
+	}
+	idx := make([]int, len(t.shards))
+	for {
+		best := -1
+		var bestKey string
+		for i, sh := range t.shards {
+			if idx[i] < len(sh.keys) {
+				if k := sh.keys[idx[i]]; best < 0 || k < bestKey {
+					best, bestKey = i, k
+				}
+			}
+		}
+		if best < 0 {
+			return
+		}
+		if !fn(t.shards[best].rows[idx[best]]) {
+			return
+		}
+		idx[best]++
+	}
+}
+
+// ShardCount returns the number of hash partitions of the relation as of
+// the snapshot (0 for unknown relations). Implements cq.ShardedSource.
+func (s *Snapshot) ShardCount(rel string) int {
+	if t, ok := s.tables[rel]; ok {
+		return len(t.shards)
+	}
+	return 0
+}
+
+// ScanShard iterates one shard of the relation in key order. The view is
+// immutable, so any number of shard scans run concurrently. Implements
+// cq.ShardedSource.
+func (s *Snapshot) ScanShard(rel string, shard int, fn func(relation.Tuple) bool) {
+	t, ok := s.tables[rel]
+	if !ok || shard < 0 || shard >= len(t.shards) {
+		return
+	}
+	for _, row := range t.shards[shard].rows {
 		if !fn(row) {
 			return
 		}
@@ -138,13 +214,12 @@ func (s *Snapshot) ScanEq(rel string, pos int, v relation.Value, fn func(relatio
 	if !ok || pos < 0 || pos >= t.def.Arity() {
 		return
 	}
-	for _, row := range t.rows {
+	s.Scan(rel, func(row relation.Tuple) bool {
 		if row[pos] == v {
-			if !fn(row) {
-				return
-			}
+			return fn(row)
 		}
-	}
+		return true
+	})
 }
 
 // Tuples returns all tuples of the relation as of the snapshot, in key
@@ -155,8 +230,15 @@ func (s *Snapshot) Tuples(rel string) []relation.Tuple {
 	if !ok {
 		return nil
 	}
-	out := make([]relation.Tuple, len(t.rows))
-	copy(out, t.rows)
+	n := 0
+	for _, sh := range t.shards {
+		n += len(sh.rows)
+	}
+	out := make([]relation.Tuple, 0, n)
+	s.Scan(rel, func(row relation.Tuple) bool {
+		out = append(out, row)
+		return true
+	})
 	return out
 }
 
@@ -164,8 +246,10 @@ func (s *Snapshot) Tuples(rel string) []relation.Tuple {
 func (s *Snapshot) Instance() relation.Instance {
 	in := relation.NewInstance()
 	for name, t := range s.tables {
-		for _, row := range t.rows {
-			in.Insert(name, row)
+		for _, sh := range t.shards {
+			for _, row := range sh.rows {
+				in.Insert(name, row)
+			}
 		}
 	}
 	return in

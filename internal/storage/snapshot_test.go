@@ -74,15 +74,15 @@ func TestSnapshotSharingAndInvalidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	a, b := db.Snapshot(), db.Snapshot()
-	if a.tables["data"] != b.tables["data"] {
-		t.Fatal("quiescent snapshots do not share the per-relation view")
+	if a.tables["data"].shards[0] != b.tables["data"].shards[0] {
+		t.Fatal("quiescent snapshots do not share the per-shard view")
 	}
 	if _, err := db.Insert("data", relation.Tuple{relation.Int(2), relation.Int(2)}); err != nil {
 		t.Fatal(err)
 	}
 	c := db.Snapshot()
-	if c.tables["data"] == a.tables["data"] {
-		t.Fatal("commit did not invalidate the cached per-relation view")
+	if c.tables["data"].shards[0] == a.tables["data"].shards[0] {
+		t.Fatal("commit did not invalidate the cached per-shard view")
 	}
 }
 

@@ -1,24 +1,32 @@
 // Package storage implements coDB's embedded relational engine: the Local
 // Database (LDB) each peer manages. Relations are sets of typed tuples
-// (set semantics, as required by the update algorithm's "T′ = T \ R" step),
-// stored in an in-memory heap with a B+tree primary index over the
-// order-preserving tuple encoding and optional secondary indexes per
-// attribute. Durability is optional: when opened with a directory, every
-// commit is logged to a write-ahead log and periodically checkpointed into a
-// snapshot file; recovery loads the snapshot and replays the log.
+// (set semantics, as required by the update algorithm's "T′ = T \ R" step).
+// Each relation is hash-partitioned into Options.Shards shards; every shard
+// owns its own lock, in-memory heap, B+tree primary index over the
+// order-preserving tuple encoding, optional secondary indexes, changelog
+// segment, and copy-on-write snapshot view. Durability is optional: when
+// opened with a directory, every commit is logged to a write-ahead log —
+// through a group-commit pipeline when SyncOnCommit is set, so concurrent
+// commits share fsyncs — and periodically checkpointed into a snapshot
+// file; recovery loads the snapshot and replays the log.
 //
-// Concurrency: any number of readers and one writer at a time, coordinated
-// with an internal RWMutex. Transactions stage their writes privately and
-// apply them atomically at Commit.
+// Concurrency: readers and writers coordinate per shard, so transactions
+// touching disjoint shards commit in parallel. Commit sequence numbers stay
+// globally monotone: LSNs are assigned under a short ordering mutex while
+// the committing transaction already holds its shard locks, which makes the
+// WAL order equal the LSN order and lets Snapshot pin a consistent cut by
+// holding every shard lock at once. Transactions stage their writes
+// privately and apply them atomically at Commit.
 package storage
 
 import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"sync/atomic"
 
-	"codb/internal/btree"
 	"codb/internal/relation"
 	"codb/internal/wal"
 )
@@ -28,74 +36,83 @@ type Options struct {
 	// Dir is the durability directory. Empty means memory-only: no WAL,
 	// no snapshots, nothing survives Close.
 	Dir string
-	// SyncOnCommit fsyncs the WAL on every commit. Off by default; the
-	// demo workloads favour throughput, and the WAL still preserves
-	// prefix-consistency on crash.
+	// SyncOnCommit makes every commit durable before it returns (and
+	// before it becomes visible to any reader). It engages the
+	// group-commit pipeline, under which concurrent commits share fsyncs
+	// — one per batch — so sync-on-commit is viable under multi-writer
+	// load; with DisableGroupCommit it degrades to one fsync per commit.
 	SyncOnCommit bool
 	// CheckpointEvery triggers an automatic checkpoint after this many
 	// commits (0 disables automatic checkpoints).
 	CheckpointEvery int
-	// ChangelogLimit bounds the per-relation in-memory changelog backing
+	// ChangelogLimit bounds the per-shard in-memory changelog backing
 	// Changes (0 selects DefaultChangelogLimit, negative disables change
-	// capture entirely). When a relation's changelog overflows, its oldest
+	// capture entirely). When a shard's changelog overflows, its oldest
 	// entries are dropped and Changes reports "history lost" for
 	// watermarks that precede the drop.
 	ChangelogLimit int
+	// Shards is the number of hash partitions per relation. 0 selects the
+	// snapshot-recorded count for recovered databases (1 for fresh ones);
+	// 1 preserves the unsharded layout exactly. Tuples are routed by a
+	// hash of their order-preserving encoding, so any shard count yields
+	// the same logical contents — merged scans are always in global key
+	// order — and a database may be reopened with a different count.
+	Shards int
+	// DisableGroupCommit reverts the WAL to inline per-commit appends
+	// (and, with SyncOnCommit, one fsync per commit): the pre-group-commit
+	// baseline of the B4 benchmark.
+	DisableGroupCommit bool
 }
 
-// DefaultChangelogLimit is the per-relation changelog bound used when
+// DefaultChangelogLimit is the per-shard changelog bound used when
 // Options.ChangelogLimit is zero.
 const DefaultChangelogLimit = 4096
 
+// maxShards bounds Options.Shards (and the snapshot-recorded count) to
+// keep per-relation overhead sane.
+const maxShards = 1 << 12
+
 // DB is an embedded relational database.
 type DB struct {
-	mu     sync.RWMutex
-	schema *relation.Schema
-	tables map[string]*table
-	opts   Options
-	log    *wal.Log // nil when memory-only
-	closed bool
+	// mu guards the schema, the tables map and the closed flag. Reads and
+	// commits hold it shared (shard locks provide their isolation); DDL,
+	// IndexOn, Checkpoint and Close hold it exclusively.
+	mu      sync.RWMutex
+	schema  *relation.Schema
+	tables  map[string]*table
+	opts    Options
+	nshards int
+	log     *wal.Log            // nil when memory-only
+	group   *wal.GroupCommitter // nil when memory-only or DisableGroupCommit
+	closed  bool
 
+	// commitMu orders commits: LSN assignment and the WAL append/enqueue
+	// happen together under it, so the log's record order always equals
+	// the LSN order. It is held only for that short window, never during
+	// fsyncs (group-commit path) or shard application.
+	commitMu sync.Mutex
+
+	// lsnMu guards the commit sequence state below.
+	lsnMu sync.Mutex
 	// lsn is the monotone commit sequence number: every committed
 	// transaction (DDL included) gets the next value. It survives restarts
-	// (persisted in the snapshot, advanced by WAL replay), so export
-	// watermarks taken against it stay meaningful across process lives.
+	// (persisted in the snapshot, advanced by WAL replay).
 	lsn uint64
+	// visible is the largest LSN v such that every commit with LSN <= v
+	// has fully applied. With concurrent commits, a transaction with a
+	// higher LSN can finish applying before one with a lower LSN; export
+	// watermarks must not advance past unapplied commits, so LSN() reports
+	// visible, not lsn.
+	visible uint64
+	// inflight holds the LSNs assigned but not yet fully applied.
+	inflight map[uint64]struct{}
 
-	commitsSinceCheckpoint int
-}
+	// captureSeq totally orders changelog entries within one commit LSN
+	// (a multi-tuple commit captures across several shards; the merge in
+	// Changes restores its op order by this sequence).
+	captureSeq atomic.Uint64
 
-type table struct {
-	def     *relation.RelDef
-	rows    []relation.Tuple        // heap; nil = deleted slot
-	free    []int                   // reusable slots
-	primary *btree.Map[int]         // tuple key -> slot
-	second  map[int]*btree.Map[int] // attr position -> (attr value ‖ tuple key) -> slot
-
-	// Change capture for incremental export (see DB.Changes): committed
-	// inserts in commit order, each stamped with its commit LSN. Deletes
-	// are not replayable as a monotone delta, so they poison history
-	// instead: lostBelow rises to the deleting commit's LSN. Changelog
-	// truncation raises lostBelow the same way.
-	changes   []change
-	lostBelow uint64 // history before (and at) this LSN is unavailable
-
-	// snap is the cached immutable view backing DB.Snapshot (copy-on-write
-	// per relation): built lazily under snapMu by the first snapshot after
-	// a change, shared by later snapshots, reset by insert/delete. See
-	// table.snapshot for the locking discipline.
-	snapMu sync.Mutex
-	snap   *tableSnap
-}
-
-// change is one captured committed insert.
-type change struct {
-	lsn   uint64
-	tuple relation.Tuple
-}
-
-func newTable(def *relation.RelDef) *table {
-	return &table{def: def, primary: btree.New[int](), second: make(map[int]*btree.Map[int])}
+	commitsSinceCheckpoint atomic.Int64
 }
 
 const (
@@ -106,10 +123,15 @@ const (
 // Open opens (or creates) a database. With a Dir, prior state is recovered
 // from the snapshot and WAL in that directory.
 func Open(opts Options) (*DB, error) {
+	if opts.Shards < 0 || opts.Shards > maxShards {
+		return nil, fmt.Errorf("storage: Shards = %d out of range [0, %d]", opts.Shards, maxShards)
+	}
 	db := &DB{
-		schema: relation.NewSchema(),
-		tables: make(map[string]*table),
-		opts:   opts,
+		schema:   relation.NewSchema(),
+		tables:   make(map[string]*table),
+		opts:     opts,
+		nshards:  max(1, opts.Shards),
+		inflight: make(map[uint64]struct{}),
 	}
 	if opts.Dir == "" {
 		return db, nil
@@ -125,6 +147,13 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.log = log
+	db.visible = db.lsn
+	// The group-commit pipeline only pays when there are fsyncs to share;
+	// without SyncOnCommit the inline append under commitMu is cheaper
+	// than a cross-goroutine round-trip per commit.
+	if opts.SyncOnCommit && !opts.DisableGroupCommit {
+		db.group = wal.NewGroupCommitter(log)
+	}
 	return db, nil
 }
 
@@ -136,6 +165,60 @@ func MustOpenMem() *DB {
 		panic(err)
 	}
 	return db
+}
+
+// assignLSN allocates the next commit sequence number and marks it
+// in-flight. Callers hold commitMu (for ordering) and their shard locks
+// (so the LSN becomes visible to full-cut readers only when applied).
+func (db *DB) assignLSN() uint64 {
+	db.lsnMu.Lock()
+	db.lsn++
+	l := db.lsn
+	db.inflight[l] = struct{}{}
+	db.lsnMu.Unlock()
+	return l
+}
+
+// finishCommit retires an in-flight LSN and advances the visible horizon to
+// the largest fully-applied prefix.
+func (db *DB) finishCommit(l uint64) {
+	db.lsnMu.Lock()
+	delete(db.inflight, l)
+	v := db.lsn
+	for pending := range db.inflight {
+		if pending-1 < v {
+			v = pending - 1
+		}
+	}
+	if v > db.visible {
+		db.visible = v
+	}
+	db.lsnMu.Unlock()
+}
+
+// appendRecord ships one WAL record. Callers hold commitMu, so records are
+// enqueued (or appended) in LSN order. On the group-commit path the
+// returned channel delivers the durability outcome once the record's batch
+// is fsynced — callers must receive from it before making the commit
+// visible, so sync-on-commit keeps its visible-implies-durable guarantee;
+// the inline path appends (and, for sync-on-commit databases with
+// DisableGroupCommit, fsyncs) before returning.
+func (db *DB) appendRecord(rec []byte) (<-chan error, error) {
+	if db.log == nil {
+		return nil, nil
+	}
+	if db.group != nil {
+		return db.group.Commit(rec, true), nil
+	}
+	if err := db.log.Append(rec); err != nil {
+		return nil, err
+	}
+	if db.opts.SyncOnCommit {
+		if err := db.log.Sync(); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
 }
 
 // Schema returns a snapshot copy of the schema.
@@ -162,19 +245,30 @@ func (db *DB) DefineRelation(def *relation.RelDef) error {
 	if err := db.schema.Add(def); err != nil {
 		return err
 	}
-	db.tables[def.Name] = newTable(def)
-	db.lsn++
+	db.tables[def.Name] = newTable(def, db.nshards)
+	db.commitMu.Lock()
+	l := db.assignLSN()
+	var wait <-chan error
+	var err error
 	if db.log != nil {
-		rec := encodeDDL(def)
-		if err := db.log.Append(rec); err != nil {
-			return err
+		wait, err = db.appendRecord(encodeDDL(def))
+	}
+	db.commitMu.Unlock()
+	// Await durability before the LSN becomes visible, as Tx.Commit does:
+	// a watermark must never reference a commit whose record could still
+	// be lost. (The schema mutation itself is invisible until db.mu is
+	// released either way.)
+	if wait != nil {
+		if werr := <-wait; err == nil {
+			err = werr
 		}
-		if db.opts.SyncOnCommit {
-			if err := db.log.Sync(); err != nil {
-				return err
-			}
-		}
-		db.commitsSinceCheckpoint++
+	}
+	db.finishCommit(l)
+	if err != nil {
+		return err
+	}
+	if db.log != nil {
+		db.commitsSinceCheckpoint.Add(1)
 	}
 	return nil
 }
@@ -192,8 +286,9 @@ func (db *DB) DefineSchema(s *relation.Schema) error {
 	return nil
 }
 
-// IndexOn creates a secondary index over one attribute of a relation,
-// enabling ScanEq/ScanRange on that attribute. Idempotent.
+// IndexOn creates a secondary index over one attribute of a relation
+// (maintained per shard), enabling ScanEq/ScanRange on that attribute.
+// Idempotent.
 func (db *DB) IndexOn(rel, attr string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -205,16 +300,12 @@ func (db *DB) IndexOn(rel, attr string) error {
 	if pos < 0 {
 		return fmt.Errorf("storage: relation %s has no attribute %q", rel, attr)
 	}
-	if _, ok := t.second[pos]; ok {
+	if _, ok := t.shards[0].second[pos]; ok {
 		return nil
 	}
-	idx := btree.New[int]()
-	for slot, row := range t.rows {
-		if row != nil {
-			idx.Put(secondaryKey(row, pos), slot)
-		}
+	for _, s := range t.shards {
+		s.buildSecondary(pos)
 	}
-	t.second[pos] = idx
 	return nil
 }
 
@@ -234,11 +325,16 @@ func (db *DB) Has(rel string, tuple relation.Tuple) bool {
 	if t == nil {
 		return false
 	}
-	_, ok := t.primary.Get(tuple.Key())
+	key := tuple.Key()
+	s := t.shardFor(key)
+	s.mu.RLock()
+	_, ok := s.primary.Get(key)
+	s.mu.RUnlock()
 	return ok
 }
 
-// Count returns the number of tuples in the relation.
+// Count returns the number of tuples in the relation. All shards are
+// locked at once, so the count is a consistent cut.
 func (db *DB) Count(rel string) int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -246,12 +342,19 @@ func (db *DB) Count(rel string) int {
 	if t == nil {
 		return 0
 	}
-	return t.primary.Len()
+	t.rlockAll()
+	defer t.runlockAll()
+	n := 0
+	for _, s := range t.shards {
+		n += s.primary.Len()
+	}
+	return n
 }
 
-// Scan calls fn for every tuple of the relation in key order, under a read
-// lock; fn must not call back into the DB's write methods. fn returning
-// false stops the scan.
+// Scan calls fn for every tuple of the relation in global key order (a
+// k-way merge over the per-shard primary indexes), under the relation's
+// shard read locks; fn must not call back into the DB's write methods. fn
+// returning false stops the scan.
 func (db *DB) Scan(rel string, fn func(relation.Tuple) bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -259,13 +362,30 @@ func (db *DB) Scan(rel string, fn func(relation.Tuple) bool) {
 	if t == nil {
 		return
 	}
-	t.primary.AscendAll(func(_ string, slot int) bool {
-		return fn(t.rows[slot])
+	t.rlockAll()
+	defer t.runlockAll()
+	t.scanLocked(fn)
+}
+
+// scanLocked merges the shard primaries in key order (shard locks held).
+func (t *table) scanLocked(fn func(relation.Tuple) bool) {
+	if len(t.shards) == 1 {
+		s := t.shards[0]
+		s.primary.AscendAll(func(_ string, slot int) bool {
+			return fn(s.rows[slot])
+		})
+		return
+	}
+	iters := t.primaryIters()
+	mergeAscend(iters, func(si int, _ string, slot int) bool {
+		return fn(t.shards[si].rows[slot])
 	})
 }
 
-// ScanEq scans tuples whose attribute at position pos equals v, using a
-// secondary index when one exists and a full scan otherwise.
+// ScanEq scans tuples whose attribute at position pos equals v, using the
+// per-shard secondary indexes when they exist and a full merged scan
+// otherwise. Either way tuples arrive in a deterministic order (secondary:
+// by attr value ‖ tuple key; fallback: global key order).
 func (db *DB) ScanEq(rel string, pos int, v relation.Value, fn func(relation.Tuple) bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -273,16 +393,25 @@ func (db *DB) ScanEq(rel string, pos int, v relation.Value, fn func(relation.Tup
 	if t == nil || pos < 0 || pos >= t.def.Arity() {
 		return
 	}
-	if idx, ok := t.second[pos]; ok {
+	t.rlockAll()
+	defer t.runlockAll()
+	if _, ok := t.shards[0].second[pos]; ok {
 		prefix := string(relation.EncodeValue(nil, v))
-		idx.AscendPrefix(prefix, func(_ string, slot int) bool {
-			return fn(t.rows[slot])
+		iters := make([]*btreeIter, len(t.shards))
+		for i, s := range t.shards {
+			iters[i] = s.second[pos].Iter(prefix)
+		}
+		mergeAscend(iters, func(si int, key string, slot int) bool {
+			if len(key) < len(prefix) || key[:len(prefix)] != prefix {
+				return false // merged order: once the minimum leaves the prefix, all do
+			}
+			return fn(t.shards[si].rows[slot])
 		})
 		return
 	}
-	t.primary.AscendAll(func(_ string, slot int) bool {
-		if t.rows[slot][pos] == v {
-			return fn(t.rows[slot])
+	t.scanLocked(func(tp relation.Tuple) bool {
+		if tp[pos] == v {
+			return fn(tp)
 		}
 		return true
 	})
@@ -291,12 +420,34 @@ func (db *DB) ScanEq(rel string, pos int, v relation.Value, fn func(relation.Tup
 // ScanRange scans tuples whose attribute at position pos lies within the
 // given bounds (each bound optional: nil means unbounded; inclusive).
 // With a secondary index on the attribute the scan touches only the range;
-// otherwise it falls back to a filtered full scan.
+// otherwise it falls back to a filtered merged scan.
 func (db *DB) ScanRange(rel string, pos int, lo, hi *relation.Value, fn func(relation.Tuple) bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	t := db.tables[rel]
 	if t == nil || pos < 0 || pos >= t.def.Arity() {
+		return
+	}
+	t.rlockAll()
+	defer t.runlockAll()
+	if _, ok := t.shards[0].second[pos]; ok {
+		from, to := "", ""
+		if lo != nil {
+			from = string(relation.EncodeValue(nil, *lo))
+		}
+		if hi != nil {
+			to = prefixSuccessor(string(relation.EncodeValue(nil, *hi)))
+		}
+		iters := make([]*btreeIter, len(t.shards))
+		for i, s := range t.shards {
+			iters[i] = s.second[pos].Iter(from)
+		}
+		mergeAscend(iters, func(si int, key string, slot int) bool {
+			if to != "" && key >= to {
+				return false
+			}
+			return fn(t.shards[si].rows[slot])
+		})
 		return
 	}
 	within := func(v relation.Value) bool {
@@ -308,22 +459,9 @@ func (db *DB) ScanRange(rel string, pos int, lo, hi *relation.Value, fn func(rel
 		}
 		return true
 	}
-	if idx, ok := t.second[pos]; ok {
-		from, to := "", ""
-		if lo != nil {
-			from = string(relation.EncodeValue(nil, *lo))
-		}
-		if hi != nil {
-			to = prefixSuccessor(string(relation.EncodeValue(nil, *hi)))
-		}
-		idx.Ascend(from, to, func(_ string, slot int) bool {
-			return fn(t.rows[slot])
-		})
-		return
-	}
-	t.primary.AscendAll(func(_ string, slot int) bool {
-		if within(t.rows[slot][pos]) {
-			return fn(t.rows[slot])
+	t.scanLocked(func(tp relation.Tuple) bool {
+		if within(tp[pos]) {
+			return fn(tp)
 		}
 		return true
 	})
@@ -353,18 +491,52 @@ func (db *DB) Tuples(rel string) []relation.Tuple {
 }
 
 // Instance exports the whole database as a relation.Instance (for oracles,
-// stats and tests).
+// stats and tests). Every shard of every relation is locked at once, so
+// the export is a consistent cut.
 func (db *DB) Instance() relation.Instance {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	names := db.sortedTableNames()
+	unlock := db.rlockTables(names)
+	defer unlock()
 	in := relation.NewInstance()
-	for name, t := range db.tables {
-		t.primary.AscendAll(func(_ string, slot int) bool {
-			in.Insert(name, t.rows[slot])
-			return true
-		})
+	for _, name := range names {
+		t := db.tables[name]
+		for _, s := range t.shards {
+			s.primary.AscendAll(func(_ string, slot int) bool {
+				in.Insert(name, s.rows[slot])
+				return true
+			})
+		}
 	}
 	return in
+}
+
+// sortedTableNames returns the relation names in the global lock order
+// (lexicographic; db.mu held).
+func (db *DB) sortedTableNames() []string {
+	names := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// rlockTables read-locks every shard of the named tables in the global
+// (relation name, shard index) order and returns the matching unlock.
+// Holding every shard lock at once blocks any in-flight commit from being
+// half-visible: a commit holds all its shard write locks from LSN
+// assignment through application.
+func (db *DB) rlockTables(names []string) func() {
+	for _, name := range names {
+		db.tables[name].rlockAll()
+	}
+	return func() {
+		for _, name := range names {
+			db.tables[name].runlockAll()
+		}
+	}
 }
 
 // Stats summarises the database for reports.
@@ -380,7 +552,11 @@ func (db *DB) Stats() Stats {
 	defer db.mu.RUnlock()
 	s := Stats{Relations: db.schema.Len()}
 	for _, t := range db.tables {
-		s.Tuples += t.primary.Len()
+		t.rlockAll()
+		for _, sh := range t.shards {
+			s.Tuples += sh.primary.Len()
+		}
+		t.runlockAll()
 	}
 	if db.log != nil {
 		s.WALBytes = db.log.Size()
@@ -388,19 +564,78 @@ func (db *DB) Stats() Stats {
 	return s
 }
 
-// LSN returns the current commit sequence number: the LSN of the most
-// recently committed transaction (0 for a database nothing was ever
-// committed to).
-func (db *DB) LSN() uint64 {
+// ShardStats summarises one shard of one relation.
+type ShardStats struct {
+	Tuples int
+	Bytes  int64 // encoded tuple volume (sum of primary key lengths)
+}
+
+// RelationStats is the per-shard breakdown of one relation.
+type RelationStats struct {
+	Name   string
+	Shards []ShardStats
+}
+
+// DetailedStats is the storage command's full engine report: per-shard
+// row/byte counts, WAL size and group-commit batching counters.
+type DetailedStats struct {
+	Shards      int
+	LSN         uint64
+	Relations   []RelationStats
+	WALBytes    int64
+	GroupCommit wal.GroupStats
+	// GroupCommitEnabled distinguishes "no batches yet" from "pipeline
+	// disabled or memory-only".
+	GroupCommitEnabled bool
+}
+
+// DetailedStats returns the per-shard engine report.
+func (db *DB) DetailedStats() DetailedStats {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.lsn
+	out := DetailedStats{Shards: db.nshards, LSN: db.LSN()}
+	for _, name := range db.sortedTableNames() {
+		t := db.tables[name]
+		rs := RelationStats{Name: name, Shards: make([]ShardStats, len(t.shards))}
+		t.rlockAll()
+		for i, sh := range t.shards {
+			st := ShardStats{Tuples: sh.primary.Len()}
+			sh.primary.AscendAll(func(key string, _ int) bool {
+				st.Bytes += int64(len(key))
+				return true
+			})
+			rs.Shards[i] = st
+		}
+		t.runlockAll()
+		out.Relations = append(out.Relations, rs)
+	}
+	if db.log != nil {
+		out.WALBytes = db.log.Size()
+	}
+	if db.group != nil {
+		out.GroupCommit = db.group.Stats()
+		out.GroupCommitEnabled = true
+	}
+	return out
 }
+
+// LSN returns the current commit sequence number: the largest LSN whose
+// commit (and every earlier one) is fully applied — 0 for a database
+// nothing was ever committed to. Export watermarks taken against it stay
+// meaningful across concurrent commits and process lives.
+func (db *DB) LSN() uint64 {
+	db.lsnMu.Lock()
+	defer db.lsnMu.Unlock()
+	return db.visible
+}
+
+// Shards returns the number of hash partitions per relation.
+func (db *DB) Shards() int { return db.nshards }
 
 // Dir returns the durability directory ("" for memory-only databases).
 func (db *DB) Dir() string { return db.opts.Dir }
 
-// changelogLimit resolves the configured per-relation changelog bound.
+// changelogLimit resolves the configured per-shard changelog bound.
 func (db *DB) changelogLimit() int {
 	if db.opts.ChangelogLimit == 0 {
 		return DefaultChangelogLimit
@@ -408,50 +643,88 @@ func (db *DB) changelogLimit() int {
 	return db.opts.ChangelogLimit
 }
 
-// captureInsert appends a committed insert to the relation's changelog
-// (caller holds the write lock). Overflow drops the oldest entries and
-// raises the history-lost floor.
-func (db *DB) captureInsert(t *table, tuple relation.Tuple) {
+// captureInsert appends a committed insert to the owning shard's changelog
+// (caller holds the shard's write lock). Overflow drops the oldest entries
+// and raises the history-lost floor.
+func (db *DB) captureInsert(s *shard, lsn uint64, tuple relation.Tuple) {
 	limit := db.changelogLimit()
 	if limit < 0 {
-		t.lostBelow = db.lsn
+		if lsn > s.lostBelow {
+			s.lostBelow = lsn
+		}
 		return
 	}
-	t.changes = append(t.changes, change{lsn: db.lsn, tuple: tuple})
-	if len(t.changes) > limit {
-		drop := len(t.changes) - limit
-		t.lostBelow = t.changes[drop-1].lsn
-		t.changes = append(t.changes[:0:0], t.changes[drop:]...)
+	s.changes = append(s.changes, change{lsn: lsn, seq: db.captureSeq.Add(1), tuple: tuple})
+	if len(s.changes) > limit {
+		drop := len(s.changes) - limit
+		if lb := s.changes[drop-1].lsn; lb > s.lostBelow {
+			s.lostBelow = lb
+		}
+		s.changes = append(s.changes[:0:0], s.changes[drop:]...)
 	}
 }
 
-// captureDelete records a committed delete (caller holds the write lock).
-// A delete cannot be expressed as a monotone insert delta, so the
-// relation's history is poisoned up to the deleting commit: callers of
+// captureDelete records a committed delete (caller holds the shard's write
+// lock). A delete cannot be expressed as a monotone insert delta, so the
+// shard's history is poisoned up to the deleting commit: callers of
 // Changes with an older watermark must fall back to a full scan.
-func (db *DB) captureDelete(t *table) {
-	t.lostBelow = db.lsn
-	if len(t.changes) > 0 {
-		t.changes = nil
+func (db *DB) captureDelete(s *shard, lsn uint64) {
+	if lsn > s.lostBelow {
+		s.lostBelow = lsn
+	}
+	if len(s.changes) > 0 {
+		s.changes = nil
 	}
 }
 
 // Changes reports the tuples committed into the relation after sinceLSN, in
-// commit order. ok is false when the requested history is unavailable — the
-// changelog was truncated past sinceLSN, a delete intervened, or the
-// relation is unknown — in which case the caller must fall back to a full
-// scan. ok is true with an empty delta when nothing changed.
+// commit order (shard changelogs merged by LSN, then by capture sequence
+// within a multi-tuple commit). ok is false when the requested history is
+// unavailable — a changelog was truncated past sinceLSN, a delete
+// intervened, or the relation is unknown — in which case the caller must
+// fall back to a full scan. ok is true with an empty delta when nothing
+// changed. The delta is clamped to the visible LSN horizon, so a watermark
+// advanced to LSN() never skips a commit still applying concurrently.
 func (db *DB) Changes(rel string, sinceLSN uint64) (inserts []relation.Tuple, ok bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	t := db.tables[rel]
-	if t == nil || sinceLSN < t.lostBelow {
+	if t == nil {
 		return nil, false
 	}
-	for _, c := range t.changes {
-		if c.lsn > sinceLSN {
-			inserts = append(inserts, c.tuple)
+	t.rlockAll()
+	defer t.runlockAll()
+	visible := db.LSN()
+	for _, s := range t.shards {
+		if sinceLSN < s.lostBelow {
+			return nil, false
 		}
+	}
+	if len(t.shards) == 1 {
+		for _, c := range t.shards[0].changes {
+			if c.lsn > sinceLSN && c.lsn <= visible {
+				inserts = append(inserts, c.tuple)
+			}
+		}
+		return inserts, true
+	}
+	var merged []change
+	for _, s := range t.shards {
+		for _, c := range s.changes {
+			if c.lsn > sinceLSN && c.lsn <= visible {
+				merged = append(merged, c)
+			}
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].lsn != merged[j].lsn {
+			return merged[i].lsn < merged[j].lsn
+		}
+		return merged[i].seq < merged[j].seq
+	})
+	inserts = make([]relation.Tuple, len(merged))
+	for i, c := range merged {
+		inserts[i] = c.tuple
 	}
 	return inserts, true
 }
@@ -459,7 +732,7 @@ func (db *DB) Changes(rel string, sinceLSN uint64) (inserts []relation.Tuple, ok
 // Close closes the database. Durable databases with commits since the last
 // checkpoint are checkpointed first, so reopening a long-lived peer loads
 // the snapshot instead of replaying the entire log; otherwise the WAL is
-// synced as before.
+// synced as before. The group-commit pipeline is drained before either.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -471,10 +744,15 @@ func (db *DB) Close() error {
 		return nil
 	}
 	var err error
-	if db.commitsSinceCheckpoint > 0 {
-		err = db.checkpointLocked()
-	} else {
-		err = db.log.Sync()
+	if db.group != nil {
+		err = db.group.Close()
+	}
+	if db.commitsSinceCheckpoint.Load() > 0 {
+		if cerr := db.checkpointLocked(); err == nil {
+			err = cerr
+		}
+	} else if serr := db.log.Sync(); err == nil {
+		err = serr
 	}
 	if cerr := db.log.Close(); err == nil {
 		err = cerr

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 
 	"codb/internal/relation"
 )
@@ -149,6 +150,14 @@ var errTxDone = fmt.Errorf("storage: transaction already finished")
 
 // Commit applies the staged operations atomically, appends them to the WAL,
 // and (when configured) syncs and checkpoints.
+//
+// The commit protocol is the heart of the sharded engine: the transaction
+// write-locks exactly the shards its ops touch (in the global lock order),
+// takes its LSN and enqueues its WAL record under the short commit-ordering
+// mutex, then — on the sync-on-commit group path — waits for the shared
+// batch fsync and applies while still holding only those shard locks, so
+// commits to disjoint shards form batches and run in parallel while no
+// reader ever observes a commit that is not yet durable.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return errTxDone
@@ -158,41 +167,102 @@ func (tx *Tx) Commit() error {
 		return nil
 	}
 	db := tx.db
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
 	if db.closed {
+		db.mu.RUnlock()
 		return errClosed
 	}
-	db.lsn++
-	for _, o := range tx.ops {
-		t := db.tables[o.rel]
+	keys := make([]string, len(tx.ops))
+	for i, o := range tx.ops {
+		keys[i] = o.tuple.Key()
+	}
+	locked := db.lockOpShards(tx.ops, keys)
+	db.commitMu.Lock()
+	lsn := db.assignLSN()
+	var wait <-chan error
+	var werr error
+	if db.log != nil {
+		wait, werr = db.appendRecord(encodeOps(tx.ops))
+	}
+	db.commitMu.Unlock()
+	// Durability before visibility: on the group-commit path (sync-on-
+	// commit) the record must be stable before any reader can observe the
+	// commit, so the fsync is awaited while the shard locks are still
+	// held. Concurrent committers on other shards enqueue into the same
+	// batch before waiting, so the fsync is still shared.
+	//
+	// A WAL failure is surfaced to the caller but the ops are applied in
+	// memory regardless: once the record has been handed to the log its
+	// bytes may already be on disk (a failed fsync reports an unknowable
+	// OS state), so recovery may replay the commit — in-memory state must
+	// stay a superset of whatever the log can resurrect, exactly as the
+	// pre-sharding engine behaved.
+	if wait != nil {
+		werr = <-wait
+	}
+	for i, o := range tx.ops {
+		s := db.tables[o.rel].shardFor(keys[i])
 		switch o.kind {
 		case opInsert:
-			if t.insert(o.tuple) {
-				db.captureInsert(t, o.tuple)
+			if s.insert(o.tuple) {
+				db.captureInsert(s, lsn, o.tuple)
 			}
 		case opDelete:
-			if t.delete(o.tuple) {
-				db.captureDelete(t)
+			if s.delete(o.tuple) {
+				db.captureDelete(s, lsn)
 			}
 		}
 	}
+	for _, s := range locked {
+		s.mu.Unlock()
+	}
+	db.finishCommit(lsn)
+	db.mu.RUnlock()
+	if werr != nil {
+		return werr
+	}
 	if db.log != nil {
-		rec := encodeOps(tx.ops)
-		if err := db.log.Append(rec); err != nil {
-			return err
-		}
-		if db.opts.SyncOnCommit {
-			if err := db.log.Sync(); err != nil {
-				return err
-			}
-		}
-		db.commitsSinceCheckpoint++
-		if db.opts.CheckpointEvery > 0 && db.commitsSinceCheckpoint >= db.opts.CheckpointEvery {
-			return db.checkpointLocked()
+		n := db.commitsSinceCheckpoint.Add(1)
+		if db.opts.CheckpointEvery > 0 && n >= int64(db.opts.CheckpointEvery) {
+			return db.autoCheckpoint()
 		}
 	}
 	return nil
+}
+
+// lockOpShards write-locks the distinct shards the ops touch, in the
+// global (relation name, shard index) order, and returns them for unlock.
+// Consistent ordering across commits and full-cut readers (rlockTables)
+// makes the per-shard locking deadlock-free.
+func (db *DB) lockOpShards(ops []op, keys []string) []*shard {
+	type ref struct {
+		rel string
+		idx int
+		s   *shard
+	}
+	refs := make([]ref, 0, len(ops))
+	seen := make(map[*shard]bool, len(ops))
+	for i, o := range ops {
+		t := db.tables[o.rel]
+		idx := shardIndex(keys[i], len(t.shards))
+		s := t.shards[idx]
+		if !seen[s] {
+			seen[s] = true
+			refs = append(refs, ref{o.rel, idx, s})
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].rel != refs[j].rel {
+			return refs[i].rel < refs[j].rel
+		}
+		return refs[i].idx < refs[j].idx
+	})
+	out := make([]*shard, len(refs))
+	for i, r := range refs {
+		r.s.mu.Lock()
+		out[i] = r.s
+	}
+	return out
 }
 
 // Rollback discards the staged operations. Rollback after Commit is a no-op.
@@ -200,48 +270,6 @@ func (tx *Tx) Rollback() {
 	tx.done = true
 	tx.ops = nil
 	tx.overlay = nil
-}
-
-// insert adds the tuple to the table (caller holds the write lock). Returns
-// whether the tuple was new.
-func (t *table) insert(tuple relation.Tuple) bool {
-	key := tuple.Key()
-	if _, dup := t.primary.Get(key); dup {
-		return false
-	}
-	var slot int
-	if n := len(t.free); n > 0 {
-		slot = t.free[n-1]
-		t.free = t.free[:n-1]
-		t.rows[slot] = tuple
-	} else {
-		slot = len(t.rows)
-		t.rows = append(t.rows, tuple)
-	}
-	t.primary.Put(key, slot)
-	for pos, idx := range t.second {
-		idx.Put(secondaryKey(tuple, pos), slot)
-	}
-	t.invalidateSnap()
-	return true
-}
-
-// delete removes the tuple (caller holds the write lock). Returns whether it
-// was present.
-func (t *table) delete(tuple relation.Tuple) bool {
-	key := tuple.Key()
-	slot, ok := t.primary.Get(key)
-	if !ok {
-		return false
-	}
-	t.primary.Delete(key)
-	for pos, idx := range t.second {
-		idx.Delete(secondaryKey(t.rows[slot], pos))
-	}
-	t.rows[slot] = nil
-	t.free = append(t.free, slot)
-	t.invalidateSnap()
-	return true
 }
 
 // Insert is a single-op convenience: one auto-committed insertion. Returns

@@ -152,6 +152,33 @@ func (l *Log) Append(payload []byte) error {
 	return nil
 }
 
+// AppendBatch writes several records with a single underlying write call:
+// the framing of every payload is serialised into one buffer first, so a
+// group commit of n records costs one syscall instead of 2n. Equivalent to
+// calling Append for each payload in order.
+func (l *Log) AppendBatch(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	total := 0
+	for _, p := range payloads {
+		total += 8 + len(p)
+	}
+	buf := make([]byte, 0, total)
+	for _, p := range payloads {
+		var rec [8]byte
+		binary.LittleEndian.PutUint32(rec[:4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(p))
+		buf = append(buf, rec[:]...)
+		buf = append(buf, p...)
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: append batch: %w", err)
+	}
+	l.size += int64(total)
+	return nil
+}
+
 // Sync flushes the log to stable storage.
 func (l *Log) Sync() error {
 	if err := l.f.Sync(); err != nil {
