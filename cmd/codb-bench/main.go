@@ -11,6 +11,7 @@
 //	codb-bench -exp B1         # outbound-pipeline batching benchmark
 //	codb-bench -exp B2         # cross-session incremental propagation
 //	codb-bench -exp B3         # concurrent read path under update load
+//	codb-bench -exp B5         # commit latency during background checkpoints
 //	codb-bench -nodes 4,8,16   # override the network sizes
 //	codb-bench -tuples 500     # override per-node cardinality
 //	codb-bench -json .         # also write machine-readable BENCH_<exp>.json
@@ -43,7 +44,7 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "comma-separated experiments to run (E1..E7,A1..A4,B1..B4 or 'all')")
+	expFlag    = flag.String("exp", "all", "comma-separated experiments to run (E1..E7,A1..A4,B1..B5 or 'all')")
 	nodesFlag  = flag.String("nodes", "4,8,16,32", "comma-separated network sizes")
 	tuplesFlag = flag.Int("tuples", 250, "tuples per node")
 	seedFlag   = flag.Int64("seed", 42, "workload seed")
@@ -80,6 +81,10 @@ type benchRow struct {
 	CacheMisses uint64  `json:"cache_misses,omitempty"`
 	// B4 field: fsyncs issued during the durable-commit programme.
 	Syncs uint64 `json:"syncs,omitempty"`
+	// B5 fields: commit-latency tail during background checkpoints and
+	// the number of checkpoints that ran during the measured window.
+	P99Ns       float64 `json:"p99_ns,omitempty"`
+	Checkpoints int64   `json:"checkpoints,omitempty"`
 }
 
 func rowOf(name string, r experiment.Result) benchRow {
@@ -177,6 +182,141 @@ func main() {
 	if run("B4") {
 		storageEngine(ctx)
 	}
+	if run("B5") {
+		checkpointStall()
+	}
+}
+
+// checkpointStall is B5: commit latency while background checkpoints run.
+// The pre-segment engine checkpointed stop-the-world — every commit
+// blocked behind an exclusive db.mu for the whole snapshot write. The
+// background checkpoint pins a Snapshot (a brief all-shard read lock) and
+// writes it while commits continue, so the commit p99 during a continuous
+// checkpoint storm must stay within 2x of the no-checkpoint p99. For
+// scale, a bystander relation is preloaded so each snapshot writes real
+// data, and the mean checkpoint duration is reported — the stall every
+// commit would have suffered under the stop-the-world design.
+func checkpointStall() {
+	fmt.Println("== B5: background checkpoints — commit latency p99 vs no-checkpoint baseline")
+	const (
+		writers    = 4
+		perWriter  = 4000
+		baseTuples = 40000
+	)
+	var rows []benchRow
+	var p99Base, p99Storm float64
+	for _, storm := range []bool{false, true} {
+		dir, err := os.MkdirTemp("", "codb-b5-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "codb-bench:", err)
+			os.Exit(1)
+		}
+		db, err := storage.Open(storage.Options{Dir: dir, Shards: 8})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "codb-bench:", err)
+			os.Exit(1)
+		}
+		for _, def := range []*relation.RelDef{
+			{Name: "base", Attrs: []relation.Attr{{Name: "k", Type: relation.TInt}}},
+			{Name: "data", Attrs: []relation.Attr{{Name: "k", Type: relation.TInt}, {Name: "w", Type: relation.TInt}}},
+		} {
+			if err := db.DefineRelation(def); err != nil {
+				fmt.Fprintln(os.Stderr, "codb-bench:", err)
+				os.Exit(1)
+			}
+		}
+		var preload []relation.Tuple
+		for i := 0; i < baseTuples; i++ {
+			preload = append(preload, relation.Tuple{relation.Int(i)})
+			if len(preload) == 1000 {
+				if _, err := db.InsertMany("base", preload); err != nil {
+					fmt.Fprintln(os.Stderr, "codb-bench:", err)
+					os.Exit(1)
+				}
+				preload = preload[:0]
+			}
+		}
+
+		stop := make(chan struct{})
+		var ckpts int64
+		var ckptNs int64
+		ckptDone := make(chan struct{})
+		if storm {
+			go func() {
+				defer close(ckptDone)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					t0 := time.Now()
+					if err := db.Checkpoint(); err != nil {
+						fmt.Fprintln(os.Stderr, "codb-bench: checkpoint:", err)
+						os.Exit(1)
+					}
+					ckptNs += time.Since(t0).Nanoseconds()
+					ckpts++
+				}
+			}()
+		} else {
+			close(ckptDone)
+		}
+
+		lat := make([][]time.Duration, writers)
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lat[w] = make([]time.Duration, 0, perWriter)
+				for i := 0; i < perWriter; i++ {
+					t0 := time.Now()
+					if _, err := db.Insert("data", relation.Tuple{relation.Int(w*1000000 + i), relation.Int(w)}); err != nil {
+						fmt.Fprintln(os.Stderr, "codb-bench:", err)
+						os.Exit(1)
+					}
+					lat[w] = append(lat[w], time.Since(t0))
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(stop)
+		<-ckptDone
+		db.Close()
+		os.RemoveAll(dir)
+
+		var all []time.Duration
+		for _, l := range lat {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		p50 := all[len(all)/2]
+		p99 := all[len(all)*99/100]
+		name := "commit-latency/no-checkpoint"
+		if storm {
+			name = "commit-latency/during-checkpoint"
+			p99Storm = float64(p99.Nanoseconds())
+		} else {
+			p99Base = float64(p99.Nanoseconds())
+		}
+		fmt.Printf("%-34s p50 %10v p99 %10v  (%d commits, %d checkpoints)\n",
+			name, p50, p99, len(all), ckpts)
+		row := benchRow{Name: name, NsPerOp: float64(p50.Nanoseconds()),
+			P99Ns: float64(p99.Nanoseconds()), Checkpoints: ckpts}
+		if storm && ckpts > 0 {
+			mean := time.Duration(ckptNs / ckpts)
+			fmt.Printf("%-34s %10v mean (the stall a stop-the-world checkpoint would impose)\n",
+				"checkpoint-duration", mean)
+			rows = append(rows, benchRow{Name: "checkpoint-duration", NsPerOp: float64(mean.Nanoseconds()), Checkpoints: ckpts})
+		}
+		rows = append(rows, row)
+	}
+	ratio := p99Storm / p99Base
+	fmt.Printf("during-checkpoint/no-checkpoint commit p99: %.2fx (target <= 2x)\n", ratio)
+	rows = append(rows, benchRow{Name: "commit-latency/summary", Ratio: ratio})
+	fmt.Println()
+	writeBench("B5", rows)
 }
 
 // storageEngine is B4: the sharded storage engine with group-commit WAL.

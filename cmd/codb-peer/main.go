@@ -37,6 +37,8 @@ func main() {
 	shards := flag.Int("shards", 0, "hash shards per relation (0 = recovered count, else 1)")
 	syncCommit := flag.Bool("sync-commit", false, "make every commit durable before it returns (group-committed)")
 	noGroupCommit := flag.Bool("no-group-commit", false, "disable the WAL group-commit pipeline (one fsync per commit with -sync-commit)")
+	segmentBytes := flag.Int64("segment-bytes", 0, "WAL segment rotation size in bytes (0 = default)")
+	retainSegments := flag.Int("retain-segments", 0, "checkpoint-superseded WAL segments kept for changelog spill (0 = default, negative = none)")
 	mediator := flag.Bool("mediator", false, "run without a local database")
 	verbose := flag.Bool("v", false, "verbose logging")
 	flag.Parse()
@@ -89,6 +91,8 @@ func main() {
 			Shards:             *shards,
 			SyncOnCommit:       *syncCommit,
 			DisableGroupCommit: *noGroupCommit,
+			SegmentBytes:       *segmentBytes,
+			RetainSegments:     *retainSegments,
 		})
 		if err != nil {
 			fatal(err)

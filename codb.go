@@ -152,6 +152,20 @@ type NetworkOptions struct {
 	// per-commit WAL appends (and with SyncOnCommit one fsync per commit):
 	// the B4 baseline.
 	DisableGroupCommit bool
+	// SegmentBytes rotates each durable peer database's WAL to a fresh
+	// segment at this size (0 = storage default). Smaller segments mean
+	// finer-grained checkpoint truncation and changelog spill.
+	SegmentBytes int64
+	// RetainSegments keeps up to this many checkpoint-superseded WAL
+	// segments per durable peer database, so incremental-export watermarks
+	// stay answerable from disk across checkpoints and restarts (0 =
+	// storage default, negative = none).
+	RetainSegments int
+	// ChangelogLimit bounds each peer database's per-shard in-memory
+	// changelog (0 = storage default, negative disables change capture).
+	// On durable peers an overflowed ring spills to the WAL segments
+	// instead of degrading exports to history-lost full re-ships.
+	ChangelogLimit int
 }
 
 // NewNetwork creates an empty in-process network.
@@ -206,6 +220,9 @@ func (nw *Network) storageOptions(dir string) storage.Options {
 		Shards:             nw.opts.Shards,
 		SyncOnCommit:       nw.opts.SyncOnCommit,
 		DisableGroupCommit: nw.opts.DisableGroupCommit,
+		SegmentBytes:       nw.opts.SegmentBytes,
+		RetainSegments:     nw.opts.RetainSegments,
+		ChangelogLimit:     nw.opts.ChangelogLimit,
 	}
 }
 

@@ -23,9 +23,11 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"codb/internal/config"
 	"codb/internal/core"
@@ -45,6 +47,11 @@ type diffScenario struct {
 	rounds int
 	burst  int
 	shards int // storage shard count of the network under test
+	// spill runs the network under test on durable storage with tiny
+	// changelog rings and tiny WAL segments, so the incremental-export
+	// hot path is forced through changelog spill and segment-served
+	// Changes; the scenario then asserts zero history-lost fallbacks.
+	spill bool
 }
 
 // diffShapes mixes acyclic (chain, tree, star, grid) and cyclic (ring,
@@ -67,19 +74,38 @@ func diffScenarios(n int) []diffScenario {
 			rounds: 2 + s%2,
 			burst:  4 + s%5,
 			shards: diffShards[s%len(diffShards)],
+			spill:  s%3 == 1, // every third scenario runs the spill hot path
 		})
 	}
 	return out
 }
 
-// networkFromTopo builds an in-process network (one in-memory peer per
-// node with the given storage shard count, rules on both endpoints) from a
-// generated topology.
-func networkFromTopo(t *testing.T, cfg *config.Config, opts NetworkOptions, shards int) *Network {
+// storeOptions resolves the network-under-test's storage knobs: spill
+// scenarios run durable with rings far smaller than the workload and
+// segments a few records long, so Changes must be answered from retained
+// WAL segments to stay incremental.
+func (sc diffScenario) storeOptions(t *testing.T) storage.Options {
+	opts := storage.Options{Shards: sc.shards}
+	if sc.spill {
+		opts.Dir = t.TempDir() // per-node subdirectories are added below
+		opts.ChangelogLimit = 6
+		opts.SegmentBytes = 256
+	}
+	return opts
+}
+
+// networkFromTopo builds an in-process network (one peer per node with the
+// given storage options, rules on both endpoints) from a generated
+// topology. A non-empty store.Dir gets one subdirectory per node.
+func networkFromTopo(t *testing.T, cfg *config.Config, opts NetworkOptions, store storage.Options) *Network {
 	t.Helper()
 	nw := NewNetworkWithOptions(opts)
 	for _, node := range cfg.Nodes {
-		db, err := storage.Open(storage.Options{Shards: shards})
+		nodeStore := store
+		if store.Dir != "" {
+			nodeStore.Dir = filepath.Join(store.Dir, node.Name)
+		}
+		db, err := storage.Open(nodeStore)
 		if err != nil {
 			nw.Close()
 			t.Fatal(err)
@@ -221,12 +247,14 @@ func TestDifferentialIncrementalVsFullExport(t *testing.T) {
 				t.Fatal(err)
 			}
 			// The network under test runs the scenario's shard count (and
-			// shard-parallel evaluation); the FullExport reference always
-			// runs unsharded, so the byte-identity check also covers
-			// sharded-vs-unsharded storage.
-			incr := networkFromTopo(t, cfg, NetworkOptions{EvalParallelism: 2}, sc.shards)
+			// shard-parallel evaluation; spill scenarios additionally run
+			// durable with tiny rings + segments); the FullExport reference
+			// always runs unsharded in memory, so the byte-identity check
+			// also covers sharded-vs-unsharded and spilled-vs-resident
+			// storage.
+			incr := networkFromTopo(t, cfg, NetworkOptions{EvalParallelism: 2}, sc.storeOptions(t))
 			defer incr.Close()
-			full := networkFromTopo(t, cfg, NetworkOptions{FullExport: true}, 1)
+			full := networkFromTopo(t, cfg, NetworkOptions{FullExport: true}, storage.Options{Shards: 1})
 			defer full.Close()
 
 			names := make([]string, 0, len(cfg.Nodes))
@@ -278,7 +306,55 @@ func TestDifferentialIncrementalVsFullExport(t *testing.T) {
 					}
 				}
 			}
+
+			if sc.spill {
+				// The point of changelog spill: despite rings far smaller
+				// than the traffic, no exporter ever lost history — the
+				// deltas were served from retained WAL segments instead of
+				// degrading to full re-exports.
+				fallbacks, incremental := exportTotals(t, incr, names)
+				if fallbacks != 0 {
+					t.Fatalf("spill scenario recorded %d history-lost fallback exports, want 0", fallbacks)
+				}
+				if sc.rounds > 1 && incremental == 0 {
+					t.Fatal("spill scenario never exported incrementally")
+				}
+			}
 		})
+	}
+}
+
+// exportTotals sums fallback and incremental export counts across every
+// peer's session reports, polling briefly so late-finalising participant
+// reports are counted.
+func exportTotals(t *testing.T, nw *Network, names []string) (fallbacks, incremental int) {
+	t.Helper()
+	stableFor := 0
+	last := -1
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fallbacks, incremental = 0, 0
+		total := 0
+		for _, name := range names {
+			for _, rep := range nw.Peer(name).Reports() {
+				fallbacks += rep.ExportsFallback
+				incremental += rep.ExportsIncremental
+				total += rep.ExportsFallback + rep.ExportsIncremental + rep.ExportsFull
+			}
+		}
+		if total == last {
+			stableFor++
+			if stableFor >= 3 {
+				return fallbacks, incremental
+			}
+		} else {
+			stableFor = 0
+			last = total
+		}
+		if time.Now().After(deadline) {
+			return fallbacks, incremental
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
@@ -296,7 +372,7 @@ func TestDifferentialConcurrentQueriesSandwich(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			nw := networkFromTopo(t, cfg, NetworkOptions{}, sc.shards)
+			nw := networkFromTopo(t, cfg, NetworkOptions{}, storage.Options{Shards: sc.shards})
 			defer nw.Close()
 			names := make([]string, 0, len(cfg.Nodes))
 			for _, n := range cfg.Nodes {

@@ -289,6 +289,11 @@ func (c *Console) runStorage(args []string) {
 		return
 	}
 	c.printf("shards: %d, commit LSN: %d, WAL: %d bytes\n", st.Shards, st.LSN, st.WALBytes)
+	if st.WAL.Segments > 0 {
+		c.printf("wal segments: %d (first lsn %d, %d rotations, %d pruned), spill: %d hits %d misses\n",
+			st.WAL.Segments, st.WAL.FirstLSN, st.WAL.Rotations, st.WAL.Pruned,
+			st.SpillHits, st.SpillMisses)
+	}
 	for _, rel := range st.Relations {
 		c.printf("  %s:\n", rel.Name)
 		for i, sh := range rel.Shards {

@@ -196,6 +196,27 @@ func TestExecuteStorage(t *testing.T) {
 	}
 }
 
+func TestExecuteStorageDurableShowsSegments(t *testing.T) {
+	nw := codb.NewNetwork()
+	t.Cleanup(nw.Close)
+	if _, err := nw.AddDurablePeer("d", t.TempDir(), "r(x int)"); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	c := New(nw, &out)
+	for _, s := range []string{"insert d r 7", "storage d"} {
+		if !c.Execute(s) {
+			t.Fatalf("command %q ended the session", s)
+		}
+	}
+	text := out.String()
+	for _, want := range []string{"wal segments: 1", "spill: 0 hits"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
 func TestParseValue(t *testing.T) {
 	cases := map[string]codb.Value{
 		"true":  codb.Bool(true),

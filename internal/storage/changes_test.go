@@ -139,7 +139,9 @@ func TestLSNAndChangesSurviveRestart(t *testing.T) {
 	}
 }
 
-func TestLSNSurvivesCheckpointHistoryDoesNot(t *testing.T) {
+func TestHistorySurvivesCheckpointViaSpill(t *testing.T) {
+	// Pre-checkpoint watermarks used to degrade to full exports after a
+	// restart; with retained segments the delta is served from disk.
 	dir := t.TempDir()
 	db := openDurable(t, dir, Options{})
 	db.DefineRelation(empDef())
@@ -156,16 +158,46 @@ func TestLSNSurvivesCheckpointHistoryDoesNot(t *testing.T) {
 	if got := db2.LSN(); got != lsnBefore {
 		t.Fatalf("LSN after snapshot recovery = %d, want %d", got, lsnBefore)
 	}
-	// Snapshot-covered history is gone: degrade to full scans.
-	if _, ok := db2.Changes("emp", mark); ok {
-		t.Fatal("snapshot recovery claimed pre-snapshot history")
+	delta, ok := db2.Changes("emp", mark)
+	if !ok || len(delta) != 1 || delta[0].Key() != emp(2, "b").Key() {
+		t.Fatalf("spilled Changes after restart = %v, %v; want [emp(2)], true", delta, ok)
 	}
-	// New commits are captured again.
+	if st := db2.DetailedStats(); st.SpillHits == 0 {
+		t.Fatalf("spill hit not counted: %+v", st)
+	}
+	// New commits are captured in memory again.
 	head := db2.LSN()
 	db2.Insert("emp", emp(3, "c"))
 	if delta, ok := db2.Changes("emp", head); !ok || len(delta) != 1 {
 		t.Fatalf("post-recovery Changes = %v, %v", delta, ok)
 	}
+	// And the spilled prefix composes with the fresh suffix.
+	if delta, ok := db2.Changes("emp", mark); !ok || len(delta) != 2 {
+		t.Fatalf("spilled+fresh Changes = %v, %v; want 2 inserts", delta, ok)
+	}
+}
+
+func TestHistoryLostWhenSegmentsPruned(t *testing.T) {
+	// With retention off and tiny segments, a checkpoint prunes the
+	// segments an old watermark needs: Changes must degrade, not invent.
+	dir := t.TempDir()
+	db := openDurable(t, dir, Options{RetainSegments: -1, SegmentBytes: 64, ChangelogLimit: 2})
+	db.DefineRelation(empDef())
+	db.Insert("emp", emp(0, "x"))
+	mark := db.LSN()
+	for i := 1; i < 20; i++ {
+		db.Insert("emp", emp(i, "x"))
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Changes("emp", mark); ok {
+		t.Fatal("pruned history still claimed answerable")
+	}
+	if st := db.DetailedStats(); st.SpillMisses == 0 {
+		t.Fatalf("spill miss not counted: %+v", st)
+	}
+	db.Close()
 }
 
 func TestCloseCheckpointsPendingCommits(t *testing.T) {
@@ -181,20 +213,19 @@ func TestCloseCheckpointsPendingCommits(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
 		t.Fatalf("Close did not checkpoint: %v", err)
 	}
-	info, err := os.Stat(filepath.Join(dir, logName))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if info.Size() != 8 { // wal header only
-		t.Errorf("WAL not reset by Close checkpoint: %d bytes", info.Size())
-	}
 
 	db2 := openDurable(t, dir, Options{})
 	if db2.Count("emp") != 20 {
 		t.Fatalf("recovered Count = %d", db2.Count("emp"))
 	}
-	// Reopen without new commits: Close must not checkpoint again (WAL
-	// already empty, nothing pending) and must still succeed.
+	// The segments were NOT truncated in place (that is what lets spill
+	// serve pre-checkpoint watermarks) — recovery must skip the
+	// checkpoint-covered records rather than double-apply them.
+	if got := db2.LSN(); got != 21 {
+		t.Fatalf("LSN after recovery = %d, want 21 (no double replay)", got)
+	}
+	// Reopen without new commits: Close must not checkpoint again (nothing
+	// pending) and must still succeed.
 	if err := db2.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -125,17 +125,28 @@ func encodeOps(ops []op) []byte {
 	return dst
 }
 
-// applyLogRecord replays one WAL payload during recovery. It bypasses the
+// applyLogRecord replays one WAL record during recovery. It bypasses the
 // transaction layer and mutates shards directly (the DB is not yet shared).
-// Each record is one commit, so the LSN advances per record and replayed
-// inserts re-enter the changelogs — a watermark taken after the last
-// checkpoint stays incrementally answerable across a restart. The WAL is
-// written in LSN order (group commit preserves enqueue order), so replay
-// reproduces the original sequence numbers.
-func (db *DB) applyLogRecord(payload []byte) error {
+// Each record is one commit carrying the LSN its segment header implies,
+// and replayed inserts re-enter the changelogs — a watermark taken after
+// the last checkpoint stays incrementally answerable across a restart. The
+// WAL is written in LSN order (group commit preserves enqueue order), so
+// replay reproduces the original sequence numbers. Records at or below the
+// snapshot's checkpoint LSN are skipped, not re-applied: they survive in
+// retained segments (for changelog spill) or after a checkpoint that
+// failed before pruning, and their state is already in the snapshot — so
+// a half-applied checkpoint can never double-apply or orphan acknowledged
+// commits.
+func (db *DB) applyLogRecord(lsn uint64, payload []byte) error {
+	if lsn <= db.recoveredCkpt {
+		return nil
+	}
+	if lsn != db.lsn+1 {
+		return fmt.Errorf("storage: replay lsn %d after %d (gap in acknowledged commits)", lsn, db.lsn)
+	}
 	r := &reader{b: payload}
 	count := r.uvarint()
-	db.lsn++
+	db.lsn = lsn
 	for i := uint64(0); i < count && r.err == nil; i++ {
 		if r.off >= len(r.b) {
 			return fmt.Errorf("storage: truncated op")
@@ -185,6 +196,50 @@ func (db *DB) applyLogRecord(payload []byte) error {
 	return r.err
 }
 
+// decodeRelOps decodes one WAL payload and returns the inserts it commits
+// into rel, in op order — the changelog-spill decoder behind
+// changesFromSegments. A delete on rel aborts with errSpillDelete (the
+// window is not expressible as an insert delta); ops on other relations
+// and DDL are skipped without decoding tuples.
+func decodeRelOps(payload []byte, rel string, arity int) ([]relation.Tuple, error) {
+	r := &reader{b: payload}
+	count := r.uvarint()
+	var out []relation.Tuple
+	for i := uint64(0); i < count && r.err == nil; i++ {
+		if r.off >= len(r.b) {
+			return nil, fmt.Errorf("storage: truncated op")
+		}
+		kind := opKind(r.b[r.off])
+		r.off++
+		switch kind {
+		case opDDL:
+			if r.def(); r.err != nil {
+				return nil, r.err
+			}
+		case opInsert, opDelete:
+			opRel := r.str()
+			enc := r.bytes()
+			if r.err != nil {
+				return nil, r.err
+			}
+			if opRel != rel {
+				continue
+			}
+			if kind == opDelete {
+				return nil, errSpillDelete
+			}
+			tuple, err := relation.DecodeTuple(enc, arity)
+			if err != nil {
+				return nil, fmt.Errorf("storage: spill decode %s: %w", rel, err)
+			}
+			out = append(out, tuple)
+		default:
+			return nil, fmt.Errorf("storage: spill decode: bad op kind %d", kind)
+		}
+	}
+	return out, r.err
+}
+
 // Snapshot file layout: magic "cdbS", version u32, CRC u32 of body.
 //
 //	v1 body: schema (uvarint count + defs), then per relation uvarint
@@ -198,52 +253,85 @@ func (db *DB) applyLogRecord(payload []byte) error {
 //	         and a v2 snapshot upgrades transparently: it is read as
 //	         "shard count unrecorded" and rewritten as v3 by the next
 //	         checkpoint.
+//	v4 body: v3 plus the checkpoint LSN trailing it — the LSN the
+//	         snapshot's contents were pinned at. Background checkpoints
+//	         write the snapshot while commits continue, so WAL records
+//	         above this LSN (and retained segments below it) coexist with
+//	         the snapshot; replay skips records at or below it.
 var snapMagic = [4]byte{'c', 'd', 'b', 'S'}
 
-const snapVersion = 3
+const snapVersion = 4
 
-// Checkpoint atomically writes a snapshot of the current state and resets
-// the WAL. No-op for memory-only databases.
+// Checkpoint writes a snapshot of the committed state and truncates the
+// WAL by whole segments, without stopping the world: the state is pinned
+// as a Snapshot (a brief all-shard read lock), then written to a temp file
+// and atomically swapped in while commits proceed. Only segments wholly at
+// or below the pinned LSN are deleted — the newest few are retained for
+// changelog spill — so a checkpoint that fails mid-way leaves every
+// acknowledged commit recoverable. No-op for memory-only databases.
+// Reports any failure of an earlier background checkpoint first.
 func (db *DB) Checkpoint() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	if err := db.takeCheckpointErr(); err != nil {
+		return err
+	}
+	db.mu.RLock()
+	closed := db.closed
+	db.mu.RUnlock()
+	if closed {
 		return errClosed
 	}
-	return db.checkpointLocked()
+	return db.checkpointPinned()
 }
 
-// autoCheckpoint is the CheckpointEvery trigger, called from Commit after
-// durability with no locks held. Re-checks the counter under the exclusive
-// lock, so concurrent committers crossing the threshold together produce
-// one checkpoint.
-func (db *DB) autoCheckpoint() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return nil // a concurrent Close checkpointed on its way out
+// kickCheckpoint is the CheckpointEvery trigger, called from Commit after
+// durability with no locks held. The checkpoint runs on a background
+// goroutine so the committing caller (and every other writer) proceeds
+// immediately; ckptMu collapses concurrent triggers into one running
+// checkpoint, and failures are stashed for the next explicit Checkpoint or
+// Close.
+func (db *DB) kickCheckpoint() {
+	if !db.ckptMu.TryLock() {
+		return // one is already running; it will absorb these commits
 	}
-	if db.commitsSinceCheckpoint.Load() < int64(db.opts.CheckpointEvery) {
-		return nil
-	}
-	return db.checkpointLocked()
+	go func() {
+		defer db.ckptMu.Unlock()
+		db.mu.RLock()
+		closed := db.closed
+		db.mu.RUnlock()
+		if closed || db.commitsSinceCheckpoint.Load() < int64(db.opts.CheckpointEvery) {
+			return
+		}
+		if err := db.checkpointPinned(); err != nil {
+			db.recordCheckpointErr(err)
+		}
+	}()
 }
 
-// checkpointLocked writes the snapshot and resets the WAL. The caller
-// holds db.mu exclusively, which excludes every commit (commits hold it
-// shared for their whole span), so no shard locks are needed. The
-// group-commit pipeline is flushed first: every record enqueued by an
-// already-applied commit must reach the log before the log is reset.
-func (db *DB) checkpointLocked() error {
+// checkpointPinned is the checkpoint body; the caller holds ckptMu (and
+// nothing else — lock order is ckptMu before db.mu). It works the same
+// for explicit, background and Close-time checkpoints: after Close has
+// drained the group committer, Flush just reports the pipeline's sticky
+// error.
+func (db *DB) checkpointPinned() error {
 	if db.log == nil {
 		return nil
 	}
-	if db.group != nil && !db.closed {
+	// Barrier: every record an applied commit enqueued must be in the log
+	// before segments representing it can be considered for pruning. (On
+	// the sync path commits await their batch anyway; this also surfaces a
+	// poisoned pipeline instead of checkpointing past it.)
+	if db.group != nil {
 		if err := db.group.Flush(); err != nil {
 			return fmt.Errorf("storage: checkpoint flush: %w", err)
 		}
 	}
-	body := db.encodeSnapshotBody()
+	// Commits that land after the pin stay counted toward the next
+	// checkpoint trigger.
+	pinnedCount := db.commitsSinceCheckpoint.Load()
+	snap := db.Snapshot()
+	body := encodeSnapshotBody(snap, db.nshards)
 	path := filepath.Join(db.opts.Dir, snapshotName)
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -275,32 +363,34 @@ func (db *DB) checkpointLocked() error {
 		os.Remove(tmp)
 		return fmt.Errorf("storage: checkpoint rename: %w", err)
 	}
-	db.commitsSinceCheckpoint.Store(0)
-	return db.log.Reset()
+	db.commitsSinceCheckpoint.Add(-pinnedCount)
+	// Only now that the snapshot is durably in place may the segments it
+	// supersedes go; the retained ones keep serving changelog history.
+	db.log.Prune(snap.LSN(), db.retainSegments())
+	return nil
 }
 
-func (db *DB) encodeSnapshotBody() []byte {
-	names := db.schema.Names()
-	body := binary.AppendUvarint(nil, uint64(db.nshards))
+// encodeSnapshotBody renders a pinned Snapshot as a v4 snapshot body.
+// Tuples are written in global (shard-merged) key order, so the bytes
+// after the leading shard-count field are identical for every shard count
+// — and identical whether the checkpoint ran quiescent or against
+// concurrent commits, since the pin is a consistent cut.
+func encodeSnapshotBody(snap *Snapshot, nshards int) []byte {
+	names := snap.schema.Names()
+	body := binary.AppendUvarint(nil, uint64(nshards))
 	body = binary.AppendUvarint(body, uint64(len(names)))
 	for _, name := range names {
-		body = encodeDef(body, db.schema.Rel(name))
+		body = encodeDef(body, snap.schema.Rel(name))
 	}
 	for _, name := range names {
-		t := db.tables[name]
-		n := 0
-		for _, s := range t.shards {
-			n += s.primary.Len()
-		}
-		body = binary.AppendUvarint(body, uint64(n))
-		// Shard-merged key order: identical snapshot bytes (after the
-		// shard-count field) for every shard count.
-		mergeAscend(t.primaryIters(), func(_ int, key string, _ int) bool {
-			body = putBytes(body, []byte(key))
+		body = binary.AppendUvarint(body, uint64(snap.Count(name)))
+		snap.Scan(name, func(tu relation.Tuple) bool {
+			body = putBytes(body, []byte(tu.Key()))
 			return true
 		})
 	}
-	body = binary.AppendUvarint(body, db.lsn)
+	body = binary.AppendUvarint(body, snap.lsn)
+	body = binary.AppendUvarint(body, snap.lsn) // v4: the checkpoint LSN
 	return body
 }
 
@@ -321,6 +411,7 @@ func (db *DB) loadSnapshot(path string) error {
 	if version < 1 || version > snapVersion {
 		return fmt.Errorf("storage: %s: unsupported snapshot version %d", path, version)
 	}
+	db.recoveredSnapVersion = version
 	body := data[12:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[8:12]) {
 		return fmt.Errorf("storage: %s: snapshot checksum mismatch", path)
@@ -372,18 +463,26 @@ func (db *DB) loadSnapshot(path string) error {
 	if version >= 2 {
 		db.lsn = r.uvarint()
 	}
+	db.recoveredCkpt = db.lsn
+	if version >= 4 {
+		ckpt := r.uvarint()
+		if r.err == nil && ckpt < db.recoveredCkpt {
+			db.recoveredCkpt = ckpt
+		}
+	}
 	if r.err != nil {
 		return r.err
 	}
 	if r.off != len(body) {
 		return fmt.Errorf("storage: snapshot has %d trailing bytes", len(body)-r.off)
 	}
-	// Snapshot-loaded state has no changelog: history up to the snapshot
-	// LSN is unavailable, so watermarks older than the snapshot degrade to
-	// full scans.
+	// Snapshot-loaded state has no in-memory changelog: history up to the
+	// snapshot LSN is evicted, not lost — retained WAL segments (when
+	// present) keep serving it through the spill path; without them,
+	// watermarks older than the snapshot degrade to full scans.
 	for _, t := range db.tables {
 		for _, s := range t.shards {
-			s.lostBelow = db.lsn
+			s.evictedBelow = db.lsn
 		}
 	}
 	return nil

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"codb/internal/relation"
+	"codb/internal/wal"
 )
 
 func openDurable(t *testing.T, dir string, opts Options) *DB {
@@ -125,6 +127,18 @@ func TestRecoveryWithNullsAndAllTypes(t *testing.T) {
 	}
 }
 
+// walSegments returns the segment file paths in dir, in index order
+// (zero-padded names sort lexicographically); possibly empty.
+func walSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "wal.*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
 func TestTornWALTailRecovers(t *testing.T) {
 	dir := t.TempDir()
 	db := openDurable(t, dir, Options{SyncOnCommit: true})
@@ -134,7 +148,11 @@ func TestTornWALTailRecovers(t *testing.T) {
 	// No Close: a crash never checkpoints, the synced WAL is all there is.
 
 	// Tear the final bytes of the WAL (crash mid-commit).
-	logPath := filepath.Join(dir, logName)
+	segs := walSegments(t, dir)
+	if len(segs) == 0 {
+		t.Fatal("no wal segments")
+	}
+	logPath := segs[len(segs)-1]
 	info, err := os.Stat(logPath)
 	if err != nil {
 		t.Fatal(err)
@@ -171,6 +189,96 @@ func TestCorruptSnapshotRejected(t *testing.T) {
 
 	if _, err := Open(Options{Dir: dir}); err == nil {
 		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+func TestLegacyWALMigration(t *testing.T) {
+	// A pre-segment database directory holds a single "log.wal". Opening
+	// it must replay the records, checkpoint them into a snapshot, delete
+	// the legacy file and continue on segments.
+	dir := t.TempDir()
+	l, err := wal.Create(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range [][]byte{
+		encodeDDL(empDef()),
+		encodeOps([]op{{opInsert, "emp", emp(1, "a")}}),
+		encodeOps([]op{{opInsert, "emp", emp(2, "b")}, {opDelete, "emp", emp(1, "a")}}),
+	} {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	db := openDurable(t, dir, Options{})
+	if db.Count("emp") != 1 || !db.Has("emp", emp(2, "b")) || db.Has("emp", emp(1, "a")) {
+		t.Fatalf("migrated contents wrong: count=%d", db.Count("emp"))
+	}
+	if got := db.LSN(); got != 3 {
+		t.Fatalf("migrated LSN = %d, want 3", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, logName)); !os.IsNotExist(err) {
+		t.Fatalf("legacy log.wal not removed: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatalf("migration checkpoint missing: %v", err)
+	}
+	if _, err := db.Insert("emp", emp(3, "c")); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2 := openDurable(t, dir, Options{})
+	defer db2.Close()
+	if db2.Count("emp") != 2 || !db2.Has("emp", emp(3, "c")) {
+		t.Fatalf("post-migration restart lost data: count=%d", db2.Count("emp"))
+	}
+}
+
+func TestLegacyWALRemnantAfterMigrationCrash(t *testing.T) {
+	// Crash window inside the migration itself: the v4 checkpoint landed
+	// but log.wal was not yet deleted. The remnant's records are already
+	// snapshot-covered; replaying them would double-apply under inflated
+	// LSNs, so the next open must discard the file instead.
+	dir := t.TempDir()
+	l, err := wal.Create(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(encodeDDL(empDef()))
+	l.Append(encodeOps([]op{{opInsert, "emp", emp(1, "a")}}))
+	l.Sync()
+	l.Close()
+	db := openDurable(t, dir, Options{}) // migrates: replay, v4 checkpoint, delete
+	wantLSN := db.LSN()
+	db.Close()
+
+	// Resurrect the legacy file next to the v4 snapshot, as the crash
+	// would have left it.
+	l2, err := wal.Create(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Append(encodeDDL(empDef()))
+	l2.Append(encodeOps([]op{{opInsert, "emp", emp(1, "a")}}))
+	l2.Sync()
+	l2.Close()
+
+	db2 := openDurable(t, dir, Options{})
+	defer db2.Close()
+	if got := db2.LSN(); got != wantLSN {
+		t.Fatalf("LSN after remnant open = %d, want %d (no double replay)", got, wantLSN)
+	}
+	if db2.Count("emp") != 1 {
+		t.Fatalf("Count = %d", db2.Count("emp"))
+	}
+	if _, err := os.Stat(filepath.Join(dir, logName)); !os.IsNotExist(err) {
+		t.Fatalf("legacy remnant not discarded: %v", err)
 	}
 }
 

@@ -31,9 +31,13 @@ type shard struct {
 	// global capture sequence (the tie-break for multi-shard commits).
 	// Deletes are not replayable as a monotone delta, so they poison
 	// history instead: lostBelow rises to the deleting commit's LSN.
-	// Changelog truncation raises lostBelow the same way.
-	changes   []change
-	lostBelow uint64 // history before (and at) this LSN is unavailable
+	// Ring overflow (and snapshot-based recovery, which starts with empty
+	// rings) raises evictedBelow instead: that history is gone from
+	// memory but still serveable from retained WAL segments on durable
+	// databases.
+	changes      []change
+	lostBelow    uint64 // history before (and at) this LSN is unavailable
+	evictedBelow uint64 // in-memory history before (and at) this LSN was dropped
 
 	// snap is the cached immutable view backing DB.Snapshot (copy-on-write
 	// per shard): built lazily under snapMu by the first snapshot after a

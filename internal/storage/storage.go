@@ -62,11 +62,26 @@ type Options struct {
 	// (and, with SyncOnCommit, one fsync per commit): the pre-group-commit
 	// baseline of the B4 benchmark.
 	DisableGroupCommit bool
+	// SegmentBytes rotates the WAL to a fresh segment file once the
+	// active one reaches this size (0 selects wal.DefaultSegmentBytes).
+	// Smaller segments tighten checkpoint truncation and changelog-spill
+	// granularity at the cost of more files.
+	SegmentBytes int64
+	// RetainSegments keeps up to this many sealed WAL segments that a
+	// checkpoint has fully superseded, so Changes can keep serving
+	// pre-checkpoint history from disk — across checkpoints and restarts
+	// — instead of degrading to history-lost full exports. 0 selects
+	// DefaultRetainSegments; negative retains none.
+	RetainSegments int
 }
 
 // DefaultChangelogLimit is the per-shard changelog bound used when
 // Options.ChangelogLimit is zero.
 const DefaultChangelogLimit = 4096
+
+// DefaultRetainSegments is the number of checkpoint-superseded WAL
+// segments kept for changelog spill when Options.RetainSegments is zero.
+const DefaultRetainSegments = 4
 
 // maxShards bounds Options.Shards (and the snapshot-recorded count) to
 // keep per-relation overhead sane.
@@ -82,9 +97,32 @@ type DB struct {
 	tables  map[string]*table
 	opts    Options
 	nshards int
-	log     *wal.Log            // nil when memory-only
+	log     *wal.Segmented      // nil when memory-only
 	group   *wal.GroupCommitter // nil when memory-only or DisableGroupCommit
 	closed  bool
+
+	// ckptMu serialises checkpoints (explicit, automatic-background, and
+	// the final one in Close). It is never held while commits are blocked:
+	// a checkpoint pins a Snapshot — a brief all-shard read lock — and
+	// writes it with no database locks held. Lock order: ckptMu before
+	// db.mu.
+	ckptMu sync.Mutex
+	// ckptErrMu guards ckptErr, the sticky failure of a background
+	// checkpoint, surfaced by the next explicit Checkpoint or Close.
+	ckptErrMu sync.Mutex
+	ckptErr   error
+	// recoveredCkpt is the checkpoint LSN the last loaded snapshot
+	// recorded: WAL replay skips records at or below it (they may survive
+	// in retained segments). recoveredSnapVersion is that snapshot's
+	// format version (0 when none was found), which gates the legacy
+	// log.wal migration.
+	recoveredCkpt        uint64
+	recoveredSnapVersion uint32
+
+	// spillHits / spillMisses count Changes calls served from retained
+	// WAL segments and ones that found the segment window unavailable.
+	spillHits   atomic.Uint64
+	spillMisses atomic.Uint64
 
 	// commitMu orders commits: LSN assignment and the WAL append/enqueue
 	// happen together under it, so the log's record order always equals
@@ -139,15 +177,33 @@ func Open(opts Options) (*DB, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: mkdir: %w", err)
 	}
+	// A crash can leave a half-written snapshot behind; it was never
+	// renamed into place, so it holds nothing durable.
+	os.Remove(filepath.Join(opts.Dir, snapshotName) + ".tmp")
 	if err := db.loadSnapshot(filepath.Join(opts.Dir, snapshotName)); err != nil {
 		return nil, err
 	}
-	log, err := wal.Open(filepath.Join(opts.Dir, logName), db.applyLogRecord)
+	migrate, err := db.replayLegacyLog()
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.OpenSegmented(opts.Dir, db.lsn,
+		wal.SegmentedOptions{SegmentBytes: opts.SegmentBytes}, db.applyLogRecord)
 	if err != nil {
 		return nil, err
 	}
 	db.log = log
 	db.visible = db.lsn
+	if migrate {
+		// The legacy records live nowhere but the old file: checkpoint the
+		// replayed state before dropping it. One-time, at open, unshared —
+		// the stop-the-world cost is irrelevant here.
+		if err := db.checkpointPinned(); err != nil {
+			db.log.Close()
+			return nil, fmt.Errorf("storage: migrate legacy wal: %w", err)
+		}
+		os.Remove(filepath.Join(opts.Dir, logName))
+	}
 	// The group-commit pipeline only pays when there are fsyncs to share;
 	// without SyncOnCommit the inline append under commitMu is cheaper
 	// than a cross-goroutine round-trip per commit.
@@ -155,6 +211,36 @@ func Open(opts Options) (*DB, error) {
 		db.group = wal.NewGroupCommitter(log)
 	}
 	return db, nil
+}
+
+// replayLegacyLog migrates a pre-segment "log.wal" file: its records are
+// replayed on top of the snapshot and the caller then checkpoints and
+// deletes the file. Reports whether a legacy log was found and replayed.
+//
+// Legacy records carry no LSNs, so a record cannot individually be
+// recognised as checkpoint-covered. Instead the snapshot version
+// disambiguates the migration crash window: only the new engine writes v4
+// snapshots, and it deletes log.wal right after its first one — so a
+// log.wal alongside a v4 snapshot is a remnant whose every record that
+// checkpoint already covers, and replaying it would double-apply them
+// under inflated LSNs. It is discarded instead.
+func (db *DB) replayLegacyLog() (bool, error) {
+	path := filepath.Join(db.opts.Dir, logName)
+	if _, err := os.Stat(path); err != nil {
+		return false, nil
+	}
+	if db.recoveredSnapVersion >= 4 {
+		os.Remove(path)
+		return false, nil
+	}
+	l, err := wal.Open(path, func(payload []byte) error {
+		return db.applyLogRecord(db.lsn+1, payload)
+	})
+	if err != nil {
+		return false, err
+	}
+	l.Close()
+	return true, nil
 }
 
 // MustOpenMem opens a memory-only database, panicking on error; convenience
@@ -577,16 +663,22 @@ type RelationStats struct {
 }
 
 // DetailedStats is the storage command's full engine report: per-shard
-// row/byte counts, WAL size and group-commit batching counters.
+// row/byte counts, WAL segment/size figures, changelog-spill counters and
+// group-commit batching counters.
 type DetailedStats struct {
 	Shards      int
 	LSN         uint64
 	Relations   []RelationStats
 	WALBytes    int64
+	WAL         wal.SegmentedStats
 	GroupCommit wal.GroupStats
 	// GroupCommitEnabled distinguishes "no batches yet" from "pipeline
 	// disabled or memory-only".
 	GroupCommitEnabled bool
+	// SpillHits / SpillMisses count Changes calls answered from retained
+	// WAL segments and ones whose segment window was unavailable.
+	SpillHits   uint64
+	SpillMisses uint64
 }
 
 // DetailedStats returns the per-shard engine report.
@@ -610,12 +702,15 @@ func (db *DB) DetailedStats() DetailedStats {
 		out.Relations = append(out.Relations, rs)
 	}
 	if db.log != nil {
-		out.WALBytes = db.log.Size()
+		out.WAL = db.log.Stats()
+		out.WALBytes = out.WAL.Bytes
 	}
 	if db.group != nil {
 		out.GroupCommit = db.group.Stats()
 		out.GroupCommitEnabled = true
 	}
+	out.SpillHits = db.spillHits.Load()
+	out.SpillMisses = db.spillMisses.Load()
 	return out
 }
 
@@ -645,7 +740,9 @@ func (db *DB) changelogLimit() int {
 
 // captureInsert appends a committed insert to the owning shard's changelog
 // (caller holds the shard's write lock). Overflow drops the oldest entries
-// and raises the history-lost floor.
+// and raises the eviction floor — watermarks below it are answered from
+// retained WAL segments when the database is durable, and report history
+// lost otherwise.
 func (db *DB) captureInsert(s *shard, lsn uint64, tuple relation.Tuple) {
 	limit := db.changelogLimit()
 	if limit < 0 {
@@ -657,8 +754,8 @@ func (db *DB) captureInsert(s *shard, lsn uint64, tuple relation.Tuple) {
 	s.changes = append(s.changes, change{lsn: lsn, seq: db.captureSeq.Add(1), tuple: tuple})
 	if len(s.changes) > limit {
 		drop := len(s.changes) - limit
-		if lb := s.changes[drop-1].lsn; lb > s.lostBelow {
-			s.lostBelow = lb
+		if lb := s.changes[drop-1].lsn; lb > s.evictedBelow {
+			s.evictedBelow = lb
 		}
 		s.changes = append(s.changes[:0:0], s.changes[drop:]...)
 	}
@@ -678,35 +775,64 @@ func (db *DB) captureDelete(s *shard, lsn uint64) {
 }
 
 // Changes reports the tuples committed into the relation after sinceLSN, in
-// commit order (shard changelogs merged by LSN, then by capture sequence
-// within a multi-tuple commit). ok is false when the requested history is
-// unavailable — a changelog was truncated past sinceLSN, a delete
-// intervened, or the relation is unknown — in which case the caller must
-// fall back to a full scan. ok is true with an empty delta when nothing
-// changed. The delta is clamped to the visible LSN horizon, so a watermark
-// advanced to LSN() never skips a commit still applying concurrently.
+// commit order. The hot path merges the per-shard in-memory changelogs (by
+// LSN, then by capture sequence within a multi-tuple commit). When the
+// watermark has fallen out of the rings — evicted by overflow, or older
+// than the snapshot a restart recovered from — the delta is served from
+// the retained WAL segments instead (the changelog spill path), so
+// long-lived hot relations and reopened databases keep answering
+// incrementally. ok is false only when the history is truly unavailable: a
+// delete intervened after sinceLSN (deletes are not expressible as a
+// monotone insert delta), the covering segments were pruned, the relation
+// is unknown, or the database is memory-only with an overflowed ring. The
+// caller must then fall back to a full scan. ok is true with an empty
+// delta when nothing changed.
+//
+// The delta is clamped to the visible LSN horizon, so a watermark advanced
+// to LSN() never skips a commit still applying concurrently. A
+// segment-served delta can be a superset of the exact one: an insert
+// logged by a transaction that raced another inserter of the same tuple
+// re-appears, which set-semantics consumers absorb.
 func (db *DB) Changes(rel string, sinceLSN uint64) (inserts []relation.Tuple, ok bool) {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
 	t := db.tables[rel]
 	if t == nil {
+		db.mu.RUnlock()
 		return nil, false
 	}
 	t.rlockAll()
-	defer t.runlockAll()
 	visible := db.LSN()
+	var poisoned, evicted uint64
 	for _, s := range t.shards {
-		if sinceLSN < s.lostBelow {
-			return nil, false
-		}
+		poisoned = max(poisoned, s.lostBelow)
+		evicted = max(evicted, s.evictedBelow)
 	}
+	if sinceLSN >= poisoned && sinceLSN >= evicted {
+		inserts = t.memChangesLocked(sinceLSN, visible)
+		t.runlockAll()
+		db.mu.RUnlock()
+		return inserts, true
+	}
+	arity := t.def.Arity()
+	t.runlockAll()
+	db.mu.RUnlock()
+	if sinceLSN < poisoned || db.log == nil {
+		return nil, false
+	}
+	return db.changesFromSegments(rel, arity, sinceLSN, visible)
+}
+
+// memChangesLocked merges the in-memory shard changelogs for (sinceLSN,
+// visible]; shard read locks held by the caller.
+func (t *table) memChangesLocked(sinceLSN, visible uint64) []relation.Tuple {
+	var inserts []relation.Tuple
 	if len(t.shards) == 1 {
 		for _, c := range t.shards[0].changes {
 			if c.lsn > sinceLSN && c.lsn <= visible {
 				inserts = append(inserts, c.tuple)
 			}
 		}
-		return inserts, true
+		return inserts
 	}
 	var merged []change
 	for _, s := range t.shards {
@@ -726,36 +852,110 @@ func (db *DB) Changes(rel string, sinceLSN uint64) (inserts []relation.Tuple, ok
 	for i, c := range merged {
 		inserts[i] = c.tuple
 	}
-	return inserts, true
+	return inserts
+}
+
+// errSpillDelete aborts a segment scan when a delete on the requested
+// relation sits inside the window: the delta cannot be expressed as
+// inserts.
+var errSpillDelete = fmt.Errorf("storage: delete inside spill window")
+
+// changesFromSegments serves a changelog delta from the retained WAL
+// segments: every record in (sinceLSN, visible] is decoded and the
+// requested relation's inserts collected in commit order. No database
+// locks are held — the segments are immutable except the active tail,
+// whose records up to the visible horizon are fully written.
+func (db *DB) changesFromSegments(rel string, arity int, sinceLSN, visible uint64) ([]relation.Tuple, bool) {
+	if visible <= sinceLSN {
+		db.spillHits.Add(1)
+		return nil, true
+	}
+	var out []relation.Tuple
+	err := db.log.ReadRange(sinceLSN+1, visible, func(_ uint64, payload []byte) error {
+		delta, err := decodeRelOps(payload, rel, arity)
+		if err != nil {
+			return err
+		}
+		out = append(out, delta...)
+		return nil
+	})
+	if err != nil {
+		db.spillMisses.Add(1)
+		return nil, false
+	}
+	db.spillHits.Add(1)
+	return out, true
 }
 
 // Close closes the database. Durable databases with commits since the last
 // checkpoint are checkpointed first, so reopening a long-lived peer loads
 // the snapshot instead of replaying the entire log; otherwise the WAL is
-// synced as before. The group-commit pipeline is drained before either.
+// synced as before. An in-flight background checkpoint is waited out
+// (ckptMu), the group-commit pipeline drained, and any sticky background
+// checkpoint failure surfaced here.
 func (db *DB) Close() error {
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return nil
 	}
 	db.closed = true
-	if db.log == nil {
+	log := db.log
+	db.mu.Unlock()
+	if log == nil {
 		return nil
 	}
 	var err error
 	if db.group != nil {
 		err = db.group.Close()
 	}
-	if db.commitsSinceCheckpoint.Load() > 0 {
-		if cerr := db.checkpointLocked(); err == nil {
-			err = cerr
-		}
-	} else if serr := db.log.Sync(); err == nil {
+	if serr := db.takeCheckpointErr(); err == nil {
 		err = serr
 	}
-	if cerr := db.log.Close(); err == nil {
+	// db.mu was released above: no commit can be in flight (they hold it
+	// shared for their whole span, and new ones fail on closed), so the
+	// final checkpoint pins a quiescent state.
+	if db.commitsSinceCheckpoint.Load() > 0 {
+		if cerr := db.checkpointPinned(); err == nil {
+			err = cerr
+		}
+	} else if serr := log.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := log.Close(); err == nil {
 		err = cerr
 	}
 	return err
+}
+
+// takeCheckpointErr claims the sticky background-checkpoint failure.
+func (db *DB) takeCheckpointErr() error {
+	db.ckptErrMu.Lock()
+	defer db.ckptErrMu.Unlock()
+	err := db.ckptErr
+	db.ckptErr = nil
+	return err
+}
+
+// recordCheckpointErr stores a background-checkpoint failure for the next
+// explicit Checkpoint or Close to report.
+func (db *DB) recordCheckpointErr(err error) {
+	db.ckptErrMu.Lock()
+	if db.ckptErr == nil {
+		db.ckptErr = err
+	}
+	db.ckptErrMu.Unlock()
+}
+
+// retainSegments resolves the configured checkpoint retention.
+func (db *DB) retainSegments() int {
+	switch {
+	case db.opts.RetainSegments == 0:
+		return DefaultRetainSegments
+	case db.opts.RetainSegments < 0:
+		return 0
+	}
+	return db.opts.RetainSegments
 }

@@ -224,7 +224,9 @@ func (tx *Tx) Commit() error {
 	if db.log != nil {
 		n := db.commitsSinceCheckpoint.Add(1)
 		if db.opts.CheckpointEvery > 0 && n >= int64(db.opts.CheckpointEvery) {
-			return db.autoCheckpoint()
+			// Background: the checkpoint pins a snapshot and writes it
+			// while this and every other committer keep going.
+			db.kickCheckpoint()
 		}
 	}
 	return nil

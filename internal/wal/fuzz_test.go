@@ -1,0 +1,74 @@
+package wal
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALSegment throws arbitrary bytes at the segment header + record
+// decoder. The invariants: OpenSegmented must never panic, must never
+// over-allocate from a garbage length prefix, and when it does open, the
+// records it replays must be exactly a prefix of the intact records — it
+// stops cleanly at the first torn one and the log stays appendable.
+func FuzzWALSegment(f *testing.F) {
+	// Seed with a valid two-record segment and targeted mutations of its
+	// length and CRC fields (the committed corpus under testdata/fuzz adds
+	// regression cases).
+	valid := encodeSegHeader(1)
+	valid = frameRecord(valid, []byte("record-one"))
+	valid = frameRecord(valid, []byte("record-two"))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn tail
+	f.Add([]byte{})
+	f.Add([]byte("cd")) // short header
+	mutLen := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(mutLen[segHeaderSize:], 0xFFFFFFF0) // absurd length
+	f.Add(mutLen)
+	mutCRC := append([]byte(nil), valid...)
+	mutCRC[segHeaderSize+4] ^= 0xFF // first record CRC broken, data follows
+	f.Add(mutCRC)
+	mutVer := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(mutVer[4:8], 99)
+	f.Add(mutVer)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), data, 0o644); err != nil {
+			t.Skip()
+		}
+		var replayed int
+		g, err := OpenSegmented(dir, 0, SegmentedOptions{}, func(lsn uint64, payload []byte) error {
+			if lsn != uint64(replayed+1) {
+				t.Fatalf("replay lsn %d after %d records", lsn, replayed)
+			}
+			replayed++
+			return nil
+		})
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Whatever was recovered must accept further appends and replay
+		// them (the decoder left the log in a consistent, appendable
+		// state).
+		if err := g.Append([]byte("post-recovery")); err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		if err := g.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		total := 0
+		g2, err := OpenSegmented(dir, 0, SegmentedOptions{}, func(lsn uint64, payload []byte) error {
+			total++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("reopen after recovery+append: %v", err)
+		}
+		g2.Close()
+		if total != replayed+1 {
+			t.Fatalf("reopen replayed %d records, want %d", total, replayed+1)
+		}
+	})
+}

@@ -20,13 +20,22 @@ import (
 type GroupCommitter struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	log    *Log
+	log    Sink
 	queue  []groupReq
 	closed bool
 	err    error // sticky writer-side failure, reported to later commits
 	stats  GroupStats
 
 	done chan struct{} // writer goroutine exited
+}
+
+// Sink is the log the group committer writes through. Both the legacy Log
+// and the Segmented WAL implement it; with Segmented, rotation happens
+// inside AppendBatch, so the committer needs no retargeting when the
+// active segment changes.
+type Sink interface {
+	AppendBatch(payloads [][]byte) error
+	Sync() error
 }
 
 // groupReq is one enqueued commit record. done is buffered so the writer
@@ -51,7 +60,7 @@ type GroupStats struct {
 }
 
 // NewGroupCommitter starts the pipeline over an open log.
-func NewGroupCommitter(l *Log) *GroupCommitter {
+func NewGroupCommitter(l Sink) *GroupCommitter {
 	g := &GroupCommitter{log: l, done: make(chan struct{})}
 	g.cond = sync.NewCond(&g.mu)
 	go g.run()

@@ -1,17 +1,24 @@
-// Package wal implements the write-ahead log used by the storage engine for
-// durability. A log is a single append-only file of length-prefixed,
-// CRC-protected records. On recovery the log is replayed after the last
-// snapshot; a torn tail (partial final record, e.g. after a crash) is
-// detected by the CRC and truncated.
+// Package wal implements the write-ahead logs used by the storage engine
+// for durability.
 //
-// Record layout:
+// The current log format is the segmented WAL (see segment.go): a directory
+// of numbered append-only segment files whose headers carry the LSN of
+// their first record, rotated at a size threshold and truncated by
+// checkpoints. The single-file Log in this file is the legacy (pre-segment)
+// format; it is retained so old "log.wal" files can be replayed once and
+// migrated, and as the simplest harness for the shared record framing.
 //
-//	magic   [4]byte  "cdbW" (file header only)
-//	version uint32   (file header only)
+// Record layout (shared by both formats):
+//
+//	--- file header (format-specific, see headerSize/segHeaderSize) ---
 //	--- per record ---
 //	length  uint32   payload length
 //	crc     uint32   IEEE CRC-32 of payload
 //	payload [length]byte
+//
+// A torn tail (partial final record, e.g. after a crash) is detected by the
+// length/CRC and truncated on recovery; a bad record followed by more data
+// is corruption and refuses to open.
 package wal
 
 import (
@@ -25,24 +32,93 @@ import (
 
 var magic = [4]byte{'c', 'd', 'b', 'W'}
 
-const version = 1
+const legacyVersion = 1
 
-// headerSize is the file header length in bytes.
+// headerSize is the legacy file header length in bytes.
 const headerSize = 8
 
-// ErrCorrupt is returned (wrapped) when the log contains a record whose CRC
+// recPrefix is the per-record framing length (u32 length + u32 CRC).
+const recPrefix = 8
+
+// ErrCorrupt is returned (wrapped) when a log contains a record whose CRC
 // does not match in a position other than the tail.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
-// Log is an append-only write-ahead log. Append and Sync may be called from
-// one goroutine at a time; the storage engine serialises them.
+// frameRecord appends one record's framing and payload to dst.
+func frameRecord(dst, payload []byte) []byte {
+	var rec [recPrefix]byte
+	binary.LittleEndian.PutUint32(rec[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
+	dst = append(dst, rec[:]...)
+	return append(dst, payload...)
+}
+
+// frameBatch serialises the framing of every payload into one buffer, so a
+// group commit of n records costs one write syscall instead of 2n.
+func frameBatch(payloads [][]byte) []byte {
+	total := 0
+	for _, p := range payloads {
+		total += recPrefix + len(p)
+	}
+	buf := make([]byte, 0, total)
+	for _, p := range payloads {
+		buf = frameRecord(buf, p)
+	}
+	return buf
+}
+
+// scanRecords walks the length-prefixed records in buf, calling fn for each
+// intact record. It returns the offset just past the last intact record.
+// torn reports whether leftover bytes follow that offset: an incomplete
+// length prefix, a short payload, or a CRC-mismatched record that is the
+// very last thing in the buffer — the signature of a crash mid-append. A
+// CRC mismatch with more data after it is not a torn tail but corruption,
+// reported via err (fn errors are also returned through err, with end at
+// the offending record). The payload passed to fn aliases buf.
+func scanRecords(buf []byte, fn func(payload []byte) error) (end int, torn bool, err error) {
+	off := 0
+	for {
+		if off+recPrefix > len(buf) {
+			return off, off != len(buf), nil
+		}
+		rawLen := binary.LittleEndian.Uint32(buf[off : off+4])
+		crc := binary.LittleEndian.Uint32(buf[off+4 : off+recPrefix])
+		// The length is garbage-controlled on recovery: bound it by the
+		// bytes actually present before converting or slicing (the uint64
+		// comparison also keeps a >=2^31 length from going negative on
+		// 32-bit builds).
+		if uint64(rawLen) > uint64(len(buf)-off-recPrefix) {
+			return off, true, nil
+		}
+		length := int(rawLen)
+		payload := buf[off+recPrefix : off+recPrefix+length]
+		if crc32.ChecksumIEEE(payload) != crc {
+			if off+recPrefix+length == len(buf) {
+				return off, true, nil // torn tail: claimed extent ends the buffer
+			}
+			return off, false, fmt.Errorf("%w at offset %d", ErrCorrupt, off)
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return off, false, err
+			}
+		}
+		off += recPrefix + length
+	}
+}
+
+// Log is the legacy single-file append-only write-ahead log. Append and
+// Sync may be called from one goroutine at a time; the storage engine
+// serialises them. New databases use Segmented instead; Log remains for
+// migrating old "log.wal" files and for tests of the shared framing.
 type Log struct {
 	f    *os.File
 	path string
 	size int64
 }
 
-// Create creates (or truncates) a log file at path and writes the header.
+// Create creates (or truncates) a legacy log file at path and writes the
+// header.
 func Create(path string) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -50,7 +126,7 @@ func Create(path string) (*Log, error) {
 	}
 	var hdr [headerSize]byte
 	copy(hdr[:4], magic[:])
-	binary.LittleEndian.PutUint32(hdr[4:], version)
+	binary.LittleEndian.PutUint32(hdr[4:], legacyVersion)
 	if _, err := f.Write(hdr[:]); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: write header: %w", err)
@@ -58,60 +134,36 @@ func Create(path string) (*Log, error) {
 	return &Log{f: f, path: path, size: headerSize}, nil
 }
 
-// Open opens an existing log for appending. It validates the header, replays
-// every intact record through apply, truncates a torn tail if present, and
-// positions the log for appending. A missing file is created fresh.
+// Open opens an existing legacy log for appending. It validates the header,
+// replays every intact record through apply, truncates a torn tail if
+// present, and positions the log for appending. A missing file is created
+// fresh.
 func Open(path string, apply func(payload []byte) error) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return Create(path)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+	if len(data) < headerSize {
 		// Empty or truncated header: re-create.
-		f.Close()
 		return Create(path)
 	}
-	if [4]byte(hdr[:4]) != magic {
-		f.Close()
+	if [4]byte(data[:4]) != magic {
 		return nil, fmt.Errorf("wal: %s: bad magic", path)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
-		f.Close()
+	if v := binary.LittleEndian.Uint32(data[4:]); v != legacyVersion {
 		return nil, fmt.Errorf("wal: %s: unsupported version %d", path, v)
 	}
-
-	offset := int64(headerSize)
-	var rec [8]byte
-	for {
-		if _, err := io.ReadFull(f, rec[:]); err != nil {
-			break // clean end (or torn length/CRC prefix: truncate below)
-		}
-		length := binary.LittleEndian.Uint32(rec[:4])
-		crc := binary.LittleEndian.Uint32(rec[4:])
-		payload := make([]byte, length)
-		if _, err := io.ReadFull(f, payload); err != nil {
-			break // torn payload: truncate
-		}
-		if crc32.ChecksumIEEE(payload) != crc {
-			// Distinguish a torn tail from mid-file corruption: if
-			// anything follows this record, the file is corrupt.
-			if trailing, terr := hasTrailingData(f); terr == nil && trailing {
-				f.Close()
-				return nil, fmt.Errorf("%w at offset %d in %s", ErrCorrupt, offset, path)
-			}
-			break
-		}
-		if apply != nil {
-			if err := apply(payload); err != nil {
-				f.Close()
-				return nil, fmt.Errorf("wal: apply record at offset %d: %w", offset, err)
-			}
-		}
-		offset += 8 + int64(length)
+	n, _, err := scanRecords(data[headerSize:], apply)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	offset := int64(headerSize + n)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
 	}
 	if err := f.Truncate(offset); err != nil {
 		f.Close()
@@ -124,58 +176,27 @@ func Open(path string, apply func(payload []byte) error) (*Log, error) {
 	return &Log{f: f, path: path, size: offset}, nil
 }
 
-func hasTrailingData(f *os.File) (bool, error) {
-	var one [1]byte
-	_, err := f.Read(one[:])
-	if err == io.EOF {
-		return false, nil
-	}
-	if err != nil {
-		return false, err
-	}
-	return true, nil
-}
-
 // Append writes one record. The payload is copied into the OS buffer before
 // Append returns; call Sync for durability.
 func (l *Log) Append(payload []byte) error {
-	var rec [8]byte
-	binary.LittleEndian.PutUint32(rec[:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
-	if _, err := l.f.Write(rec[:]); err != nil {
+	if _, err := l.f.Write(frameRecord(nil, payload)); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
-	if _, err := l.f.Write(payload); err != nil {
-		return fmt.Errorf("wal: append payload: %w", err)
-	}
-	l.size += 8 + int64(len(payload))
+	l.size += recPrefix + int64(len(payload))
 	return nil
 }
 
-// AppendBatch writes several records with a single underlying write call:
-// the framing of every payload is serialised into one buffer first, so a
-// group commit of n records costs one syscall instead of 2n. Equivalent to
-// calling Append for each payload in order.
+// AppendBatch writes several records with a single underlying write call.
+// Equivalent to calling Append for each payload in order.
 func (l *Log) AppendBatch(payloads [][]byte) error {
 	if len(payloads) == 0 {
 		return nil
 	}
-	total := 0
-	for _, p := range payloads {
-		total += 8 + len(p)
-	}
-	buf := make([]byte, 0, total)
-	for _, p := range payloads {
-		var rec [8]byte
-		binary.LittleEndian.PutUint32(rec[:4], uint32(len(p)))
-		binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(p))
-		buf = append(buf, rec[:]...)
-		buf = append(buf, p...)
-	}
+	buf := frameBatch(payloads)
 	if _, err := l.f.Write(buf); err != nil {
 		return fmt.Errorf("wal: append batch: %w", err)
 	}
-	l.size += int64(total)
+	l.size += int64(len(buf))
 	return nil
 }
 
@@ -190,21 +211,19 @@ func (l *Log) Sync() error {
 // Size returns the current log size in bytes (header included).
 func (l *Log) Size() int64 { return l.size }
 
-// Reset truncates the log to empty (header only); used after a checkpoint
-// has made the logged state durable elsewhere.
-func (l *Log) Reset() error {
-	if err := l.f.Truncate(headerSize); err != nil {
-		return fmt.Errorf("wal: reset: %w", err)
-	}
-	if _, err := l.f.Seek(headerSize, io.SeekStart); err != nil {
-		return fmt.Errorf("wal: reset seek: %w", err)
-	}
-	l.size = headerSize
-	return l.Sync()
-}
-
 // Close closes the underlying file without syncing.
 func (l *Log) Close() error { return l.f.Close() }
 
 // Path returns the log's file path.
 func (l *Log) Path() string { return l.path }
+
+// syncDir fsyncs a directory so entry creation/removal inside it is
+// durable (best effort on filesystems without directory sync).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

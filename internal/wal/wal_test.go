@@ -173,27 +173,6 @@ func TestTruncatedHeaderRecreated(t *testing.T) {
 	}
 }
 
-func TestReset(t *testing.T) {
-	path := tempLog(t)
-	l, _ := Create(path)
-	l.Append([]byte("gone"))
-	if err := l.Reset(); err != nil {
-		t.Fatal(err)
-	}
-	l.Append([]byte("kept"))
-	l.Close()
-
-	var got []string
-	l, err := Open(path, func(p []byte) error { got = append(got, string(p)); return nil })
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer l.Close()
-	if len(got) != 1 || got[0] != "kept" {
-		t.Errorf("replay after reset = %v", got)
-	}
-}
-
 func TestApplyErrorPropagates(t *testing.T) {
 	path := tempLog(t)
 	l, _ := Create(path)

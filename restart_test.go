@@ -42,8 +42,12 @@ func waitForFile(t *testing.T, path string) {
 }
 
 func buildDurablePair(t *testing.T, dirA, dirB string) *Network {
+	return buildDurablePairOpts(t, dirA, dirB, NetworkOptions{})
+}
+
+func buildDurablePairOpts(t *testing.T, dirA, dirB string, opts NetworkOptions) *Network {
 	t.Helper()
-	nw := NewNetwork()
+	nw := NewNetworkWithOptions(opts)
 	if _, err := nw.AddDurablePeer("a", dirA, "r(x int)"); err != nil {
 		t.Fatal(err)
 	}
@@ -108,6 +112,66 @@ func TestRestartRestoresExportWatermarks(t *testing.T) {
 	}
 	if got != 5 {
 		t.Errorf("restart session shipped %d tuples, want exactly the 5 new ones", got)
+	}
+}
+
+// TestRestartServesSpilledHistory: the exporter's watermark ends up below
+// both the in-memory changelog ring (tiny ChangelogLimit, evicted by
+// later traffic) and the checkpoint LSN (commits after the last update,
+// checkpointed by Close). Before changelog spill this degraded to a
+// history-lost full export; now the delta must be served from retained
+// WAL segments across the restart, shipping exactly the new tuples.
+func TestRestartServesSpilledHistory(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	opts := NetworkOptions{ChangelogLimit: 4, SegmentBytes: 256}
+
+	nw := buildDurablePairOpts(t, dirA, dirB, opts)
+	for i := 0; i < 30; i++ {
+		if err := nw.Insert("b", "r", Row(Int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nw.Update(ctxT(t), "a"); err != nil {
+		t.Fatal(err)
+	}
+	// Post-update commits push the watermark out of the 4-entry ring and
+	// below the Close checkpoint.
+	for i := 100; i < 120; i++ {
+		if err := nw.Insert("b", "r", Row(Int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForFile(t, filepath.Join(dirB, "exports.state"))
+	nw.Close() // checkpoints both stores; segments are retained, not reset
+
+	nw2 := buildDurablePairOpts(t, dirA, dirB, opts)
+	defer nw2.Close()
+	if wm := nw2.Peer("b").ExportWatermarks()["r1"]; wm == 0 {
+		t.Fatal("reopened exporter did not restore its watermark")
+	}
+	rep, err := nw2.Update(ctxT(t), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw2.Peer("a").Count("r"); got != 50 {
+		t.Fatalf("a.r after restart update = %d, want 50", got)
+	}
+	repB := sessionReport(t, nw2.Peer("b"), rep.SID)
+	if repB.ExportsIncremental != 1 || repB.ExportsFallback != 0 || repB.ExportsFull != 0 {
+		t.Errorf("restarted exporter: incr=%d fallback=%d full=%d, want a spill-served incremental export",
+			repB.ExportsIncremental, repB.ExportsFallback, repB.ExportsFull)
+	}
+	repA := sessionReport(t, nw2.Peer("a"), rep.SID)
+	shipped := 0
+	for _, n := range repA.TuplesPerRule {
+		shipped += n
+	}
+	if shipped != 20 {
+		t.Errorf("restart session shipped %d tuples, want exactly the 20 new ones", shipped)
+	}
+	// The delta really came off disk.
+	if st, ok := nw2.PeerStorageStats("b"); !ok || st.SpillHits == 0 {
+		t.Errorf("exporter served no Changes from spilled segments: %+v ok=%v", st, ok)
 	}
 }
 
