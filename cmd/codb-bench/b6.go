@@ -1,0 +1,543 @@
+// B6: the HTTP/JSON serving layer under open-loop load, on a real
+// multi-process deployment. The parent re-execs itself as bare worker
+// processes (TCP transport + in-memory storage + per-peer gateway), a
+// super-peer broadcast installs schema, rules and directory — exactly the
+// codb-super bootstrap — and then everything else happens over HTTP:
+// seeding, the global update, and an open-loop query storm against the
+// gateways. A codec replay at the end re-encodes the update's envelope
+// traffic through both the seed's gob framing and the versioned binary
+// wire codec, giving the headline bytes ratio.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	httpapi "codb/internal/api/http"
+	"codb/internal/config"
+	"codb/internal/core"
+	"codb/internal/experiment"
+	"codb/internal/msg"
+	"codb/internal/peer"
+	"codb/internal/relation"
+	"codb/internal/storage"
+	"codb/internal/superpeer"
+	"codb/internal/transport"
+	"codb/internal/wire"
+)
+
+// b6Worker switches the process into worker mode: a bare coDB node that
+// learns everything (schema, rules, directory) from the super-peer
+// broadcast, as codb-peer does with -listen and no -config.
+var b6Worker = flag.String("b6-worker", "",
+	"internal: run as a B6 worker node with this name (used by -exp B6 to spawn its deployment)")
+
+// runB6Worker is the worker process body. It prints one READY line with
+// its ephemeral addresses and serves until stdin reaches EOF — the parent
+// holds the write end and closes it to shut the deployment down.
+func runB6Worker(name string) {
+	tr, err := transport.NewTCP(name, "127.0.0.1:0")
+	if err != nil {
+		fatalB6(err)
+	}
+	db, err := storage.Open(storage.Options{}) // memory-only
+	if err != nil {
+		fatalB6(err)
+	}
+	p, err := peer.New(peer.Options{Name: name, Transport: tr, Wrapper: core.NewStoreWrapper(db)})
+	if err != nil {
+		fatalB6(err)
+	}
+	gw, err := httpapi.New(httpapi.Options{Addr: "127.0.0.1:0", Peer: p})
+	if err != nil {
+		p.Stop()
+		fatalB6(err)
+	}
+	fmt.Printf("B6-READY name=%s tcp=%s http=%s\n", name, tr.Addr(), gw.Addr())
+	io.Copy(io.Discard, os.Stdin) // block until the parent hangs up
+	gw.Close()
+	p.Stop()
+}
+
+func fatalB6(err error) {
+	fmt.Fprintln(os.Stderr, "codb-bench: b6 worker:", err)
+	os.Exit(1)
+}
+
+// b6Node is one spawned worker process as seen from the parent.
+type b6Node struct {
+	name  string
+	tcp   string
+	http  string
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+}
+
+// spawnB6Node re-execs this binary as a worker and waits for its READY
+// line.
+func spawnB6Node(exe, name string) (*b6Node, error) {
+	cmd := exec.Command(exe, "-b6-worker", name)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	n := &b6Node{name: name, cmd: cmd, stdin: stdin}
+	ready := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "B6-READY ") {
+				continue
+			}
+			for _, f := range strings.Fields(line)[1:] {
+				if v, ok := strings.CutPrefix(f, "tcp="); ok {
+					n.tcp = v
+				}
+				if v, ok := strings.CutPrefix(f, "http="); ok {
+					n.http = v
+				}
+			}
+			ready <- nil
+			// Keep draining so the worker never blocks on stdout.
+			for sc.Scan() {
+			}
+			return
+		}
+		ready <- fmt.Errorf("worker %s exited before READY", name)
+	}()
+	select {
+	case err := <-ready:
+		if err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, err
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("worker %s: timeout waiting for READY", name)
+	}
+	if n.tcp == "" || n.http == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("worker %s: malformed READY line", name)
+	}
+	return n, nil
+}
+
+// stop closes the worker's stdin (its shutdown signal) and reaps it.
+func (n *b6Node) stop() {
+	n.stdin.Close()
+	done := make(chan struct{})
+	go func() { n.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		n.cmd.Process.Kill()
+		<-done
+	}
+}
+
+// --- HTTP client helpers -------------------------------------------------
+
+func b6Post(client *http.Client, addr, path string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post("http://"+addr+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: %s: %s", path, resp.Status, strings.TrimSpace(string(data)))
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+func b6Get(client *http.Client, addr, path string, out any) error {
+	resp, err := client.Get("http://" + addr + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(data)))
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// --- the experiment ------------------------------------------------------
+
+// httpServing is B6. Deployment: a 4-node chain N0 <- N1 <- N2 <- N3
+// (rules pull data toward N0), each node an OS process with its own TCP
+// listener and HTTP gateway, configured entirely by super-peer broadcast.
+func httpServing(ctx context.Context) {
+	fmt.Println("== B6: HTTP serving layer on a multi-process deployment — open-loop load + wire-vs-gob bytes")
+
+	exe, err := os.Executable()
+	if err != nil {
+		fatalB6(err)
+	}
+	names := []string{"N0", "N1", "N2", "N3"}
+	nodes := make([]*b6Node, 0, len(names))
+	defer func() {
+		for _, n := range nodes {
+			n.stop()
+		}
+	}()
+	for _, name := range names {
+		n, err := spawnB6Node(exe, name)
+		if err != nil {
+			fatalB6(err)
+		}
+		nodes = append(nodes, n)
+	}
+
+	// Broadcast the configuration: schemas, chain rules and the directory
+	// of worker addresses, exactly as codb-super would.
+	var cfgText strings.Builder
+	fmt.Fprintf(&cfgText, "version 1\n")
+	for _, n := range nodes {
+		fmt.Fprintf(&cfgText, "node %s addr %s\n  rel data(k int, v int)\nend\n", n.name, n.tcp)
+	}
+	for i := 0; i+1 < len(nodes); i++ {
+		fmt.Fprintf(&cfgText, "rule r%d: %s.data(k, v) <- %s.data(k, v)\n",
+			i+1, nodes[i].name, nodes[i+1].name)
+	}
+	cfg, err := config.Parse(cfgText.String())
+	if err != nil {
+		fatalB6(err)
+	}
+	superTr, err := transport.NewTCP("super", "127.0.0.1:0")
+	if err != nil {
+		fatalB6(err)
+	}
+	sp, err := superpeer.New(superpeer.Options{
+		Transport: superTr,
+		Directory: cfg.Directory(),
+		Addr:      superTr.Addr(),
+	})
+	if err != nil {
+		fatalB6(err)
+	}
+	defer sp.Stop()
+	sp.SetConfig(cfg)
+	if err := sp.Broadcast(); err != nil {
+		fatalB6(err)
+	}
+	time.Sleep(300 * time.Millisecond) // let the flood settle
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	tuples := *tuplesFlag
+
+	// Seed every node over HTTP with disjoint keys.
+	for i, n := range nodes {
+		rows := make([][]any, tuples)
+		for j := range rows {
+			rows[j] = []any{i*tuples + j, j}
+		}
+		if err := b6Post(client, n.http, "/v1/insert",
+			map[string]any{"relation": "data", "rows": rows}, nil); err != nil {
+			fatalB6(err)
+		}
+	}
+
+	// Global update, initiated over HTTP at the chain head.
+	var upd struct {
+		Report msg.UpdateReport `json:"report"`
+	}
+	start := time.Now()
+	if err := b6Post(client, nodes[0].http, "/v1/update?timeout=2m",
+		map[string]any{}, &upd); err != nil {
+		fatalB6(err)
+	}
+	updWall := time.Since(start)
+
+	// The chain pulls everything to N0: verify over HTTP before measuring.
+	var q struct {
+		Count int `json:"count"`
+	}
+	if err := b6Post(client, nodes[0].http, "/v1/query",
+		map[string]any{"query": "ans(k, v) :- data(k, v)", "local": true}, &q); err != nil {
+		fatalB6(err)
+	}
+	want := len(nodes) * tuples
+	if q.Count != want {
+		fatalB6(fmt.Errorf("after update: N0 has %d tuples, want %d", q.Count, want))
+	}
+	fmt.Printf("update at N0 over HTTP: %v wall, %d tuples materialised (longest path %d)\n",
+		updWall.Round(time.Millisecond), q.Count, upd.Report.LongestPath)
+
+	rows := []benchRow{{
+		Name:    "B6/http-update",
+		NsPerOp: float64(updWall.Nanoseconds()),
+		Tuples:  q.Count,
+		MaxPath: upd.Report.LongestPath,
+	}}
+
+	// Open-loop local-query load: requests are dispatched on a fixed
+	// schedule across all four gateways regardless of completions, so
+	// queue delay shows up in the latencies instead of silently throttling
+	// the client (coordinated omission).
+	const (
+		targetQPS = 400
+		loadFor   = 3 * time.Second
+	)
+	lats, errs, wall := b6OpenLoop(ctx, client, nodes, targetQPS, loadFor, func(i int) (string, any) {
+		n := nodes[i%len(nodes)]
+		return n.http, map[string]any{
+			"query": fmt.Sprintf("ans(k, v) :- data(k, v), k > %d", (i*37)%want),
+			"local": true,
+		}
+	})
+	if errs > 0 {
+		fatalB6(fmt.Errorf("open-loop load: %d requests failed", errs))
+	}
+	qps := float64(len(lats)) / wall.Seconds()
+	fmt.Printf("open-loop local queries: %d reqs at %.0f qps (target %d) — p50 %v  p95 %v  p99 %v\n",
+		len(lats), qps, targetQPS,
+		experiment.Percentile(lats, 50).Round(time.Microsecond),
+		experiment.Percentile(lats, 95).Round(time.Microsecond),
+		experiment.Percentile(lats, 99).Round(time.Microsecond))
+	rows = append(rows, benchRow{
+		Name:    "B6/http-local-query-openloop",
+		NsPerOp: float64(experiment.Percentile(lats, 50).Nanoseconds()),
+		P95Ns:   float64(experiment.Percentile(lats, 95).Nanoseconds()),
+		P99Ns:   float64(experiment.Percentile(lats, 99).Nanoseconds()),
+		QPS:     qps,
+		Tuples:  len(lats),
+	})
+
+	// A lighter open-loop round of distributed queries: each request
+	// fetches from acquaintances at query time through the peer protocol,
+	// so the gateway, planner and wire codec are all on the path.
+	dlats, derrs, dwall := b6OpenLoop(ctx, client, nodes, 40, loadFor, func(i int) (string, any) {
+		n := nodes[i%len(nodes)]
+		return n.http, map[string]any{
+			"query": fmt.Sprintf("ans(k, v) :- data(k, v), k > %d", (i*53)%want),
+		}
+	})
+	if derrs > 0 {
+		fatalB6(fmt.Errorf("distributed open-loop load: %d requests failed", derrs))
+	}
+	dqps := float64(len(dlats)) / dwall.Seconds()
+	fmt.Printf("open-loop distributed queries: %d reqs at %.0f qps — p50 %v  p95 %v  p99 %v\n",
+		len(dlats), dqps,
+		experiment.Percentile(dlats, 50).Round(time.Microsecond),
+		experiment.Percentile(dlats, 95).Round(time.Microsecond),
+		experiment.Percentile(dlats, 99).Round(time.Microsecond))
+	rows = append(rows, benchRow{
+		Name:    "B6/http-distributed-query-openloop",
+		NsPerOp: float64(experiment.Percentile(dlats, 50).Nanoseconds()),
+		P95Ns:   float64(experiment.Percentile(dlats, 95).Nanoseconds()),
+		P99Ns:   float64(experiment.Percentile(dlats, 99).Nanoseconds()),
+		QPS:     dqps,
+		Tuples:  len(dlats),
+	})
+
+	// Wire traffic actually sent by the deployment, from each gateway's
+	// stats endpoint.
+	var frames, wireBytes uint64
+	for _, n := range nodes {
+		var ws struct {
+			Available  bool   `json:"available"`
+			FramesSent uint64 `json:"frames_sent"`
+			BytesSent  uint64 `json:"bytes_sent"`
+		}
+		if err := b6Get(client, n.http, "/v1/stats/wire", &ws); err != nil {
+			fatalB6(err)
+		}
+		if !ws.Available {
+			fatalB6(fmt.Errorf("node %s: wire stats unavailable", n.name))
+		}
+		frames += ws.FramesSent
+		wireBytes += ws.BytesSent
+	}
+	fmt.Printf("wire traffic: %d frames, %d bytes sent across %d nodes\n", frames, wireBytes, len(nodes))
+	rows = append(rows, benchRow{
+		Name:      "B6/wire-traffic",
+		Frames:    int(frames),
+		WireBytes: int(wireBytes),
+	})
+
+	// Codec replay: re-encode a representative sample of the update's
+	// envelope traffic through the seed's gob framing (fresh encoder +
+	// 4-byte length prefix per message, as the original transport did) and
+	// through the versioned binary wire codec (12-byte frame header).
+	gobTotal, wireTotal, n := b6CodecReplay(tuples)
+	ratio := float64(gobTotal) / float64(wireTotal)
+	fmt.Printf("codec replay over %d envelopes: gob %d B, wire %d B — %.2fx smaller\n",
+		n, gobTotal, wireTotal, ratio)
+	rows = append(rows, benchRow{
+		Name:      "B6/wire-vs-gob-codec",
+		Bytes:     gobTotal,
+		WireBytes: wireTotal,
+		Msgs:      n,
+		Ratio:     ratio,
+	})
+
+	writeBench("B6", rows)
+}
+
+// b6OpenLoop fires requests at a fixed rate without waiting for
+// completions and returns the observed latencies, the failure count and
+// the measured wall time.
+func b6OpenLoop(ctx context.Context, client *http.Client, nodes []*b6Node,
+	qps int, d time.Duration, req func(i int) (string, any)) ([]time.Duration, int, time.Duration) {
+	interval := time.Second / time.Duration(qps)
+	total := int(d / interval)
+	var (
+		mu   sync.Mutex
+		lats = make([]time.Duration, 0, total)
+		errs int
+		wg   sync.WaitGroup
+	)
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; i < total; i++ {
+		select {
+		case <-ctx.Done():
+			i = total
+			continue
+		case <-tick.C:
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			addr, body := req(i)
+			t0 := time.Now()
+			err := b6Post(client, addr, "/v1/query", body, nil)
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs++
+				return
+			}
+			lats = append(lats, lat)
+		}(i)
+	}
+	wg.Wait()
+	return lats, errs, time.Since(start)
+}
+
+// b6CodecReplay encodes the same envelope mix — the SessionRequest /
+// SessionData / SessionAck / SessionDone traffic chain updates generate,
+// carrying real data tuples — through both codecs and returns total bytes
+// for each, verifying that the wire form round-trips. The mix covers both
+// update regimes: one initial full sync moving every tuple in outbox-sized
+// batches, then the steady state the deployment actually lives in —
+// repeated incremental rounds whose cross-session exports carry only the
+// small per-round delta (B2), where framing overhead, not payload,
+// dominates every message.
+func b6CodecReplay(tuples int) (gobTotal, wireTotal, n int) {
+	gob.Register(&msg.SessionRequest{})
+	gob.Register(&msg.SessionData{})
+	gob.Register(&msg.SessionAck{})
+	gob.Register(&msg.SessionDone{})
+
+	mkTuples := func(base, count int) []relation.Tuple {
+		ts := make([]relation.Tuple, count)
+		for i := range ts {
+			ts[i] = relation.Tuple{relation.Int(base + i), relation.Int(i)}
+		}
+		return ts
+	}
+	path := []string{"N0", "N1", "N2", "N3"}
+	var envs []msg.Envelope
+	// One update session from N0: request/data/ack/done per chain hop.
+	session := func(sid string, moved int, batch int) {
+		for hop := 0; hop < 3; hop++ {
+			from, to := path[hop+1], path[hop]
+			envs = append(envs, msg.Envelope{From: to, Payload: &msg.SessionRequest{
+				SID: sid, Kind: msg.KindUpdate, Origin: "N0",
+				Path:  path[:hop+1],
+				Rules: []msg.RuleDef{{ID: fmt.Sprintf("r%d", hop+1), Text: fmt.Sprintf("%s.data(k, v) <- %s.data(k, v)", to, from)}},
+			}})
+			for sent := 0; sent < moved; sent += batch {
+				count := batch
+				if moved-sent < count {
+					count = moved - sent
+				}
+				envs = append(envs, msg.Envelope{From: from, Payload: &msg.SessionData{
+					SID: sid, Kind: msg.KindUpdate, Origin: "N0",
+					RuleID:   fmt.Sprintf("r%d", hop+1),
+					Bindings: mkTuples((hop+1)*tuples+sent, count),
+					Path:     path[:hop+2],
+					Seq:      sent / batch,
+					Mode:     msg.ExportIncremental,
+					Skipped:  tuples - moved,
+				}})
+				envs = append(envs, msg.Envelope{From: to, Payload: &msg.SessionAck{SID: sid, N: count}})
+			}
+			envs = append(envs, msg.Envelope{From: from, Payload: &msg.SessionDone{SID: sid, Origin: "N0"}})
+		}
+	}
+	session("u-N0-1", tuples, 64) // initial full sync, outbox-sized batches
+	const rounds, delta = 20, 4   // steady state: small per-round deltas
+	for r := 0; r < rounds; r++ {
+		session(fmt.Sprintf("u-N0-%d", r+2), delta, delta)
+	}
+
+	for _, e := range envs {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&e); err != nil {
+			fatalB6(fmt.Errorf("gob encode: %w", err))
+		}
+		gobTotal += 4 + buf.Len() // seed framing: uint32 length prefix
+
+		body, tag, err := msg.AppendEnvelope(nil, e)
+		if err != nil {
+			fatalB6(fmt.Errorf("wire encode: %w", err))
+		}
+		frame := wire.AppendFrame(nil, wire.MaxVersion, byte(tag), body)
+		wireTotal += len(frame)
+		// Fidelity check: the frame body must decode back to the envelope.
+		back, err := msg.DecodeEnvelope(tag, body)
+		if err != nil {
+			fatalB6(fmt.Errorf("wire decode: %w", err))
+		}
+		if back.From != e.From {
+			fatalB6(fmt.Errorf("wire round-trip: from %q != %q", back.From, e.From))
+		}
+	}
+	return gobTotal, wireTotal, len(envs)
+}

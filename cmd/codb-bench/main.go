@@ -12,6 +12,7 @@
 //	codb-bench -exp B2         # cross-session incremental propagation
 //	codb-bench -exp B3         # concurrent read path under update load
 //	codb-bench -exp B5         # commit latency during background checkpoints
+//	codb-bench -exp B6         # HTTP serving layer on a multi-process deployment
 //	codb-bench -nodes 4,8,16   # override the network sizes
 //	codb-bench -tuples 500     # override per-node cardinality
 //	codb-bench -json .         # also write machine-readable BENCH_<exp>.json
@@ -44,7 +45,7 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "comma-separated experiments to run (E1..E7,A1..A4,B1..B5 or 'all')")
+	expFlag    = flag.String("exp", "all", "comma-separated experiments to run (E1..E7,A1..A4,B1..B6 or 'all')")
 	nodesFlag  = flag.String("nodes", "4,8,16,32", "comma-separated network sizes")
 	tuplesFlag = flag.Int("tuples", 250, "tuples per node")
 	seedFlag   = flag.Int64("seed", 42, "workload seed")
@@ -121,6 +122,10 @@ func writeBench(exp string, rows []benchRow) {
 
 func main() {
 	flag.Parse()
+	if *b6Worker != "" {
+		runB6Worker(*b6Worker)
+		return
+	}
 	sizes, err := parseSizes(*nodesFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "codb-bench:", err)
@@ -184,6 +189,9 @@ func main() {
 	}
 	if run("B5") {
 		checkpointStall()
+	}
+	if run("B6") {
+		httpServing(ctx)
 	}
 }
 
@@ -713,18 +721,9 @@ func queryQPS(p *peer.Peer, n int, cold bool) float64 {
 	return float64(n) / time.Since(t0).Seconds()
 }
 
-// percentile returns the pth percentile of the latency sample.
+// percentile is experiment.Percentile, the shared nearest-rank helper.
 func percentile(lats []time.Duration, p int) time.Duration {
-	if len(lats) == 0 {
-		return 0
-	}
-	sorted := append([]time.Duration(nil), lats...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := len(sorted) * p / 100
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
+	return experiment.Percentile(lats, p)
 }
 
 // incrementalRounds is B2: cross-session incremental propagation. A chain

@@ -8,9 +8,12 @@
 //	codb-peer -name N1 -config net.codb            # address from the file
 //	codb-peer -name N2 -config net.codb -data ./n2 # durable storage
 //	codb-peer -name N3 -listen 127.0.0.1:7003      # wait for broadcasts
+//	codb-peer -name N4 -http 127.0.0.1:8080        # + HTTP/JSON gateway
 //
 // The process runs until interrupted. With -mediator the node has no local
-// database (operations execute in the wrapper).
+// database (operations execute in the wrapper). With -http the node also
+// serves the HTTP/JSON gateway (query, insert, update, stats, health; see
+// internal/api/http) on the given address.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	httpapi "codb/internal/api/http"
 	"codb/internal/config"
 	"codb/internal/core"
 	"codb/internal/peer"
@@ -39,6 +43,7 @@ func main() {
 	noGroupCommit := flag.Bool("no-group-commit", false, "disable the WAL group-commit pipeline (one fsync per commit with -sync-commit)")
 	segmentBytes := flag.Int64("segment-bytes", 0, "WAL segment rotation size in bytes (0 = default)")
 	retainSegments := flag.Int("retain-segments", 0, "checkpoint-superseded WAL segments kept for changelog spill (0 = default, negative = none)")
+	httpAddr := flag.String("http", "", "serve the HTTP/JSON gateway on this address (empty = no gateway)")
 	mediator := flag.Bool("mediator", false, "run without a local database")
 	verbose := flag.Bool("v", false, "verbose logging")
 	flag.Parse()
@@ -121,11 +126,23 @@ func main() {
 		}
 	}
 	fmt.Printf("codb-peer %s listening on %s\n", *name, tr.Addr())
+	var gw *httpapi.Server
+	if *httpAddr != "" {
+		gw, err = httpapi.New(httpapi.Options{Addr: *httpAddr, Peer: p, Logger: logger})
+		if err != nil {
+			p.Stop()
+			fatal(err)
+		}
+		fmt.Printf("codb-peer %s http on %s\n", *name, gw.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("codb-peer: shutting down")
+	if gw != nil {
+		gw.Close()
+	}
 	p.Stop()
 	if db != nil {
 		// A failed close can lose buffered WAL writes of a durable node —

@@ -7,6 +7,8 @@
 // Usage:
 //
 //	codb-shell -config net.codb
+//	codb-shell -config net.codb -tcp                   # peers on real sockets
+//	codb-shell -config net.codb -http 127.0.0.1:8080   # + HTTP/JSON gateway
 //
 // Commands (also `help` at the prompt):
 //
@@ -21,6 +23,7 @@
 //	report <node>               the node's session reports
 //	cache <node>                the node's query-result-cache counters
 //	storage <node>              per-shard storage, WAL and group-commit stats
+//	wire <node>                 TCP frame/byte counters and outbox batching
 //	stats                       super-peer: collect and aggregate statistics
 //	reload <file>               broadcast a new rules file (runtime change)
 //	topology                    list nodes and rules
@@ -39,6 +42,8 @@ import (
 
 func main() {
 	cfgPath := flag.String("config", "", "network configuration file (required)")
+	useTCP := flag.Bool("tcp", false, "connect peers over real TCP sockets instead of the in-process bus")
+	httpAddr := flag.String("http", "", "serve an HTTP/JSON gateway for the whole network on this address (select nodes with ?node=)")
 	flag.Parse()
 	if *cfgPath == "" {
 		fmt.Fprintln(os.Stderr, "codb-shell: -config is required")
@@ -49,13 +54,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "codb-shell:", err)
 		os.Exit(1)
 	}
-	nw, err := codb.NewNetworkFromConfig(string(text))
+	opts := codb.NetworkOptions{}
+	opts.Transport.TCP = *useTCP
+	nw, err := codb.NewNetworkFromConfigWithOptions(string(text), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "codb-shell:", err)
 		os.Exit(1)
 	}
 	defer nw.Close()
 	fmt.Printf("coDB network up: peers %v\n", nw.Peers())
+	if *httpAddr != "" {
+		bound, err := nw.StartGateway(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "codb-shell:", err)
+			nw.Close()
+			os.Exit(1)
+		}
+		fmt.Printf("coDB http gateway on %s\n", bound)
+	}
 
 	c := console.New(nw, os.Stdout)
 	sc := bufio.NewScanner(os.Stdin)

@@ -49,6 +49,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fmt.Printf("codb-super listening on %s\n", tr.Addr())
 	sp, err := superpeer.New(superpeer.Options{
 		Transport: tr,
 		Directory: cfg.Directory(),

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"sync"
 
+	httpapi "codb/internal/api/http"
 	"codb/internal/config"
 	"codb/internal/core"
 	"codb/internal/cq"
@@ -95,48 +96,23 @@ var (
 // Row builds a tuple from values.
 func Row(vs ...Value) Tuple { return Tuple(vs) }
 
-// Network is an in-process coDB network: peers as goroutine actors on a
-// shared bus. Safe for concurrent use.
+// Network is an in-process coDB network: peers as goroutine actors,
+// connected by an in-process bus or — with Transport.TCP — by real sockets
+// speaking the versioned binary wire protocol. Safe for concurrent use.
 type Network struct {
 	mu    sync.Mutex
 	bus   *transport.Bus
 	peers map[string]*peer.Peer
 	dbs   map[string]*storage.DB // databases the network opened and owns
+	addrs map[string]string      // TCP mode: node -> dial address
+	https map[string]*httpapi.Server
+	gw    *httpapi.Server // network-wide gateway (StartGateway)
 	super *superpeer.SuperPeer
 	opts  NetworkOptions
 }
 
-// NetworkOptions tune every peer of the network (ablation toggles included).
-type NetworkOptions struct {
-	// MaxDepth bounds the chase's null derivation depth (0 = default,
-	// negative = unlimited); see core.Config.
-	MaxDepth int
-	// NestedLoopJoin switches the CQ evaluator to nested loops (A3).
-	NestedLoopJoin bool
-	// DisableDedup turns off the per-link sent caches (A2).
-	DisableDedup bool
-	// Naive disables semi-naive delta evaluation (A1).
-	Naive bool
-	// FullExport disables cross-session incremental export: every update
-	// session re-evaluates and re-ships every link in full, as the paper's
-	// algorithm does (the B2 baseline). By default peers keep per-rule LSN
-	// watermarks and shipped-binding fingerprints, so repeated updates
-	// ship only what changed since the previous session.
-	FullExport bool
-	// EvalParallelism caps the worker fan-out of the hash-join probe phase
-	// on large relations (see cq.EvalOptions.Parallelism); 0 or 1 keeps
-	// evaluation serial.
-	EvalParallelism int
-	// QueryCacheSize bounds each peer's query-result cache (0 selects the
-	// default bound). Cached answers are invalidated by the storage commit
-	// LSN and the rule-set version, so they are always current.
-	QueryCacheSize int
-	// DisableReadPath forces every read through the peer actor loop, as
-	// the seed implementation did (the B3 baseline). By default peers with
-	// snapshot-capable storage answer LocalQuery / local-only queries /
-	// Count / Tuples from pinned snapshots, concurrently with running
-	// update sessions.
-	DisableReadPath bool
+// StorageGroup groups the storage-engine knobs of NetworkOptions.
+type StorageGroup struct {
 	// Shards hash-partitions every peer database's relations into this
 	// many shards, each with its own lock, indexes, changelog and snapshot
 	// view, so concurrent writers to different shards never contend (see
@@ -168,6 +144,151 @@ type NetworkOptions struct {
 	ChangelogLimit int
 }
 
+// TransportGroup selects how the network's peers are interconnected.
+type TransportGroup struct {
+	// TCP runs each peer on its own socket listener speaking the versioned
+	// binary wire protocol (internal/wire), exactly as multi-process
+	// deployments do, instead of the in-process bus. The network maintains
+	// the dial directory as peers join.
+	TCP bool
+	// ListenAddr is the listen address given to every peer's listener in
+	// TCP mode (default "127.0.0.1:0"; keep port 0 with more than one
+	// peer per host).
+	ListenAddr string
+}
+
+// ReadGroup groups the read-path knobs of NetworkOptions.
+type ReadGroup struct {
+	// EvalParallelism caps the worker fan-out of the hash-join probe phase
+	// on large relations (see cq.EvalOptions.Parallelism); 0 or 1 keeps
+	// evaluation serial.
+	EvalParallelism int
+	// QueryCacheSize bounds each peer's query-result cache (0 selects the
+	// default bound). Cached answers are invalidated by the storage commit
+	// LSN and the rule-set version, so they are always current.
+	QueryCacheSize int
+	// DisableReadPath forces every read through the peer actor loop, as
+	// the seed implementation did (the B3 baseline). By default peers with
+	// snapshot-capable storage answer LocalQuery / local-only queries /
+	// Count / Tuples from pinned snapshots, concurrently with running
+	// update sessions.
+	DisableReadPath bool
+}
+
+// HTTPGroup enables the per-peer HTTP/JSON serving layer.
+type HTTPGroup struct {
+	// Enable starts one HTTP gateway per peer as it joins, serving the
+	// /v1/* endpoints (see internal/api/http). PeerHTTPAddr reports the
+	// bound addresses.
+	Enable bool
+	// Addr is the listen address for each peer's gateway (default
+	// "127.0.0.1:0"; keep port 0 with more than one peer per host).
+	Addr string
+}
+
+// NetworkOptions tune every peer of the network: algorithm/ablation toggles
+// at the top level, engine knobs in the Storage, Transport, Read and HTTP
+// groups. The flat fields below the groups are the pre-group spellings,
+// kept working for existing callers; a set flat field applies unless its
+// group field is also set.
+type NetworkOptions struct {
+	// MaxDepth bounds the chase's null derivation depth (0 = default,
+	// negative = unlimited); see core.Config.
+	MaxDepth int
+	// NestedLoopJoin switches the CQ evaluator to nested loops (A3).
+	NestedLoopJoin bool
+	// DisableDedup turns off the per-link sent caches (A2).
+	DisableDedup bool
+	// Naive disables semi-naive delta evaluation (A1).
+	Naive bool
+	// FullExport disables cross-session incremental export: every update
+	// session re-evaluates and re-ships every link in full, as the paper's
+	// algorithm does (the B2 baseline). By default peers keep per-rule LSN
+	// watermarks and shipped-binding fingerprints, so repeated updates
+	// ship only what changed since the previous session.
+	FullExport bool
+
+	// Storage holds the storage-engine knobs.
+	Storage StorageGroup
+	// Transport selects in-process bus (default) or TCP interconnect.
+	Transport TransportGroup
+	// Read holds the read-path knobs.
+	Read ReadGroup
+	// HTTP enables the per-peer HTTP/JSON gateways.
+	HTTP HTTPGroup
+
+	// EvalParallelism is the flat spelling of Read.EvalParallelism.
+	//
+	// Deprecated: set Read.EvalParallelism.
+	EvalParallelism int
+	// QueryCacheSize is the flat spelling of Read.QueryCacheSize.
+	//
+	// Deprecated: set Read.QueryCacheSize.
+	QueryCacheSize int
+	// DisableReadPath is the flat spelling of Read.DisableReadPath.
+	//
+	// Deprecated: set Read.DisableReadPath.
+	DisableReadPath bool
+	// Shards is the flat spelling of Storage.Shards.
+	//
+	// Deprecated: set Storage.Shards.
+	Shards int
+	// SyncOnCommit is the flat spelling of Storage.SyncOnCommit.
+	//
+	// Deprecated: set Storage.SyncOnCommit.
+	SyncOnCommit bool
+	// DisableGroupCommit is the flat spelling of Storage.DisableGroupCommit.
+	//
+	// Deprecated: set Storage.DisableGroupCommit.
+	DisableGroupCommit bool
+	// SegmentBytes is the flat spelling of Storage.SegmentBytes.
+	//
+	// Deprecated: set Storage.SegmentBytes.
+	SegmentBytes int64
+	// RetainSegments is the flat spelling of Storage.RetainSegments.
+	//
+	// Deprecated: set Storage.RetainSegments.
+	RetainSegments int
+	// ChangelogLimit is the flat spelling of Storage.ChangelogLimit.
+	//
+	// Deprecated: set Storage.ChangelogLimit.
+	ChangelogLimit int
+}
+
+// resolved folds the deprecated flat fields into their groups: a group
+// field that is set wins; an unset group field takes the flat value
+// (booleans are ORed, since set == true).
+func (o NetworkOptions) resolved() NetworkOptions {
+	if o.Storage.Shards == 0 {
+		o.Storage.Shards = o.Shards
+	}
+	o.Storage.SyncOnCommit = o.Storage.SyncOnCommit || o.SyncOnCommit
+	o.Storage.DisableGroupCommit = o.Storage.DisableGroupCommit || o.DisableGroupCommit
+	if o.Storage.SegmentBytes == 0 {
+		o.Storage.SegmentBytes = o.SegmentBytes
+	}
+	if o.Storage.RetainSegments == 0 {
+		o.Storage.RetainSegments = o.RetainSegments
+	}
+	if o.Storage.ChangelogLimit == 0 {
+		o.Storage.ChangelogLimit = o.ChangelogLimit
+	}
+	if o.Read.EvalParallelism == 0 {
+		o.Read.EvalParallelism = o.EvalParallelism
+	}
+	if o.Read.QueryCacheSize == 0 {
+		o.Read.QueryCacheSize = o.QueryCacheSize
+	}
+	o.Read.DisableReadPath = o.Read.DisableReadPath || o.DisableReadPath
+	if o.Transport.ListenAddr == "" {
+		o.Transport.ListenAddr = "127.0.0.1:0"
+	}
+	if o.HTTP.Addr == "" {
+		o.HTTP.Addr = "127.0.0.1:0"
+	}
+	return o
+}
+
 // NewNetwork creates an empty in-process network.
 func NewNetwork() *Network { return NewNetworkWithOptions(NetworkOptions{}) }
 
@@ -177,7 +298,9 @@ func NewNetworkWithOptions(opts NetworkOptions) *Network {
 		bus:   transport.NewBus(),
 		peers: make(map[string]*peer.Peer),
 		dbs:   make(map[string]*storage.DB),
-		opts:  opts,
+		addrs: make(map[string]string),
+		https: make(map[string]*httpapi.Server),
+		opts:  opts.resolved(),
 	}
 }
 
@@ -186,7 +309,7 @@ func (nw *Network) peerOptions(name string, w core.Wrapper) peer.Options {
 	if nw.opts.NestedLoopJoin {
 		eval.Strategy = cq.NestedLoop
 	}
-	eval.Parallelism = nw.opts.EvalParallelism
+	eval.Parallelism = nw.opts.Read.EvalParallelism
 	return peer.Options{
 		Name:            name,
 		Wrapper:         w,
@@ -195,8 +318,8 @@ func (nw *Network) peerOptions(name string, w core.Wrapper) peer.Options {
 		DisableDedup:    nw.opts.DisableDedup,
 		Naive:           nw.opts.Naive,
 		FullExport:      nw.opts.FullExport,
-		QueryCacheSize:  nw.opts.QueryCacheSize,
-		DisableReadPath: nw.opts.DisableReadPath,
+		QueryCacheSize:  nw.opts.Read.QueryCacheSize,
+		DisableReadPath: nw.opts.Read.DisableReadPath,
 	}
 }
 
@@ -217,12 +340,12 @@ func (nw *Network) AddDurablePeer(name, dir string, relations ...string) (*Peer,
 func (nw *Network) storageOptions(dir string) storage.Options {
 	return storage.Options{
 		Dir:                dir,
-		Shards:             nw.opts.Shards,
-		SyncOnCommit:       nw.opts.SyncOnCommit,
-		DisableGroupCommit: nw.opts.DisableGroupCommit,
-		SegmentBytes:       nw.opts.SegmentBytes,
-		RetainSegments:     nw.opts.RetainSegments,
-		ChangelogLimit:     nw.opts.ChangelogLimit,
+		Shards:             nw.opts.Storage.Shards,
+		SyncOnCommit:       nw.opts.Storage.SyncOnCommit,
+		DisableGroupCommit: nw.opts.Storage.DisableGroupCommit,
+		SegmentBytes:       nw.opts.Storage.SegmentBytes,
+		RetainSegments:     nw.opts.Storage.RetainSegments,
+		ChangelogLimit:     nw.opts.Storage.ChangelogLimit,
 	}
 }
 
@@ -279,19 +402,68 @@ func (nw *Network) join(name string, w core.Wrapper) (*Peer, error) {
 	if _, dup := nw.peers[name]; dup {
 		return nil, fmt.Errorf("codb: peer %q already exists", name)
 	}
-	tr, err := nw.bus.Join(name)
-	if err != nil {
-		return nil, err
-	}
 	opts := nw.peerOptions(name, w)
-	opts.Transport = tr
+	var addr string
+	if nw.opts.Transport.TCP {
+		tcp, err := transport.NewTCP(name, nw.opts.Transport.ListenAddr)
+		if err != nil {
+			return nil, err
+		}
+		addr = tcp.Addr()
+		// Hand the joiner the dial addresses of everyone already here;
+		// they learn the joiner's below.
+		dir := make(map[string]string, len(nw.addrs))
+		for node, a := range nw.addrs {
+			dir[node] = a
+		}
+		opts.Transport = tcp
+		opts.Directory = dir
+	} else {
+		tr, err := nw.bus.Join(name)
+		if err != nil {
+			return nil, err
+		}
+		opts.Transport = tr
+	}
 	p, err := peer.New(opts)
 	if err != nil {
-		tr.Close()
+		opts.Transport.Close()
 		return nil, err
+	}
+	if nw.opts.HTTP.Enable {
+		srv, err := httpapi.New(httpapi.Options{
+			Addr:    nw.opts.HTTP.Addr,
+			Peer:    p,
+			Resolve: nw.resolvePeer,
+		})
+		if err != nil {
+			p.Stop()
+			return nil, err
+		}
+		nw.https[name] = srv
+	}
+	if nw.opts.Transport.TCP {
+		nw.addrs[name] = addr
+		update := map[string]string{name: addr}
+		for _, other := range nw.peers {
+			other.SetDirectory(update)
+		}
+		if nw.super != nil {
+			nw.super.Peer().SetDirectory(update)
+		}
 	}
 	nw.peers[name] = p
 	return p, nil
+}
+
+// resolvePeer is the gateways' node resolver.
+func (nw *Network) resolvePeer(node string) (*peer.Peer, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if p := nw.peers[node]; p != nil {
+		return p, nil
+	}
+	return nil, unknownPeer(node)
 }
 
 // MustAddPeer is AddPeer panicking on error.
@@ -335,11 +507,17 @@ func (nw *Network) RemovePeer(name string) {
 	delete(nw.peers, name)
 	db := nw.dbs[name]
 	delete(nw.dbs, name)
+	srv := nw.https[name]
+	delete(nw.https, name)
+	delete(nw.addrs, name)
 	rest := make([]*peer.Peer, 0, len(nw.peers))
 	for _, other := range nw.peers {
 		rest = append(rest, other)
 	}
 	nw.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
 	if p != nil {
 		p.Stop()
 	}
@@ -379,7 +557,7 @@ func (nw *Network) MustAddRule(id, text string) {
 func (nw *Network) Insert(node, rel string, rows ...Tuple) error {
 	p := nw.Peer(node)
 	if p == nil {
-		return fmt.Errorf("codb: unknown peer %q", node)
+		return unknownPeer(node)
 	}
 	return p.Insert(rel, rows...)
 }
@@ -391,7 +569,7 @@ func (nw *Network) Insert(node, rel string, rows ...Tuple) error {
 func (nw *Network) Update(ctx context.Context, origin string) (Report, error) {
 	p := nw.Peer(origin)
 	if p == nil {
-		return Report{}, fmt.Errorf("codb: unknown peer %q", origin)
+		return Report{}, unknownPeer(origin)
 	}
 	return p.RunUpdate(ctx)
 }
@@ -402,7 +580,7 @@ func (nw *Network) Update(ctx context.Context, origin string) (Report, error) {
 func (nw *Network) ScopedUpdate(ctx context.Context, origin string, rels ...string) (Report, error) {
 	p := nw.Peer(origin)
 	if p == nil {
-		return Report{}, fmt.Errorf("codb: unknown peer %q", origin)
+		return Report{}, unknownPeer(origin)
 	}
 	return p.RunScopedUpdate(ctx, rels)
 }
@@ -413,7 +591,7 @@ func (nw *Network) ScopedUpdate(ctx context.Context, origin string, rels ...stri
 func (nw *Network) Query(ctx context.Context, node, query string, mode QueryMode) ([]Tuple, error) {
 	p := nw.Peer(node)
 	if p == nil {
-		return nil, fmt.Errorf("codb: unknown peer %q", node)
+		return nil, unknownPeer(node)
 	}
 	q, err := cq.ParseQuery(query)
 	if err != nil {
@@ -428,7 +606,7 @@ func (nw *Network) Query(ctx context.Context, node, query string, mode QueryMode
 func (nw *Network) QueryStream(node, query string, mode QueryMode) (<-chan Tuple, <-chan Report, error) {
 	p := nw.Peer(node)
 	if p == nil {
-		return nil, nil, fmt.Errorf("codb: unknown peer %q", node)
+		return nil, nil, unknownPeer(node)
 	}
 	q, err := cq.ParseQuery(query)
 	if err != nil {
@@ -459,11 +637,52 @@ func (nw *Network) PeerStorageStats(node string) (stats StorageStats, ok bool) {
 	return p.StorageStats()
 }
 
+// PeerWireStats returns a node's TCP wire counters — envelope frames and
+// bytes written, headers included; ok is false for unknown peers and
+// networks on the in-process bus (no wire).
+func (nw *Network) PeerWireStats(node string) (frames, bytes uint64, ok bool) {
+	p := nw.Peer(node)
+	if p == nil {
+		return 0, 0, false
+	}
+	return p.WireStats()
+}
+
+// StartGateway starts one HTTP gateway serving every node of the network
+// — requests select their node with the ?node= query parameter — and
+// returns the bound address. Independent of the per-peer gateways of
+// HTTP.Enable; at most one per network.
+func (nw *Network) StartGateway(addr string) (string, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.gw != nil {
+		return "", fmt.Errorf("codb: network gateway already running on %s", nw.gw.Addr())
+	}
+	srv, err := httpapi.New(httpapi.Options{Addr: addr, Resolve: nw.resolvePeer})
+	if err != nil {
+		return "", err
+	}
+	nw.gw = srv
+	return srv.Addr(), nil
+}
+
+// PeerHTTPAddr returns the listen address of a node's HTTP gateway; ok is
+// false for unknown peers and networks without HTTP.Enable.
+func (nw *Network) PeerHTTPAddr(node string) (addr string, ok bool) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	srv := nw.https[node]
+	if srv == nil {
+		return "", false
+	}
+	return srv.Addr(), true
+}
+
 // LocalQuery evaluates a query against a node's local database only.
 func (nw *Network) LocalQuery(node, query string, mode QueryMode) ([]Tuple, error) {
 	p := nw.Peer(node)
 	if p == nil {
-		return nil, fmt.Errorf("codb: unknown peer %q", node)
+		return nil, unknownPeer(node)
 	}
 	q, err := cq.ParseQuery(query)
 	if err != nil {
@@ -479,18 +698,37 @@ func (nw *Network) SuperPeer() (*SuperPeer, error) {
 	if nw.super != nil {
 		return nw.super, nil
 	}
-	tr, err := nw.bus.Join("super")
-	if err != nil {
-		return nil, err
+	var tr transport.Transport
+	var spOpts superpeer.Options
+	if nw.opts.Transport.TCP {
+		tcp, err := transport.NewTCP("super", nw.opts.Transport.ListenAddr)
+		if err != nil {
+			return nil, err
+		}
+		tr = tcp
+		spOpts = superpeer.Options{Transport: tcp, Addr: tcp.Addr()}
+		nw.addrs["super"] = tcp.Addr()
+		update := map[string]string{"super": tcp.Addr()}
+		for _, p := range nw.peers {
+			p.SetDirectory(update)
+		}
+	} else {
+		bt, err := nw.bus.Join("super")
+		if err != nil {
+			return nil, err
+		}
+		tr = bt
+		spOpts = superpeer.Options{Transport: bt}
 	}
-	sp, err := superpeer.New(superpeer.Options{Transport: tr})
+	sp, err := superpeer.New(spOpts)
 	if err != nil {
 		tr.Close()
+		delete(nw.addrs, "super")
 		return nil, err
 	}
 	dir := make(map[string]string, len(nw.peers))
 	for name := range nw.peers {
-		dir[name] = ""
+		dir[name] = nw.addrs[name]
 	}
 	sp.Peer().SetDirectory(dir)
 	nw.super = sp
@@ -505,9 +743,20 @@ func (nw *Network) Close() {
 	nw.peers = make(map[string]*peer.Peer)
 	dbs := nw.dbs
 	nw.dbs = make(map[string]*storage.DB)
+	https := nw.https
+	nw.https = make(map[string]*httpapi.Server)
+	nw.addrs = make(map[string]string)
+	gw := nw.gw
+	nw.gw = nil
 	super := nw.super
 	nw.super = nil
 	nw.mu.Unlock()
+	if gw != nil {
+		gw.Close()
+	}
+	for _, srv := range https {
+		srv.Close()
+	}
 	for _, p := range peers {
 		p.Stop()
 	}

@@ -52,6 +52,11 @@ type diffScenario struct {
 	// hot path is forced through changelog spill and segment-served
 	// Changes; the scenario then asserts zero history-lost fallbacks.
 	spill bool
+	// tcp runs the network under test over real sockets speaking the
+	// versioned binary wire protocol, while the reference stays on the
+	// in-process bus — so byte-identity also proves the codec loses
+	// nothing in flight.
+	tcp bool
 }
 
 // diffShapes mixes acyclic (chain, tree, star, grid) and cyclic (ring,
@@ -75,6 +80,7 @@ func diffScenarios(n int) []diffScenario {
 			burst:  4 + s%5,
 			shards: diffShards[s%len(diffShards)],
 			spill:  s%3 == 1, // every third scenario runs the spill hot path
+			tcp:    s%4 == 2, // every fourth runs over real TCP sockets
 		})
 	}
 	return out
@@ -240,7 +246,7 @@ func TestDifferentialIncrementalVsFullExport(t *testing.T) {
 	const scenarios = 26 // ≥ 25 randomized topologies
 	for _, sc := range diffScenarios(scenarios) {
 		sc := sc
-		t.Run(fmt.Sprintf("%s/n=%d/seed=%d/shards=%d", sc.shape, sc.nodes, sc.seed, sc.shards), func(t *testing.T) {
+		t.Run(fmt.Sprintf("%s/n=%d/seed=%d/shards=%d/tcp=%v", sc.shape, sc.nodes, sc.seed, sc.shards, sc.tcp), func(t *testing.T) {
 			t.Parallel()
 			cfg, err := topo.Build(sc.shape, sc.nodes, topo.Options{Seed: sc.seed})
 			if err != nil {
@@ -248,11 +254,14 @@ func TestDifferentialIncrementalVsFullExport(t *testing.T) {
 			}
 			// The network under test runs the scenario's shard count (and
 			// shard-parallel evaluation; spill scenarios additionally run
-			// durable with tiny rings + segments); the FullExport reference
-			// always runs unsharded in memory, so the byte-identity check
-			// also covers sharded-vs-unsharded and spilled-vs-resident
-			// storage.
-			incr := networkFromTopo(t, cfg, NetworkOptions{EvalParallelism: 2}, sc.storeOptions(t))
+			// durable with tiny rings + segments; tcp scenarios run over
+			// real sockets with the binary wire codec); the FullExport
+			// reference always runs unsharded in memory on the bus, so the
+			// byte-identity check also covers sharded-vs-unsharded,
+			// spilled-vs-resident storage, and wire-vs-bus transport.
+			incr := networkFromTopo(t, cfg,
+				NetworkOptions{EvalParallelism: 2, Transport: TransportGroup{TCP: sc.tcp}},
+				sc.storeOptions(t))
 			defer incr.Close()
 			full := networkFromTopo(t, cfg, NetworkOptions{FullExport: true}, storage.Options{Shards: 1})
 			defer full.Close()

@@ -1,0 +1,36 @@
+package codb
+
+import (
+	"errors"
+	"fmt"
+
+	httpapi "codb/internal/api/http"
+	"codb/internal/cq"
+	"codb/internal/peer"
+)
+
+// Sentinel errors of the public API, for errors.Is. The HTTP gateway maps
+// them to status codes: ErrBadQuery 400, ErrUnknownPeer 404, ErrPeerClosed
+// 503.
+var (
+	// ErrUnknownPeer matches errors returned when an operation names a
+	// node the network does not run.
+	ErrUnknownPeer = errors.New("codb: unknown peer")
+	// ErrBadQuery matches parse and validation failures of queries, rules
+	// and malformed API requests.
+	ErrBadQuery = cq.ErrBadQuery
+	// ErrPeerClosed matches operations posted to a peer that has stopped.
+	ErrPeerClosed = peer.ErrStopped
+)
+
+// unknownPeerError carries the node name and matches both the public
+// sentinel and the gateway's, so HTTP resolvers built on Network map to
+// 404 without the gateway importing this package.
+type unknownPeerError struct{ node string }
+
+func (e *unknownPeerError) Error() string { return fmt.Sprintf("codb: unknown peer %q", e.node) }
+func (e *unknownPeerError) Is(target error) bool {
+	return target == ErrUnknownPeer || target == httpapi.ErrUnknownNode
+}
+
+func unknownPeer(node string) error { return &unknownPeerError{node: node} }

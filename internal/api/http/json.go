@@ -1,0 +1,124 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"codb/internal/cq"
+	"codb/internal/relation"
+)
+
+// relationTuple is one answer row on the wire: a JSON array of attribute
+// values. Ints, floats, strings and bools map to their native JSON types;
+// a marked null becomes {"null": "<label>"} so clients can distinguish two
+// different unknowns from each other and from a plain string.
+type relationTuple []any
+
+func valueToJSON(v relation.Value) any {
+	switch v.Kind {
+	case relation.KindNull:
+		return map[string]string{"null": v.Str}
+	case relation.KindBool:
+		return v.Bool
+	case relation.KindInt:
+		return v.Int
+	case relation.KindFloat:
+		return v.Float
+	case relation.KindString:
+		return v.Str
+	default:
+		return v.String()
+	}
+}
+
+func tupleToJSON(t relation.Tuple) relationTuple {
+	out := make(relationTuple, len(t))
+	for i, v := range t {
+		out[i] = valueToJSON(v)
+	}
+	return out
+}
+
+func tuplesToJSON(ts []relation.Tuple) []relationTuple {
+	out := make([]relationTuple, len(ts))
+	for i, t := range ts {
+		out[i] = tupleToJSON(t)
+	}
+	return out
+}
+
+// valueFromJSON coerces one JSON-decoded value (numbers as json.Number,
+// courtesy of decodeBody) to the declared attribute type. A
+// {"null": "label"} object is accepted for any type.
+func valueFromJSON(raw any, typ relation.Type) (relation.Value, error) {
+	if m, ok := raw.(map[string]any); ok {
+		label, ok := m["null"].(string)
+		if !ok || len(m) != 1 {
+			return relation.Value{}, fmt.Errorf("object value must be {\"null\": \"label\"}, got %v", raw)
+		}
+		return relation.Null(label), nil
+	}
+	if raw == nil {
+		return relation.Null(""), nil
+	}
+	switch typ {
+	case relation.TInt:
+		n, ok := raw.(json.Number)
+		if !ok {
+			return relation.Value{}, fmt.Errorf("want int, got %T", raw)
+		}
+		i, err := n.Int64()
+		if err != nil {
+			return relation.Value{}, fmt.Errorf("want int, got %v", n)
+		}
+		return relation.Int64(i), nil
+	case relation.TFloat:
+		n, ok := raw.(json.Number)
+		if !ok {
+			return relation.Value{}, fmt.Errorf("want float, got %T", raw)
+		}
+		f, err := n.Float64()
+		if err != nil || math.IsInf(f, 0) || math.IsNaN(f) {
+			return relation.Value{}, fmt.Errorf("want float, got %v", n)
+		}
+		return relation.Float(f), nil
+	case relation.TString:
+		s, ok := raw.(string)
+		if !ok {
+			return relation.Value{}, fmt.Errorf("want string, got %T", raw)
+		}
+		return relation.Str(s), nil
+	case relation.TBool:
+		b, ok := raw.(bool)
+		if !ok {
+			return relation.Value{}, fmt.Errorf("want bool, got %T", raw)
+		}
+		return relation.Bool(b), nil
+	default:
+		return relation.Value{}, fmt.Errorf("unsupported attribute type %v", typ)
+	}
+}
+
+// tuplesFromJSON coerces request rows to typed tuples against a relation's
+// declared schema. All errors are client errors (400).
+func tuplesFromJSON(def *relation.RelDef, rows [][]any) ([]relation.Tuple, error) {
+	tuples := make([]relation.Tuple, len(rows))
+	for i, row := range rows {
+		if len(row) != len(def.Attrs) {
+			return nil, fmt.Errorf("%w: relation %s row %d: got %d values, want %d",
+				cq.ErrBadQuery, def.Name, i, len(row), len(def.Attrs))
+		}
+		t := make(relation.Tuple, len(row))
+		for j, raw := range row {
+			v, err := valueFromJSON(raw, def.Attrs[j].Type)
+			if err != nil {
+				return nil, fmt.Errorf("%w: relation %s row %d attr %s: %v",
+					cq.ErrBadQuery, def.Name, i, def.Attrs[j].Name, err)
+			}
+			t[j] = v
+		}
+		tuples[i] = t
+	}
+	return tuples, nil
+}

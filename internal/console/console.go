@@ -53,7 +53,7 @@ func (c *Console) Execute(line string) bool {
 	case "help":
 		c.printf("query|certain|local <node> <query>; update <node>; scoped <node> <rel,...>;\n")
 		c.printf("insert <node> <rel> v…; show <node> <rel>; peers <node>; report <node>;\n")
-		c.printf("cache <node>; storage <node>; stats; reload <file>; topology; quit\n")
+		c.printf("cache <node>; storage <node>; wire <node>; stats; reload <file>; topology; quit\n")
 	case "query", "certain", "local":
 		c.runQuery(cmd, rest)
 	case "update":
@@ -72,6 +72,8 @@ func (c *Console) Execute(line string) bool {
 		c.runCache(fields[1:])
 	case "storage":
 		c.runStorage(fields[1:])
+	case "wire":
+		c.runWire(fields[1:])
 	case "stats":
 		c.runStats()
 	case "reload":
@@ -276,6 +278,25 @@ func (c *Console) runCache(args []string) {
 	}
 	c.printf("query cache: %d entries, %d hits, %d misses (%d stale)\n",
 		st.Entries, st.Hits, st.Misses, st.Stale)
+}
+
+func (c *Console) runWire(args []string) {
+	if len(args) != 1 {
+		c.printf("usage: wire <node>\n")
+		return
+	}
+	frames, bytes, ok := c.nw.PeerWireStats(args[0])
+	if !ok {
+		c.printf("no wire on %s (unknown peer, or in-process bus)\n", args[0])
+		return
+	}
+	c.printf("wire: %d frames, %d bytes sent (headers included)\n", frames, bytes)
+	if p := c.nw.Peer(args[0]); p != nil {
+		if ob, obOK := p.OutboxStats(); obOK && ob.Frames > 0 {
+			c.printf("outbox: %d payloads in %d frames (%d batches), %.2f payloads/frame\n",
+				ob.Payloads, ob.Frames, ob.Batches, float64(ob.Payloads)/float64(ob.Frames))
+		}
+	}
 }
 
 func (c *Console) runStorage(args []string) {

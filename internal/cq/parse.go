@@ -1,6 +1,7 @@
 package cq
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -366,8 +367,29 @@ func (p *parser) bodyItems() (atoms []Atom, nodes []string, cmps []Comparison, e
 	}
 }
 
+// ErrBadQuery is the sentinel every ParseQuery/ParseRule failure matches
+// (errors.Is): callers — the HTTP gateway in particular — can classify a
+// failure as "the input was malformed" without string inspection, while the
+// error message keeps the parser's position detail.
+var ErrBadQuery = errors.New("cq: bad query")
+
+// badQuery marks err as matching ErrBadQuery without changing its message.
+type badQuery struct{ err error }
+
+func (e *badQuery) Error() string        { return e.err.Error() }
+func (e *badQuery) Unwrap() error        { return e.err }
+func (e *badQuery) Is(target error) bool { return target == ErrBadQuery }
+
 // ParseQuery parses "head :- body" with unqualified relation names.
 func ParseQuery(src string) (*Query, error) {
+	q, err := parseQuery(src)
+	if err != nil {
+		return nil, &badQuery{err}
+	}
+	return q, nil
+}
+
+func parseQuery(src string) (*Query, error) {
 	p, err := newParser(src)
 	if err != nil {
 		return nil, err
@@ -415,6 +437,14 @@ func MustParseQuery(src string) *Query {
 // qualified with the same target node, every body atom with the same source
 // node.
 func ParseRule(id, src string) (*Rule, error) {
+	r, err := parseRule(id, src)
+	if err != nil {
+		return nil, &badQuery{err}
+	}
+	return r, nil
+}
+
+func parseRule(id, src string) (*Rule, error) {
 	p, err := newParser(src)
 	if err != nil {
 		return nil, err

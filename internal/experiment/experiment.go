@@ -9,6 +9,7 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"codb/internal/config"
@@ -423,6 +424,21 @@ func StatesEqual(a, b map[string][]relation.Tuple) bool {
 		}
 	}
 	return true
+}
+
+// Percentile returns the pth percentile of the latency sample (nearest-
+// rank on a copy; the input is left unsorted). Zero for an empty sample.
+func Percentile(lats []time.Duration, p int) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // Header returns the experiment table header.

@@ -1,10 +1,6 @@
 package msg
 
-import (
-	"bytes"
-	"encoding/gob"
-	"fmt"
-)
+import "fmt"
 
 // Envelope is what a transport moves: a payload tagged with the sending
 // node. (The receiving node is implicit in the pipe.)
@@ -13,34 +9,27 @@ type Envelope struct {
 	Payload Payload
 }
 
-func init() {
-	gob.Register(&SessionRequest{})
-	gob.Register(&SessionData{})
-	gob.Register(&SessionAck{})
-	gob.Register(&LinkClose{})
-	gob.Register(&SessionDone{})
-	gob.Register(&RulesBroadcast{})
-	gob.Register(&StatsRequest{})
-	gob.Register(&StatsReport{})
-	gob.Register(&StartUpdateCmd{})
-	gob.Register(&UpdateFinished{})
-	gob.Register(&Discovery{})
-	gob.Register(&Batch{})
-}
-
-// Encode serialises an envelope for the wire.
+// Encode serialises an envelope as a self-describing byte string: the
+// payload tag followed by the envelope body (see AppendEnvelope). The TCP
+// transport does not use this form — it carries the tag in the frame header
+// — but tools that persist or compare envelopes outside a connection do.
 func Encode(e Envelope) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&e); err != nil {
+	body, tag, err := AppendEnvelope(nil, e)
+	if err != nil {
 		return nil, fmt.Errorf("msg: encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, 0, 1+len(body))
+	out = append(out, byte(tag))
+	return append(out, body...), nil
 }
 
-// Decode deserialises an envelope from the wire.
+// Decode deserialises an envelope produced by Encode.
 func Decode(b []byte) (Envelope, error) {
-	var e Envelope
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&e); err != nil {
+	if len(b) == 0 {
+		return Envelope{}, fmt.Errorf("msg: decode: empty input")
+	}
+	e, err := DecodeEnvelope(Tag(b[0]), b[1:])
+	if err != nil {
 		return Envelope{}, fmt.Errorf("msg: decode: %w", err)
 	}
 	return e, nil

@@ -4,10 +4,11 @@
 // computation, link-close notifications, coordination-rule broadcasts,
 // statistics collection, and topology discovery gossip.
 //
-// Payloads are plain structs; the TCP transport serialises them with
-// encoding/gob, the in-process bus passes them by value. Size() gives a
-// transport-independent measure of a payload's data volume, used by the
-// statistics module (paper §4: "the volume of the data in each message").
+// Payloads are plain structs; the TCP transport serialises them with the
+// binary codec in this package (see binary.go and internal/wire), the
+// in-process bus passes them by value. Size() gives a transport-independent
+// measure of a payload's data volume, used by the statistics module (paper
+// §4: "the volume of the data in each message").
 //
 // # Batching
 //

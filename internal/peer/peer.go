@@ -22,6 +22,7 @@ package peer
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"time"
@@ -34,6 +35,10 @@ import (
 	"codb/internal/storage"
 	"codb/internal/transport"
 )
+
+// ErrStopped is the sentinel wrapped by every method of a stopped peer
+// (errors.Is), surfaced on the public codb API as ErrPeerClosed.
+var ErrStopped = errors.New("peer stopped")
 
 // Options configures a peer.
 type Options struct {
@@ -257,13 +262,13 @@ func (p *Peer) do(fn func()) error {
 	select {
 	case p.inbox <- cmd:
 	case <-p.stopped:
-		return fmt.Errorf("peer %s: stopped", p.name)
+		return fmt.Errorf("peer %s: %w", p.name, ErrStopped)
 	}
 	select {
 	case <-cmd.done:
 		return nil
 	case <-p.stopped:
-		return fmt.Errorf("peer %s: stopped", p.name)
+		return fmt.Errorf("peer %s: %w", p.name, ErrStopped)
 	}
 }
 
@@ -917,6 +922,33 @@ func (p *Peer) ReadStats() (stats core.QueryCacheStats, ok bool) {
 		return core.QueryCacheStats{}, false
 	}
 	return p.readPath.stats(), true
+}
+
+// Running reports whether the peer's actor loop is still serving — the
+// readiness signal of the HTTP gateway's /readyz.
+func (p *Peer) Running() bool {
+	select {
+	case <-p.stopped:
+		return false
+	default:
+		return true
+	}
+}
+
+// WireStats returns the TCP transport's cumulative frame and byte counters
+// (headers included, handshakes excluded); ok is false for peers not on a
+// TCP transport. Safe off-loop: the transport reference is immutable and
+// the counters are atomics.
+func (p *Peer) WireStats() (frames, bytes uint64, ok bool) {
+	tr := p.tr
+	if ob, isOutbox := tr.(*transport.Outbox); isOutbox {
+		tr = ob.Underlying()
+	}
+	t, isTCP := tr.(*transport.TCP)
+	if !isTCP {
+		return 0, 0, false
+	}
+	return t.FramesSent(), t.BytesSent(), true
 }
 
 // StorageStats returns the storage engine's per-shard report (row/byte

@@ -1,32 +1,29 @@
 package transport
 
 import (
-	"bytes"
-	"encoding/binary"
-	"encoding/gob"
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"codb/internal/msg"
+	"codb/internal/wire"
 )
 
 // TCP is the socket transport: one listener per node, one TCP connection
-// per pipe, length-prefixed gob frames. The handshake is a name frame in
-// each direction's first message slot, after which both sides exchange
-// envelopes. Either side may dial; a second connection to the same peer
-// replaces the first.
+// per pipe, versioned binary frames (see internal/wire). The handshake is a
+// Hello frame in each direction's first message slot — node name plus
+// supported protocol version range — after which both sides exchange
+// envelope frames at the negotiated version. Either side may dial; a second
+// connection to the same peer replaces the first.
 //
-// After the handshake each direction of a connection is one continuous gob
-// stream: the writer keeps a per-connection gob.Encoder (so type
-// definitions cross the wire once per connection, not once per message) and
-// the reader a matching gob.Decoder fed frame by frame. Frames therefore
-// are not individually decodable — an undecodable frame loses the stream
-// state and tears the pipe down (the peer layer re-establishes pipes and
-// compensates the termination detector for lost messages).
+// Frames are individually decodable: the header carries the payload type
+// tag and a body CRC, and bodies are the internal/msg binary encodings.
+// A frame with the wrong magic, version, type or CRC still tears the pipe
+// down — the peer layer re-establishes pipes and compensates the
+// termination detector for lost messages — but unlike the earlier gob
+// streams, no per-connection codec state exists to desynchronise.
 //
 // Batch envelopes (msg.Batch, produced by the Outbox) are unpacked here on
 // receive: the handler sees one envelope per packed payload, in order.
@@ -48,25 +45,30 @@ type TCP struct {
 	bytes  atomic.Uint64 // envelope frame bytes written, headers included
 }
 
-// tcpConn is one pipe's write side: the connection plus its persistent gob
-// stream. writeMu serialises writers (with the Outbox there is exactly one
-// writer goroutine per pipe, so it is uncontended).
+// tcpConn is one pipe's write side: the connection, the version negotiated
+// in its handshake, and a reusable frame buffer. writeMu serialises writers
+// (with the Outbox there is exactly one writer goroutine per pipe, so it is
+// uncontended).
 type tcpConn struct {
 	c       net.Conn
+	version byte
 	writeMu sync.Mutex
-	buf     bytes.Buffer
-	enc     *gob.Encoder
+	buf     []byte
 }
 
-func newTCPConn(c net.Conn) *tcpConn {
-	tc := &tcpConn{c: c}
-	tc.enc = gob.NewEncoder(&tc.buf)
-	return tc
-}
+// maxFrame bounds a frame body, mirroring the wire package's limit.
+const maxFrame = wire.MaxFrame
 
-// maxFrame bounds a frame to keep a malicious or corrupt peer from forcing
-// huge allocations.
-const maxFrame = 64 << 20
+// handshakeTimeout bounds the hello exchange on a new connection. Without
+// it a silent or stalled remote would park the dialer (and the peer actor
+// loop behind it) in a handshake read forever; established connections
+// carry no deadline — idle pipes are legal.
+const handshakeTimeout = 10 * time.Second
+
+// hello returns the handshake frame payload this node offers.
+func (t *TCP) hello() wire.Hello {
+	return wire.Hello{Name: t.self, Min: wire.MinVersion, Max: wire.MaxVersion}
+}
 
 // NewTCP starts a node listening on addr (use "127.0.0.1:0" for an
 // ephemeral port; Addr reports the bound address).
@@ -151,23 +153,32 @@ func (t *TCP) acceptLoop() {
 	}
 }
 
-// serve performs the inbound handshake and runs the read loop.
+// serve performs the inbound handshake — read the dialer's hello, negotiate
+// a version, answer with ours — and runs the read loop. A hello we cannot
+// parse or a version range we cannot meet closes the connection before a
+// pipe ever exists, so no pipe-down fires.
 func (t *TCP) serve(c net.Conn) {
-	name, err := readFrame(c)
+	c.SetDeadline(time.Now().Add(handshakeTimeout))
+	theirs, err := wire.ReadHello(c)
 	if err != nil {
 		c.Close()
 		return
 	}
-	peer := string(name)
-	if err := writeFrame(c, []byte(t.self)); err != nil {
+	version, err := wire.Negotiate(t.hello(), theirs)
+	if err != nil {
 		c.Close()
 		return
 	}
-	t.register(peer, c)
-	t.readLoop(peer, c)
+	if err := wire.WriteHello(c, t.hello()); err != nil {
+		c.Close()
+		return
+	}
+	c.SetDeadline(time.Time{})
+	t.register(theirs.Name, c, version)
+	t.readLoop(theirs.Name, c, version)
 }
 
-func (t *TCP) register(peer string, c net.Conn) {
+func (t *TCP) register(peer string, c net.Conn, version byte) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
@@ -177,28 +188,48 @@ func (t *TCP) register(peer string, c net.Conn) {
 	if old := t.conns[peer]; old != nil {
 		old.c.Close()
 	}
-	t.conns[peer] = newTCPConn(c)
+	t.conns[peer] = &tcpConn{c: c, version: version}
 }
 
-func (t *TCP) readLoop(peer string, c net.Conn) {
-	dec := gob.NewDecoder(&frameReader{r: c})
+// dropConn removes the pipe for peer if it is still connection c, closes c,
+// and reports the pipe down.
+func (t *TCP) dropConn(peer string, c net.Conn) {
+	t.mu.Lock()
+	toreDown := false
+	if cur := t.conns[peer]; cur != nil && cur.c == c {
+		delete(t.conns, peer)
+		toreDown = true
+	}
+	closed := t.closed
+	t.mu.Unlock()
+	c.Close()
+	if toreDown && !closed {
+		t.notifyPipeDown(peer)
+	}
+}
+
+func (t *TCP) readLoop(peer string, c net.Conn, version byte) {
 	for {
+		h, body, err := wire.ReadFrame(c)
+		if err == nil {
+			switch {
+			case h.Version != version:
+				err = fmt.Errorf("%w: frame version %d, negotiated %d",
+					wire.ErrBadVersion, h.Version, version)
+			case h.Type < 0x10:
+				// Wire-layer frame after the handshake (a stray hello, or a
+				// type from a future protocol revision).
+				err = fmt.Errorf("wire: unexpected frame type 0x%02x", h.Type)
+			}
+		}
 		var env msg.Envelope
-		if err := dec.Decode(&env); err != nil {
-			// I/O or stream corruption: either way the gob stream state is
-			// gone, so the pipe comes down with it.
-			t.mu.Lock()
-			toreDown := false
-			if cur := t.conns[peer]; cur != nil && cur.c == c {
-				delete(t.conns, peer)
-				toreDown = true
-			}
-			closed := t.closed
-			t.mu.Unlock()
-			c.Close()
-			if toreDown && !closed {
-				t.notifyPipeDown(peer)
-			}
+		if err == nil {
+			env, err = msg.DecodeEnvelope(msg.Tag(h.Type), body)
+		}
+		if err != nil {
+			// I/O failure or protocol violation: either way the pipe comes
+			// down, and the peer layer compensates for lost messages.
+			t.dropConn(peer, c)
 			return
 		}
 		if b, ok := env.Payload.(*msg.Batch); ok {
@@ -228,34 +259,42 @@ func (t *TCP) Connect(node, addr string) error {
 	if addr == "" {
 		return fmt.Errorf("transport: connect to %s: no address", node)
 	}
-	c, err := net.Dial("tcp", addr)
+	c, err := net.DialTimeout("tcp", addr, handshakeTimeout)
 	if err != nil {
 		return fmt.Errorf("transport: dial %s (%s): %w", node, addr, err)
 	}
-	if err := writeFrame(c, []byte(t.self)); err != nil {
+	c.SetDeadline(time.Now().Add(handshakeTimeout))
+	if err := wire.WriteHello(c, t.hello()); err != nil {
 		c.Close()
 		return fmt.Errorf("transport: handshake with %s: %w", node, err)
 	}
-	nameBytes, err := readFrame(c)
+	theirs, err := wire.ReadHello(c)
 	if err != nil {
 		c.Close()
 		return fmt.Errorf("transport: handshake with %s: %w", node, err)
 	}
-	if got := string(nameBytes); got != node {
+	version, err := wire.Negotiate(t.hello(), theirs)
+	if err != nil {
 		c.Close()
-		return fmt.Errorf("transport: dialed %s but peer identifies as %s", node, got)
+		return fmt.Errorf("transport: handshake with %s: %w", node, err)
 	}
-	t.register(node, c)
+	if theirs.Name != node {
+		c.Close()
+		return fmt.Errorf("transport: dialed %s but peer identifies as %s", node, theirs.Name)
+	}
+	c.SetDeadline(time.Time{})
+	t.register(node, c, version)
 	t.wg.Add(1)
 	go func() {
 		defer t.wg.Done()
-		t.readLoop(node, c)
+		t.readLoop(node, c, version)
 	}()
 	return nil
 }
 
-// Send implements Transport: the envelope is appended to the connection's
-// gob stream and written as one frame.
+// Send implements Transport: the envelope is encoded into one frame —
+// header at the negotiated version, payload tag, CRC — and written in a
+// single call.
 func (t *TCP) Send(to string, p msg.Payload) error {
 	t.mu.Lock()
 	if t.closed {
@@ -270,39 +309,29 @@ func (t *TCP) Send(to string, p msg.Payload) error {
 	env := msg.Envelope{From: t.self, Payload: p}
 	conn.writeMu.Lock()
 	defer conn.writeMu.Unlock()
-	// Reserve the length header in the encode buffer so header and body go
+	// Reserve the frame header in the reused buffer so header and body go
 	// out in one write.
-	conn.buf.Reset()
-	conn.buf.Write([]byte{0, 0, 0, 0})
-	err := conn.enc.Encode(&env)
+	if cap(conn.buf) < wire.HeaderLen {
+		conn.buf = make([]byte, wire.HeaderLen, 4096)
+	}
+	frame, tag, err := msg.AppendEnvelope(conn.buf[:wire.HeaderLen], env)
 	if err == nil {
-		frame := conn.buf.Bytes()
-		if len(frame)-4 > maxFrame {
-			err = errors.New("frame exceeds maxFrame")
+		if len(frame)-wire.HeaderLen > maxFrame {
+			err = wire.ErrFrameTooBig
 		} else {
-			binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+			conn.buf = frame
+			wire.PutHeader(frame[:wire.HeaderLen], conn.version, byte(tag), frame[wire.HeaderLen:])
 			_, err = conn.c.Write(frame)
 		}
 	}
 	if err != nil {
-		// Encode failures also kill the pipe: the encoder's stream state
-		// can no longer be trusted to match the remote decoder's.
-		t.mu.Lock()
-		toreDown := false
-		if cur := t.conns[to]; cur == conn {
-			delete(t.conns, to)
-			toreDown = true
-		}
-		closed := t.closed
-		t.mu.Unlock()
-		conn.c.Close()
-		if toreDown && !closed {
-			t.notifyPipeDown(to)
-		}
+		// Encode failures also kill the pipe: a half-written frame leaves
+		// the remote reader mid-stream.
+		t.dropConn(to, conn.c)
 		return fmt.Errorf("transport: send to %s: %w", to, err)
 	}
 	t.frames.Add(1)
-	t.bytes.Add(uint64(conn.buf.Len()))
+	t.bytes.Add(uint64(len(frame)))
 	return nil
 }
 
@@ -347,51 +376,4 @@ func (t *TCP) Close() error {
 	t.box.close()
 	t.wg.Wait()
 	return nil
-}
-
-func writeFrame(w io.Writer, b []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(b)
-	return err
-}
-
-func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, errors.New("transport: frame too large")
-	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(r, b); err != nil {
-		return nil, err
-	}
-	return b, nil
-}
-
-// frameReader adapts the length-prefixed frame stream to the io.Reader a
-// persistent gob.Decoder consumes: frames are concatenated in arrival
-// order, preserving the encoder's stream state across messages.
-type frameReader struct {
-	r         io.Reader
-	remaining []byte
-}
-
-func (fr *frameReader) Read(p []byte) (int, error) {
-	for len(fr.remaining) == 0 {
-		frame, err := readFrame(fr.r)
-		if err != nil {
-			return 0, err
-		}
-		fr.remaining = frame
-	}
-	n := copy(p, fr.remaining)
-	fr.remaining = fr.remaining[n:]
-	return n, nil
 }

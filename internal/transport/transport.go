@@ -4,8 +4,8 @@
 //
 // Two implementations share one interface: Bus (in-process, for simulating
 // whole networks inside one OS process, as tests and benchmarks do) and TCP
-// (length-prefixed gob frames over real sockets, for multi-process
-// deployments). Peer logic is identical over both.
+// (versioned binary frames over real sockets — see internal/wire — for
+// multi-process deployments). Peer logic is identical over both.
 //
 // Outbox wraps either implementation in an asynchronous per-destination
 // outbound pipeline: Send becomes an enqueue, one writer goroutine per pipe
