@@ -1,0 +1,247 @@
+// B7: write-path evaluation over pinned snapshots. Two programmes:
+//
+//  1. Update materialisation on a hand-built two-node network whose
+//     incoming links are dominated by evaluation cost: K constant-atom
+//     rules over one large relation (ScanEq access-path selection) plus a
+//     self-join (hash-join build fan-out). The serial live-wrapper
+//     baseline re-scans the relation once per constant rule per round
+//     under storage locks; the snapshot path builds one lazy secondary
+//     view, shared across every rule and round the shard stays unchanged,
+//     and probes it. Grid: shards × parallelism, FullExport so every
+//     round pays full evaluation. Headline: serial-live wall over
+//     snapshot wall at 8 shards / parallelism 4 (target ≥ 2x).
+//
+//  2. A storage-level ScanEq microbench: snapshot index-probe latency vs
+//     the filtered full scan it replaced, across relation sizes — the
+//     probe must scale sub-linearly.
+//
+// A third, smaller sweep drives the same toggle through
+// experiment.Params, covering the codb → peer → core threading.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"codb"
+	"codb/internal/experiment"
+	"codb/internal/relation"
+	"codb/internal/storage"
+	"codb/internal/topo"
+)
+
+// b7Rounds is the number of measured global updates per configuration;
+// FullExport makes every round re-evaluate every link in full.
+const b7Rounds = 3
+
+// b7Net builds the two-node network: every rule an incoming link of "src",
+// materialising into "dst".
+func b7Net(shards, par int, noSnapshots bool, bigN, pairN int) (*codb.Network, error) {
+	nw := codb.NewNetworkWithOptions(codb.NetworkOptions{
+		FullExport:              true,
+		DisableSessionSnapshots: noSnapshots,
+		Storage:                 codb.StorageGroup{Shards: shards},
+		Read:                    codb.ReadGroup{EvalParallelism: par},
+	})
+	rels := []string{"big(k int, v int, c int)", "pair(a int, b int)", "hit(k int, v int)", "joined(a int, c int)"}
+	for _, name := range []string{"src", "dst"} {
+		if _, err := nw.AddPeer(name, rels...); err != nil {
+			nw.Close()
+			return nil, err
+		}
+	}
+	const constRules = 24
+	for c := 0; c < constRules; c++ {
+		id := fmt.Sprintf("hit%d", c)
+		if err := nw.AddRule(id, fmt.Sprintf("dst.hit(k, v) <- src.big(k, v, %d)", c)); err != nil {
+			nw.Close()
+			return nil, err
+		}
+	}
+	if err := nw.AddRule("join", "dst.joined(a, c) <- src.pair(a, b), src.pair(b, c)"); err != nil {
+		nw.Close()
+		return nil, err
+	}
+
+	// 256 distinct selector values: each constant rule matches bigN/256
+	// tuples, so shipping stays cheap and the wall-clock difference is the
+	// access path — 24 full scans per round for the live wrapper vs 24
+	// probes of one shared secondary view for the snapshot.
+	bigRows := make([]codb.Tuple, bigN)
+	for i := range bigRows {
+		bigRows[i] = codb.Row(codb.Int(i), codb.Int(i%97), codb.Int(i%256))
+	}
+	if err := nw.Insert("src", "big", bigRows...); err != nil {
+		nw.Close()
+		return nil, err
+	}
+	pairRows := make([]codb.Tuple, pairN)
+	for i := range pairRows {
+		pairRows[i] = codb.Row(codb.Int(i*131%pairN), codb.Int((i*131+7)%pairN))
+	}
+	if err := nw.Insert("src", "pair", pairRows...); err != nil {
+		nw.Close()
+		return nil, err
+	}
+	return nw, nil
+}
+
+// b7Materialise times b7Rounds global updates from src and returns the
+// mean wall-clock per update.
+func b7Materialise(ctx context.Context, shards, par int, noSnapshots bool) time.Duration {
+	bigN := 16 * *tuplesFlag // 3000 default tuples → 48k-row big relation
+	pairN := *tuplesFlag
+	nw, err := b7Net(shards, par, noSnapshots, bigN, pairN)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "codb-bench:", err)
+		os.Exit(1)
+	}
+	defer nw.Close()
+	t0 := time.Now()
+	for r := 0; r < b7Rounds; r++ {
+		if _, err := nw.Update(ctx, "src"); err != nil {
+			fmt.Fprintln(os.Stderr, "codb-bench: B7 update:", err)
+			os.Exit(1)
+		}
+	}
+	return time.Since(t0) / b7Rounds
+}
+
+// snapshotEval is B7.
+func snapshotEval(ctx context.Context) {
+	fmt.Println("== B7: snapshot-backed session evaluation — shard-parallel builds + ScanEq pushdown")
+	var rows []benchRow
+
+	// (1) Update-materialisation grid.
+	fmt.Printf("%-36s %14s\n", "update materialisation", "wall/update")
+	serial := b7Materialise(ctx, 8, 1, true)
+	fmt.Printf("%-36s %14s\n", "live-serial (shards=8, baseline)", serial.Round(time.Microsecond))
+	rows = append(rows, benchRow{Name: "update/live-serial/shards=8", NsPerOp: float64(serial.Nanoseconds())})
+	var headline time.Duration
+	for _, shards := range []int{1, 8} {
+		for _, par := range []int{1, 4} {
+			wall := b7Materialise(ctx, shards, par, false)
+			name := fmt.Sprintf("update/snapshot/shards=%d/par=%d", shards, par)
+			fmt.Printf("%-36s %14s\n", fmt.Sprintf("snapshot (shards=%d, par=%d)", shards, par), wall.Round(time.Microsecond))
+			row := benchRow{Name: name, NsPerOp: float64(wall.Nanoseconds())}
+			if shards == 8 && par == 4 {
+				headline = wall
+				row.Ratio = float64(serial) / float64(wall)
+			}
+			rows = append(rows, row)
+		}
+	}
+	ratio := float64(serial) / float64(headline)
+	fmt.Printf("serial-live/snapshot wall at 8 shards, parallelism 4: %.1fx\n", ratio)
+	rows = append(rows, benchRow{Name: "update/summary", Ratio: ratio})
+
+	// (2) ScanEq microbench: index probe vs the filtered full scan it
+	// replaced, across relation sizes. The first probe pays the lazy
+	// secondary-view build; it is reported separately and the steady-state
+	// probe measured after it.
+	fmt.Printf("%-36s %12s %12s %12s %8s\n", "ScanEq (8 shards, ~250 matches)", "probe", "filtered", "build", "speedup")
+	var prevProbe float64
+	var prevN int
+	for _, n := range []int{10_000, 40_000, 160_000} {
+		probe, filtered, build := scanEqBench(n)
+		name := fmt.Sprintf("scaneq/n=%d", n)
+		fmt.Printf("%-36s %12s %12s %12s %7.1fx\n", name,
+			probe.Round(time.Microsecond), filtered.Round(time.Microsecond),
+			build.Round(time.Microsecond), float64(filtered)/float64(probe))
+		rows = append(rows,
+			benchRow{Name: name + "/probe", NsPerOp: float64(probe.Nanoseconds())},
+			benchRow{Name: name + "/filtered", NsPerOp: float64(filtered.Nanoseconds())},
+			benchRow{Name: name + "/build", NsPerOp: float64(build.Nanoseconds())},
+			benchRow{Name: name + "/speedup", Ratio: float64(filtered) / float64(probe)},
+		)
+		if prevProbe > 0 {
+			// Sub-linearity: probe cost must grow slower than the size.
+			growth := float64(probe.Nanoseconds()) / prevProbe
+			sizeGrowth := float64(n) / float64(prevN)
+			fmt.Printf("%-36s %7.1fx cost for %.0fx size\n", "  probe scaling vs "+fmt.Sprint(prevN), growth, sizeGrowth)
+			rows = append(rows, benchRow{Name: fmt.Sprintf("scaneq/scaling/%d->%d", prevN, n), Ratio: growth})
+		}
+		prevProbe, prevN = float64(probe.Nanoseconds()), n
+	}
+
+	// (3) The same toggle through experiment.Params (codb-peer's flags use
+	// the identical plumbing): grid network, template rules.
+	fmt.Println(experiment.Header())
+	for _, mode := range []struct {
+		name        string
+		noSnapshots bool
+		par         int
+	}{{"params/live-serial", true, 1}, {"params/snapshot", false, 1}} {
+		res := must(experiment.RunUpdate(ctx, experiment.Params{
+			Shape: topo.Grid, Nodes: 9, TuplesPerNode: *tuplesFlag, Seed: *seedFlag,
+			Shards: 8, EvalParallelism: mode.par, DisableSessionSnapshots: mode.noSnapshots,
+		}))
+		fmt.Println(experiment.Render(res) + "  (" + mode.name + ")")
+		rows = append(rows, rowOf(mode.name, res))
+	}
+	fmt.Println()
+	writeBench("B7", rows)
+}
+
+// scanEqBench builds an n-row, 8-shard relation whose selector attribute
+// has ~250 matches per value at every size (the domain grows with n), so
+// the probe's O(log n + matches) access path is isolated from result-size
+// growth. It times: the steady-state snapshot index probe, the filtered
+// full scan the probe replaced (over the same snapshot), and the one-off
+// lazy secondary-view build.
+func scanEqBench(n int) (probe, filtered, build time.Duration) {
+	db, err := storage.Open(storage.Options{Shards: 8})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "codb-bench:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	if err := db.DefineRelation(&relation.RelDef{Name: "big", Attrs: []relation.Attr{
+		{Name: "k", Type: relation.TInt}, {Name: "v", Type: relation.TInt},
+		{Name: "c", Type: relation.TInt},
+	}}); err != nil {
+		fmt.Fprintln(os.Stderr, "codb-bench:", err)
+		os.Exit(1)
+	}
+	domain := n / 250 // ~250 matches per selector value, independent of n
+	tuples := make([]relation.Tuple, n)
+	for i := range tuples {
+		tuples[i] = relation.Tuple{relation.Int(i), relation.Int(i % 97), relation.Int(i % domain)}
+	}
+	if _, err := db.InsertMany("big", tuples); err != nil {
+		fmt.Fprintln(os.Stderr, "codb-bench:", err)
+		os.Exit(1)
+	}
+	snap := db.Snapshot()
+	sink := 0
+	visit := func(t relation.Tuple) bool { sink += len(t); return true }
+
+	t0 := time.Now()
+	snap.ScanEq("big", 2, relation.Int(7), visit) // builds the secondary views
+	build = time.Since(t0)
+
+	const reps = 200
+	t0 = time.Now()
+	for r := 0; r < reps; r++ {
+		snap.ScanEq("big", 2, relation.Int(r%domain), visit)
+	}
+	probe = time.Since(t0) / reps
+
+	t0 = time.Now()
+	for r := 0; r < 8; r++ {
+		want := relation.Int(r % domain)
+		snap.Scan("big", func(t relation.Tuple) bool {
+			if t[2] == want {
+				return visit(t)
+			}
+			return true
+		})
+	}
+	filtered = time.Since(t0) / 8
+	if sink < 0 {
+		fmt.Println(sink) // defeat dead-code elimination
+	}
+	return probe, filtered, build
+}

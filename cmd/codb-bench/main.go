@@ -13,6 +13,7 @@
 //	codb-bench -exp B3         # concurrent read path under update load
 //	codb-bench -exp B5         # commit latency during background checkpoints
 //	codb-bench -exp B6         # HTTP serving layer on a multi-process deployment
+//	codb-bench -exp B7         # snapshot-backed write-path evaluation + ScanEq pushdown
 //	codb-bench -nodes 4,8,16   # override the network sizes
 //	codb-bench -tuples 500     # override per-node cardinality
 //	codb-bench -json .         # also write machine-readable BENCH_<exp>.json
@@ -45,7 +46,7 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "comma-separated experiments to run (E1..E7,A1..A4,B1..B6 or 'all')")
+	expFlag    = flag.String("exp", "all", "comma-separated experiments to run (E1..E7,A1..A4,B1..B7 or 'all')")
 	nodesFlag  = flag.String("nodes", "4,8,16,32", "comma-separated network sizes")
 	tuplesFlag = flag.Int("tuples", 250, "tuples per node")
 	seedFlag   = flag.Int64("seed", 42, "workload seed")
@@ -192,6 +193,9 @@ func main() {
 	}
 	if run("B6") {
 		httpServing(ctx)
+	}
+	if run("B7") {
+		snapshotEval(ctx)
 	}
 }
 

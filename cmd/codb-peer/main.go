@@ -44,6 +44,8 @@ func main() {
 	segmentBytes := flag.Int64("segment-bytes", 0, "WAL segment rotation size in bytes (0 = default)")
 	retainSegments := flag.Int("retain-segments", 0, "checkpoint-superseded WAL segments kept for changelog spill (0 = default, negative = none)")
 	httpAddr := flag.String("http", "", "serve the HTTP/JSON gateway on this address (empty = no gateway)")
+	evalParallelism := flag.Int("eval-parallelism", 0, "hash-join fan-out for rule/query evaluation (0/1 = serial)")
+	noSessionSnapshots := flag.Bool("no-session-snapshots", false, "evaluate update sessions over the live wrapper instead of pinned snapshots")
 	mediator := flag.Bool("mediator", false, "run without a local database")
 	verbose := flag.Bool("v", false, "verbose logging")
 	flag.Parse()
@@ -112,6 +114,8 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel}))
 
 	opts := peer.Options{Name: *name, Transport: tr, Wrapper: wrapper, Logger: logger}
+	opts.Eval.Parallelism = *evalParallelism
+	opts.DisableSessionSnapshots = *noSessionSnapshots
 	if cfg != nil {
 		opts.Directory = cfg.Directory()
 	}

@@ -207,6 +207,13 @@ type NetworkOptions struct {
 	// watermarks and shipped-binding fingerprints, so repeated updates
 	// ship only what changed since the previous session.
 	FullExport bool
+	// DisableSessionSnapshots forces update-session evaluation back onto
+	// the live wrapper (serial scans under storage locks) instead of
+	// pinned storage snapshots — the serial baseline of the B7 benchmark.
+	// By default sessions pin a snapshot at their commit LSN, re-pinned
+	// after each materialising insert, which unlocks shard-parallel
+	// hash-join builds and secondary-index pushdown on the write path.
+	DisableSessionSnapshots bool
 
 	// Storage holds the storage-engine knobs.
 	Storage StorageGroup
@@ -311,15 +318,16 @@ func (nw *Network) peerOptions(name string, w core.Wrapper) peer.Options {
 	}
 	eval.Parallelism = nw.opts.Read.EvalParallelism
 	return peer.Options{
-		Name:            name,
-		Wrapper:         w,
-		MaxDepth:        nw.opts.MaxDepth,
-		Eval:            eval,
-		DisableDedup:    nw.opts.DisableDedup,
-		Naive:           nw.opts.Naive,
-		FullExport:      nw.opts.FullExport,
-		QueryCacheSize:  nw.opts.Read.QueryCacheSize,
-		DisableReadPath: nw.opts.Read.DisableReadPath,
+		Name:                    name,
+		Wrapper:                 w,
+		MaxDepth:                nw.opts.MaxDepth,
+		Eval:                    eval,
+		DisableDedup:            nw.opts.DisableDedup,
+		Naive:                   nw.opts.Naive,
+		FullExport:              nw.opts.FullExport,
+		DisableSessionSnapshots: nw.opts.DisableSessionSnapshots,
+		QueryCacheSize:          nw.opts.Read.QueryCacheSize,
+		DisableReadPath:         nw.opts.Read.DisableReadPath,
 	}
 }
 

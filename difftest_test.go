@@ -57,6 +57,11 @@ type diffScenario struct {
 	// in-process bus — so byte-identity also proves the codec loses
 	// nothing in flight.
 	tcp bool
+	// par is the network-under-test's write-path evaluation parallelism
+	// (the hash-join fan-out of snapshot-backed session evaluation); the
+	// reference network always evaluates serially, so byte-identity
+	// doubles as the parallel-eval oracle.
+	par int
 }
 
 // diffShapes mixes acyclic (chain, tree, star, grid) and cyclic (ring,
@@ -67,6 +72,10 @@ var diffShapes = []topo.Shape{topo.Chain, topo.Ring, topo.Tree, topo.Star, topo.
 // reference network always runs shards=1, so every scenario with shards>1
 // doubles as a sharded-vs-unsharded differential check.
 var diffShards = []int{1, 2, 8}
+
+// diffPar cycles the write-path evaluation parallelism of the network
+// under test between serial and 4-way fan-out.
+var diffPar = []int{1, 4}
 
 func diffScenarios(n int) []diffScenario {
 	out := make([]diffScenario, 0, n)
@@ -81,6 +90,7 @@ func diffScenarios(n int) []diffScenario {
 			shards: diffShards[s%len(diffShards)],
 			spill:  s%3 == 1, // every third scenario runs the spill hot path
 			tcp:    s%4 == 2, // every fourth runs over real TCP sockets
+			par:    diffPar[s%len(diffPar)],
 		})
 	}
 	return out
@@ -246,24 +256,28 @@ func TestDifferentialIncrementalVsFullExport(t *testing.T) {
 	const scenarios = 26 // ≥ 25 randomized topologies
 	for _, sc := range diffScenarios(scenarios) {
 		sc := sc
-		t.Run(fmt.Sprintf("%s/n=%d/seed=%d/shards=%d/tcp=%v", sc.shape, sc.nodes, sc.seed, sc.shards, sc.tcp), func(t *testing.T) {
+		t.Run(fmt.Sprintf("%s/n=%d/seed=%d/shards=%d/tcp=%v/par=%d", sc.shape, sc.nodes, sc.seed, sc.shards, sc.tcp, sc.par), func(t *testing.T) {
 			t.Parallel()
 			cfg, err := topo.Build(sc.shape, sc.nodes, topo.Options{Seed: sc.seed})
 			if err != nil {
 				t.Fatal(err)
 			}
-			// The network under test runs the scenario's shard count (and
-			// shard-parallel evaluation; spill scenarios additionally run
-			// durable with tiny rings + segments; tcp scenarios run over
-			// real sockets with the binary wire codec); the FullExport
-			// reference always runs unsharded in memory on the bus, so the
-			// byte-identity check also covers sharded-vs-unsharded,
+			// The network under test runs the scenario's shard count and
+			// write-path parallelism over snapshot-backed session views
+			// (spill scenarios additionally run durable with tiny rings +
+			// segments; tcp scenarios run over real sockets with the binary
+			// wire codec); the FullExport reference always runs unsharded in
+			// memory on the bus, evaluating serially over the live wrapper,
+			// so the byte-identity check also covers sharded-vs-unsharded,
+			// snapshot-vs-live evaluation, parallel-vs-serial joins,
 			// spilled-vs-resident storage, and wire-vs-bus transport.
 			incr := networkFromTopo(t, cfg,
-				NetworkOptions{EvalParallelism: 2, Transport: TransportGroup{TCP: sc.tcp}},
+				NetworkOptions{EvalParallelism: sc.par, Transport: TransportGroup{TCP: sc.tcp}},
 				sc.storeOptions(t))
 			defer incr.Close()
-			full := networkFromTopo(t, cfg, NetworkOptions{FullExport: true}, storage.Options{Shards: 1})
+			full := networkFromTopo(t, cfg,
+				NetworkOptions{FullExport: true, DisableSessionSnapshots: true},
+				storage.Options{Shards: 1})
 			defer full.Close()
 
 			names := make([]string, 0, len(cfg.Nodes))
@@ -381,7 +395,7 @@ func TestDifferentialConcurrentQueriesSandwich(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			nw := networkFromTopo(t, cfg, NetworkOptions{}, storage.Options{Shards: sc.shards})
+			nw := networkFromTopo(t, cfg, NetworkOptions{EvalParallelism: sc.par}, storage.Options{Shards: sc.shards})
 			defer nw.Close()
 			names := make([]string, 0, len(cfg.Nodes))
 			for _, n := range cfg.Nodes {

@@ -141,6 +141,12 @@ type Config struct {
 	// fingerprint set (0 = 1<<20). On overflow the rule's export state is
 	// reset, degrading the next session to a full export.
 	MaxFingerprints int
+	// DisableSessionSnapshots forces session evaluation back onto the live
+	// wrapper (serial scans under storage locks) even when the wrapper
+	// implements Snapshotter + ChangeTracker. The default evaluates update
+	// sessions over pinned snapshots, unlocking shard-parallel hash-join
+	// builds and secondary-index pushdown on the write path.
+	DisableSessionSnapshots bool
 	// Clock supplies timestamps (UnixNano); nil uses a zero clock, which
 	// keeps pure-core tests deterministic. The peer layer injects real
 	// time.
@@ -261,7 +267,12 @@ type Node struct {
 	// state of the incremental machinery (Source == Self rules only).
 	// pendingExports buffers restored snapshots for rules not yet
 	// declared (see RestoreExportState).
-	tracker        ChangeTracker
+	tracker ChangeTracker
+	// snapshotter is the wrapper's snapshot capability (nil when absent).
+	// With both tracker and snapshotter present (and the toggle off),
+	// session evaluation reads pinned snapshots instead of the live
+	// wrapper; see Node.sessionView.
+	snapshotter    Snapshotter
 	exports        map[string]*exportState
 	pendingExports map[string]ExportSnapshot
 	// exportsChanged counts mutations of the export state (watermark
@@ -325,16 +336,21 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg.MaxFingerprints = 1 << 20
 	}
 	tracker, _ := cfg.Wrapper.(ChangeTracker)
+	snapshotter, _ := cfg.Wrapper.(Snapshotter)
+	if cfg.DisableSessionSnapshots {
+		snapshotter = nil
+	}
 	return &Node{
-		cfg:      cfg,
-		maxDepth: maxDepth,
-		rules:    make(map[string]*ruleState),
-		appliers: make(map[string]*chase.Applier),
-		sessions: make(map[string]*session),
-		ds:       diffuse.New(cfg.Self),
-		dirty:    make(map[string]*session),
-		tracker:  tracker,
-		exports:  make(map[string]*exportState),
+		cfg:         cfg,
+		maxDepth:    maxDepth,
+		rules:       make(map[string]*ruleState),
+		appliers:    make(map[string]*chase.Applier),
+		sessions:    make(map[string]*session),
+		ds:          diffuse.New(cfg.Self),
+		dirty:       make(map[string]*session),
+		tracker:     tracker,
+		snapshotter: snapshotter,
+		exports:     make(map[string]*exportState),
 	}, nil
 }
 

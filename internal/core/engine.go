@@ -392,6 +392,16 @@ func (n *Node) incrementalFor(s *session) bool {
 	return n.tracker != nil && !n.cfg.FullExport && s.kind != msg.KindQuery
 }
 
+// viewLSN returns the commit horizon an evaluation over the view observes:
+// the pinned snapshot's LSN, or the live tracker's when the view reads the
+// live wrapper (callers guarantee n.tracker != nil on that path).
+func (n *Node) viewLSN(v view) uint64 {
+	if v.snap != nil {
+		return v.snap.LSN()
+	}
+	return n.tracker.LSN()
+}
+
 // exportSince runs the initial evaluation of an incoming link for a session
 // and ships the bindings to the importer. Idempotent per session.
 //
@@ -408,11 +418,16 @@ func (n *Node) exportSince(s *session, rule *cq.Rule, to string, r *Result) {
 	}
 	s.evaluated[rule.ID] = true
 
+	// Pin the evaluation view before reading the watermark horizon: with a
+	// snapshot-backed view the new watermark is the snapshot's own LSN, so
+	// it can never advance past commits the evaluation didn't observe.
+	v := n.sessionView(s)
+
 	mode := msg.ExportFull
 	var bindings []relation.Tuple
 	var skipped int
 	full := func() bool {
-		bs, err := chase.Bindings(rule, n.sessionView(s), n.chaseOpts())
+		bs, err := chase.Bindings(rule, v, n.chaseOpts())
 		if err != nil {
 			n.noteEvalError(s, r, fmt.Errorf("export %s: %w", rule.ID, err))
 			return false
@@ -430,14 +445,14 @@ func (n *Node) exportSince(s *session, rule *cq.Rule, to string, r *Result) {
 	case es == nil:
 		// First session for this link: full export establishes the
 		// watermark and the fingerprint base.
-		cur := n.tracker.LSN()
+		cur := n.viewLSN(v)
 		if !full() {
 			return
 		}
 		n.exports[rule.ID] = &exportState{watermark: cur, shipped: make(map[string]bool)}
 		n.exportsChanged++
 	default:
-		cur := n.tracker.LSN()
+		cur := n.viewLSN(v)
 		deltas := make(map[string][]relation.Tuple)
 		intact := true
 		for _, rel := range rule.BodyRelations() {
@@ -666,6 +681,7 @@ func (n *Node) finalize(s *session, initiator bool, r *Result) {
 	s.rep.EndUnixNano = n.cfg.Clock()
 	n.recordReport(s.rep)
 	s.overlay = nil // release query overlay
+	s.pinned = nil  // release the session's pinned snapshot
 	r.Finished = append(r.Finished, Finished{SID: s.sid, Initiator: initiator, Report: s.rep})
 }
 

@@ -47,6 +47,14 @@ type session struct {
 	// belong to the requester's topology, not ours).
 	extra map[string]*cq.Rule
 
+	// pinned is the storage snapshot the session currently evaluates over
+	// (nil when the wrapper has no snapshot capability or session snapshots
+	// are disabled). It is re-pinned by sessionView whenever the storage
+	// LSN has moved past it — in particular after each insertMany that
+	// lands in the LDB — so later rule evaluations in the same session
+	// observe the session's own writes. finalize releases it.
+	pinned ReadView
+
 	// Link-state protocol (reporting; see close.go).
 	outClosed map[string]bool // outgoing links closed (exporter notified us)
 	inClosed  map[string]bool // incoming links we have closed
@@ -126,20 +134,58 @@ func (s *session) noteSentTo(node string) {
 }
 
 // view is what rule evaluation reads: the LDB for update sessions, the LDB
-// plus the session overlay for query sessions.
+// plus the session overlay for query sessions. When the wrapper can take
+// snapshots (and session snapshots are enabled), the LDB half is a pinned
+// immutable snapshot instead of the live wrapper: evaluation then runs
+// without storage locks, the CQ evaluator's hash-join builds fan out per
+// shard (the view forwards cq.ShardedSource), and constant pushdown probes
+// the snapshot's lazy secondary views (cq.EqScanner). Writes still go to
+// the live wrapper (or the overlay), never to the snapshot.
 type view struct {
 	base    Wrapper
+	snap    ReadView          // nil: evaluation falls back to the live wrapper
 	overlay relation.Instance // nil for update sessions
 }
 
+// sessionView returns the session's evaluation view, (re)pinning its
+// snapshot first: a fresh snapshot is taken whenever the session has none
+// yet or the storage has committed past the pinned LSN — which is exactly
+// what happens when the session's own insertMany lands in the LDB, so the
+// next evaluation observes those writes.
 func (n *Node) sessionView(s *session) view {
-	return view{base: n.cfg.Wrapper, overlay: s.overlay}
+	v := view{base: n.cfg.Wrapper, overlay: s.overlay}
+	if n.snapshotter != nil && n.tracker != nil && !s.done {
+		if s.pinned == nil || s.pinned.LSN() != n.tracker.LSN() {
+			s.pinned = n.snapshotter.ReadSnapshot()
+		}
+		v.snap = s.pinned
+	}
+	return v
+}
+
+// baseScan iterates the LDB half of the view (snapshot if pinned).
+func (v view) baseScan(rel string, fn func(relation.Tuple) bool) {
+	if v.snap != nil {
+		v.snap.Scan(rel, fn)
+		return
+	}
+	v.base.Scan(rel, fn)
+}
+
+// baseHas reports presence in the LDB half of the view (snapshot if
+// pinned). The overlay shadow checks use this rather than the live
+// wrapper so that one evaluation reads one consistent state.
+func (v view) baseHas(rel string, t relation.Tuple) bool {
+	if v.snap != nil {
+		return v.snap.Has(rel, t)
+	}
+	return v.base.Has(rel, t)
 }
 
 // Scan implements cq.Source over base ∪ overlay.
 func (v view) Scan(rel string, fn func(relation.Tuple) bool) {
 	stopped := false
-	v.base.Scan(rel, func(t relation.Tuple) bool {
+	v.baseScan(rel, func(t relation.Tuple) bool {
 		if !fn(t) {
 			stopped = true
 			return false
@@ -150,7 +196,7 @@ func (v view) Scan(rel string, fn func(relation.Tuple) bool) {
 		return
 	}
 	for _, t := range v.overlay.Tuples(rel) {
-		if v.base.Has(rel, t) {
+		if v.baseHas(rel, t) {
 			continue // shadowed: already visited via base
 		}
 		if !fn(t) {
@@ -159,9 +205,83 @@ func (v view) Scan(rel string, fn func(relation.Tuple) bool) {
 	}
 }
 
+// ScanEq implements cq.EqScanner over base ∪ overlay: the snapshot probes
+// its lazy secondary view, the live wrapper its secondary index (or a
+// filtered scan when it has neither); overlay tuples are filtered inline.
+func (v view) ScanEq(rel string, pos int, val relation.Value, fn func(relation.Tuple) bool) {
+	stopped := false
+	scan := func(t relation.Tuple) bool {
+		if !fn(t) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	if v.snap != nil {
+		if es, ok := v.snap.(cq.EqScanner); ok {
+			es.ScanEq(rel, pos, val, scan)
+		} else {
+			v.snap.Scan(rel, func(t relation.Tuple) bool {
+				if pos < len(t) && t[pos] == val {
+					return scan(t)
+				}
+				return true
+			})
+		}
+	} else if es, ok := v.base.(cq.EqScanner); ok {
+		es.ScanEq(rel, pos, val, scan)
+	} else {
+		v.base.Scan(rel, func(t relation.Tuple) bool {
+			if pos < len(t) && t[pos] == val {
+				return scan(t)
+			}
+			return true
+		})
+	}
+	if stopped || v.overlay == nil {
+		return
+	}
+	for _, t := range v.overlay.Tuples(rel) {
+		if pos >= len(t) || t[pos] != val || v.baseHas(rel, t) {
+			continue
+		}
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// ShardCount implements cq.ShardedSource by forwarding the pinned
+// snapshot's sharding. It reports 0 (no fan-out) when the view has no
+// snapshot or the overlay holds tuples for the relation — the contract
+// requires the union of shards to equal Scan, and overlay tuples live in
+// no shard.
+func (v view) ShardCount(rel string) int {
+	if v.snap == nil {
+		return 0
+	}
+	if len(v.overlay[rel]) > 0 {
+		return 0
+	}
+	if ss, ok := v.snap.(cq.ShardedSource); ok {
+		return ss.ShardCount(rel)
+	}
+	return 0
+}
+
+// ScanShard implements cq.ShardedSource (see ShardCount).
+func (v view) ScanShard(rel string, shard int, fn func(relation.Tuple) bool) {
+	if v.snap == nil {
+		return
+	}
+	if ss, ok := v.snap.(cq.ShardedSource); ok {
+		ss.ScanShard(rel, shard, fn)
+	}
+}
+
 // has reports presence in base ∪ overlay.
 func (v view) has(rel string, t relation.Tuple) bool {
-	if v.base.Has(rel, t) {
+	if v.baseHas(rel, t) {
 		return true
 	}
 	return v.overlay != nil && v.overlay.Has(rel, t)
@@ -175,7 +295,7 @@ func (v view) insertMany(rel string, ts []relation.Tuple) ([]relation.Tuple, err
 	}
 	var fresh []relation.Tuple
 	for _, t := range ts {
-		if v.base.Has(rel, t) {
+		if v.baseHas(rel, t) {
 			continue
 		}
 		if v.overlay.Insert(rel, t) {

@@ -69,6 +69,10 @@ type Params struct {
 	// Shards hash-partitions every node database's relations (see
 	// storage.Options.Shards); 0/1 keeps the unsharded layout.
 	Shards int
+	// DisableSessionSnapshots evaluates update sessions over the live
+	// wrapper instead of pinned snapshots (the B7 serial baseline); see
+	// core.Config.DisableSessionSnapshots.
+	DisableSessionSnapshots bool
 }
 
 // Result aggregates one run.
@@ -177,17 +181,18 @@ func Build(p Params) (*Net, error) {
 			return nil, err
 		}
 		pr, err := peer.New(peer.Options{
-			Name:            node.Name,
-			Transport:       transports[node.Name],
-			Wrapper:         core.NewStoreWrapper(db),
-			Directory:       directory,
-			MaxDepth:        p.MaxDepth,
-			Eval:            eval,
-			DisableDedup:    p.DisableDedup,
-			Naive:           p.Naive,
-			FullExport:      p.FullExport,
-			DisableOutbox:   p.DisableOutbox,
-			DisableReadPath: p.DisableReadPath,
+			Name:                    node.Name,
+			Transport:               transports[node.Name],
+			Wrapper:                 core.NewStoreWrapper(db),
+			Directory:               directory,
+			MaxDepth:                p.MaxDepth,
+			Eval:                    eval,
+			DisableDedup:            p.DisableDedup,
+			Naive:                   p.Naive,
+			FullExport:              p.FullExport,
+			DisableOutbox:           p.DisableOutbox,
+			DisableReadPath:         p.DisableReadPath,
+			DisableSessionSnapshots: p.DisableSessionSnapshots,
 		})
 		if err != nil {
 			closeAll()

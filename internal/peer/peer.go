@@ -59,6 +59,11 @@ type Options struct {
 	DisableDedup bool
 	Naive        bool
 	FullExport   bool
+	// DisableSessionSnapshots forces update-session evaluation back onto
+	// the live wrapper (serial, under storage locks) instead of pinned
+	// snapshots — the serial baseline of the B7 benchmark; see
+	// core.Config.DisableSessionSnapshots.
+	DisableSessionSnapshots bool
 	// DisableOutbox bypasses the asynchronous outbound pipeline and sends
 	// synchronously per message, as the seed implementation did (the
 	// unbatched baseline of the batching benchmarks).
@@ -122,14 +127,15 @@ func New(opts Options) (*Peer, error) {
 		return nil, fmt.Errorf("peer: Name, Transport and Wrapper are required")
 	}
 	node, err := core.NewNode(core.Config{
-		Self:         opts.Name,
-		Wrapper:      opts.Wrapper,
-		MaxDepth:     opts.MaxDepth,
-		Eval:         opts.Eval,
-		DisableDedup: opts.DisableDedup,
-		Naive:        opts.Naive,
-		FullExport:   opts.FullExport,
-		Clock:        func() int64 { return time.Now().UnixNano() },
+		Self:                    opts.Name,
+		Wrapper:                 opts.Wrapper,
+		MaxDepth:                opts.MaxDepth,
+		Eval:                    opts.Eval,
+		DisableDedup:            opts.DisableDedup,
+		Naive:                   opts.Naive,
+		FullExport:              opts.FullExport,
+		DisableSessionSnapshots: opts.DisableSessionSnapshots,
+		Clock:                   func() int64 { return time.Now().UnixNano() },
 	})
 	if err != nil {
 		return nil, err

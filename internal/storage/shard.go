@@ -43,6 +43,14 @@ type shard struct {
 	// per shard): built lazily under snapMu by the first snapshot after a
 	// change, shared by later snapshots, reset by insert/delete. See
 	// shard.snapshot for the locking discipline.
+	//
+	// Secondary snapshot views hang off the tableSnap itself (built lazily
+	// by the first ScanEq probing an attribute position), so they follow
+	// the same invalidation rule for free: insert/delete resets s.snap,
+	// the next snapshot builds a fresh tableSnap with an empty secondary
+	// cache, and every snapshot sharing one tableSnap shares its secondary
+	// views. A secondary view is never mutated — only dropped wholesale
+	// with the primary view it was derived from.
 	snapMu sync.Mutex
 	snap   *tableSnap
 }

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"sort"
+	"sync"
 
 	"codb/internal/relation"
 )
@@ -39,9 +40,61 @@ type relSnap struct {
 
 // tableSnap is the immutable view of one shard: tuples in key order, with
 // the parallel key array supporting binary-search lookups.
+//
+// Secondary views (sec) are materialised lazily by the first ScanEq that
+// probes an attribute position, from the view's own immutable keys/rows —
+// no shard lock is taken at probe time. They follow the same one-flat-view
+// COW discipline as the primary view: a commit touching the shard drops the
+// shard's cached tableSnap, so the next snapshot starts with an empty
+// secondary cache, while every snapshot sharing this tableSnap shares its
+// secondary views too.
 type tableSnap struct {
 	keys []string         // sorted tuple keys
 	rows []relation.Tuple // parallel to keys
+
+	secMu sync.Mutex
+	sec   map[int]*secView // attr position -> lazily built secondary view
+}
+
+// secView is one lazily materialised secondary view of a shard snapshot:
+// rows ordered by (attr value ‖ tuple key), the same key shape as the live
+// engine's secondary indexes, so a value-prefix probe enumerates exactly
+// the matching tuples in tuple-key order.
+type secView struct {
+	keys []string         // secondaryKey(row, pos), sorted
+	rows []relation.Tuple // parallel to keys
+}
+
+// secondary returns the shard view's secondary view over one attribute
+// position, building it on first use. The view is immutable once built and
+// shared by every snapshot holding this tableSnap; secMu serialises
+// concurrent builders.
+func (v *tableSnap) secondary(pos int) *secView {
+	v.secMu.Lock()
+	defer v.secMu.Unlock()
+	if sv, ok := v.sec[pos]; ok {
+		return sv
+	}
+	n := len(v.rows)
+	keys := make([]string, n)
+	for i, row := range v.rows {
+		keys[i] = secondaryKey(row, pos)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	sv := &secView{keys: make([]string, n), rows: make([]relation.Tuple, n)}
+	for out, in := range idx {
+		sv.keys[out] = keys[in]
+		sv.rows[out] = v.rows[in]
+	}
+	if v.sec == nil {
+		v.sec = make(map[int]*secView)
+	}
+	v.sec[pos] = sv
+	return sv
 }
 
 // Snapshot pins a read view at the current commit LSN. The returned
@@ -206,20 +259,67 @@ func (s *Snapshot) ScanShard(rel string, shard int, fn func(relation.Tuple) bool
 }
 
 // ScanEq scans the tuples whose attribute at position pos equals v, in key
-// order. Snapshots carry no secondary indexes, so this is a filtered full
-// scan — callers treating ScanEq as an access-path optimisation (the CQ
-// evaluator's constant pushdown) get identical results either way.
+// order, as an index probe: each shard's lazily materialised secondary view
+// (see tableSnap.secondary) is positioned at the value prefix by binary
+// search, then the per-shard runs are k-way merged. Within one value prefix
+// the secondary-key order is the tuple-key order (the value encoding is
+// prefix-free), so the result is bit-identical to the filtered full scan
+// this used to be — only O(log n + matches) per shard instead of O(n).
 func (s *Snapshot) ScanEq(rel string, pos int, v relation.Value, fn func(relation.Tuple) bool) {
 	t, ok := s.tables[rel]
 	if !ok || pos < 0 || pos >= t.def.Arity() {
 		return
 	}
-	s.Scan(rel, func(row relation.Tuple) bool {
-		if row[pos] == v {
-			return fn(row)
+	prefix := string(relation.EncodeValue(nil, v))
+	if len(t.shards) == 1 {
+		sv := t.shards[0].secondary(pos)
+		for i := sort.SearchStrings(sv.keys, prefix); i < len(sv.keys); i++ {
+			if k := sv.keys[i]; len(k) < len(prefix) || k[:len(prefix)] != prefix {
+				return
+			}
+			if !fn(sv.rows[i]) {
+				return
+			}
 		}
-		return true
-	})
+		return
+	}
+	views := make([]*secView, len(t.shards))
+	idx := make([]int, len(t.shards))
+	for i, sh := range t.shards {
+		sv := sh.secondary(pos)
+		views[i] = sv
+		at := sort.SearchStrings(sv.keys, prefix)
+		if at < len(sv.keys) {
+			if k := sv.keys[at]; len(k) < len(prefix) || k[:len(prefix)] != prefix {
+				at = len(sv.keys) // shard has no match: retire it
+			}
+		}
+		idx[i] = at
+	}
+	for {
+		best := -1
+		var bestKey string
+		for i, sv := range views {
+			if idx[i] < len(sv.keys) {
+				if k := sv.keys[idx[i]]; best < 0 || k < bestKey {
+					best, bestKey = i, k
+				}
+			}
+		}
+		if best < 0 {
+			return
+		}
+		if !fn(views[best].rows[idx[best]]) {
+			return
+		}
+		idx[best]++
+		sv := views[best]
+		if at := idx[best]; at < len(sv.keys) {
+			if k := sv.keys[at]; len(k) < len(prefix) || k[:len(prefix)] != prefix {
+				idx[best] = len(sv.keys) // run left the value prefix: retire
+			}
+		}
+	}
 }
 
 // Tuples returns all tuples of the relation as of the snapshot, in key

@@ -272,3 +272,109 @@ func BenchmarkSnapshot(b *testing.B) {
 		}
 	})
 }
+
+// TestSnapshotScanEqShardedOrderIdentity checks the index-probe ScanEq
+// against the definitionally correct filtered Scan on a multi-shard
+// database: same tuples, same (tuple-key) order — the invariant the CQ
+// evaluator's constant pushdown relies on for bit-identical results.
+func TestSnapshotScanEqShardedOrderIdentity(t *testing.T) {
+	db, err := Open(Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.DefineRelation(&relation.RelDef{
+		Name:  "data",
+		Attrs: []relation.Attr{{Name: "k", Type: relation.TInt}, {Name: "v", Type: relation.TInt}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := db.Insert("data", relation.Tuple{relation.Int(i * 37 % 501), relation.Int(i % 7)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := db.Snapshot()
+	for v := 0; v < 8; v++ {
+		var want, got []string
+		snap.Scan("data", func(tu relation.Tuple) bool {
+			if tu[1] == relation.Int(v) {
+				want = append(want, tu.Key())
+			}
+			return true
+		})
+		snap.ScanEq("data", 1, relation.Int(v), func(tu relation.Tuple) bool {
+			got = append(got, tu.Key())
+			return true
+		})
+		if len(want) != len(got) {
+			t.Fatalf("v=%d: probe %d tuples, filtered scan %d", v, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("v=%d: position %d: probe %q, filtered scan %q", v, i, got[i], want[i])
+			}
+		}
+	}
+	// Early stop must not fall over mid-merge.
+	n := 0
+	snap.ScanEq("data", 1, relation.Int(0), func(relation.Tuple) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop visited %d tuples, want 2", n)
+	}
+}
+
+// TestSnapshotSecondaryViewSharing checks the secondary views' COW
+// discipline: snapshots sharing a shard's primary view share its lazily
+// built secondary views, and a commit (which drops the primary view)
+// leaves the next snapshot with a fresh, empty secondary cache.
+func TestSnapshotSecondaryViewSharing(t *testing.T) {
+	db := snapTestDB(t)
+	for i := 0; i < 20; i++ {
+		if _, err := db.Insert("data", relation.Tuple{relation.Int(i), relation.Int(i % 3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := db.Snapshot(), db.Snapshot()
+	a.ScanEq("data", 1, relation.Int(1), func(relation.Tuple) bool { return true })
+	shA, shB := a.tables["data"].shards[0], b.tables["data"].shards[0]
+	if shA != shB {
+		t.Fatal("quiescent snapshots do not share the shard view")
+	}
+	shA.secMu.Lock()
+	sv := shA.sec[1]
+	shA.secMu.Unlock()
+	if sv == nil {
+		t.Fatal("ScanEq did not materialise the secondary view")
+	}
+	// The sibling snapshot probes the same cached view, no rebuild.
+	b.ScanEq("data", 1, relation.Int(2), func(relation.Tuple) bool { return true })
+	shB.secMu.Lock()
+	svB := shB.sec[1]
+	shB.secMu.Unlock()
+	if svB != sv {
+		t.Fatal("sibling snapshot rebuilt the shared secondary view")
+	}
+	if _, err := db.Insert("data", relation.Tuple{relation.Int(100), relation.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	c := db.Snapshot()
+	shC := c.tables["data"].shards[0]
+	if shC == shA {
+		t.Fatal("commit did not invalidate the shard view")
+	}
+	shC.secMu.Lock()
+	fresh := len(shC.sec)
+	shC.secMu.Unlock()
+	if fresh != 0 {
+		t.Fatal("fresh shard view inherited stale secondary views")
+	}
+	// The old pinned snapshots still answer probes from their own views.
+	n := 0
+	a.ScanEq("data", 1, relation.Int(1), func(relation.Tuple) bool { n++; return true })
+	c2 := 0
+	c.ScanEq("data", 1, relation.Int(1), func(relation.Tuple) bool { c2++; return true })
+	if c2 != n+1 {
+		t.Fatalf("fresh snapshot sees %d tuples for v=1, pinned %d (want +1)", c2, n)
+	}
+}

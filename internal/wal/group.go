@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // GroupCommitter turns per-commit log writes into a group-commit pipeline:
@@ -25,6 +26,10 @@ type GroupCommitter struct {
 	closed bool
 	err    error // sticky writer-side failure, reported to later commits
 	stats  GroupStats
+
+	// fsyncEWMA tracks observed fsync latency (exponentially weighted,
+	// 1/8 gain), the input of the adaptive batch-formation window.
+	fsyncEWMA time.Duration
 
 	done chan struct{} // writer goroutine exited
 }
@@ -57,7 +62,17 @@ type GroupStats struct {
 	Syncs uint64
 	// MaxBatch is the largest group committed at once.
 	MaxBatch int
+	// Window is the batch-formation wait currently chosen by the adaptive
+	// policy — min(1ms, observed fsync latency / 4) — applied before
+	// draining a queue that contains at least one sync-requesting commit.
+	// Zero until the first fsync has been observed.
+	Window time.Duration
 }
+
+// maxBatchWindow bounds the adaptive batch-formation wait: even on storage
+// with multi-millisecond fsyncs the pipeline never adds more than 1ms of
+// commit latency to form a batch.
+const maxBatchWindow = time.Millisecond
 
 // NewGroupCommitter starts the pipeline over an open log.
 func NewGroupCommitter(l Sink) *GroupCommitter {
@@ -138,6 +153,45 @@ func (g *GroupCommitter) run() {
 		// saved per joiner — which is what makes sync-on-commit batches
 		// form even on a single CPU.
 		runtime.Gosched()
+		// Adaptive extension: when the queue already holds a
+		// sync-requesting commit, the batch is about to pay a full fsync —
+		// so waiting a bounded fraction of one (min(1ms, observed fsync
+		// latency / 4)) to let more committers join is nearly free and
+		// divides the fsync count. Non-sync batches (async commits, Flush
+		// barriers) never wait: they have no fsync to amortise. A timer
+		// sleep is only trusted at the 1ms cap (sub-millisecond sleeps
+		// overshoot by the timer granularity, which would dwarf a fast
+		// fsync); below it the wait is a yield loop that stops as soon as
+		// a yield attracts no new committer.
+		g.mu.Lock()
+		window := g.stats.Window
+		wantSync := false
+		for _, r := range g.queue {
+			if r.sync {
+				wantSync = true
+				break
+			}
+		}
+		g.mu.Unlock()
+		if wantSync && window > 0 {
+			if window >= maxBatchWindow {
+				time.Sleep(window)
+			} else {
+				deadline := time.Now().Add(window)
+				for {
+					g.mu.Lock()
+					before := len(g.queue)
+					g.mu.Unlock()
+					runtime.Gosched()
+					g.mu.Lock()
+					grew := len(g.queue) > before
+					g.mu.Unlock()
+					if !grew || !time.Now().Before(deadline) {
+						break
+					}
+				}
+			}
+		}
 		g.mu.Lock()
 		batch := g.queue
 		g.queue = nil
@@ -156,13 +210,16 @@ func (g *GroupCommitter) run() {
 		g.mu.Lock()
 		err := g.err
 		g.mu.Unlock()
+		var fsyncTook time.Duration
 		if err == nil {
 			// Never write past a failed batch: a partial append leaves a
 			// torn record, and anything appended after it is unreachable
 			// to recovery (replay stops at the first bad CRC).
 			err = g.log.AppendBatch(payloads)
 			if err == nil && needSync {
+				t0 := time.Now()
 				err = g.log.Sync()
+				fsyncTook = time.Since(t0)
 			}
 		}
 		g.mu.Lock()
@@ -175,6 +232,16 @@ func (g *GroupCommitter) run() {
 		}
 		if needSync && err == nil {
 			g.stats.Syncs++
+			if g.fsyncEWMA == 0 {
+				g.fsyncEWMA = fsyncTook
+			} else {
+				g.fsyncEWMA = (g.fsyncEWMA*7 + fsyncTook) / 8
+			}
+			if w := g.fsyncEWMA / 4; w < maxBatchWindow {
+				g.stats.Window = w
+			} else {
+				g.stats.Window = maxBatchWindow
+			}
 		}
 		if err != nil && g.err == nil {
 			g.err = err

@@ -190,3 +190,49 @@ func TestAppendBatchEquivalentToAppends(t *testing.T) {
 		}
 	}
 }
+
+// TestGroupCommitAdaptiveWindowStat checks that synced batches feed the
+// fsync-latency estimate and surface the chosen batch-formation window in
+// the stats, bounded by the 1ms cap, while unsynced pipelines never choose
+// a window (nothing to amortise).
+func TestGroupCommitAdaptiveWindowStat(t *testing.T) {
+	l, err := Create(tempLog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	g := NewGroupCommitter(l)
+	for i := 0; i < 8; i++ {
+		if err := <-g.Commit([]byte(fmt.Sprintf("rec-%d", i)), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := g.Stats()
+	if st.Window <= 0 {
+		t.Fatalf("no adaptive window chosen after %d synced batches", st.Syncs)
+	}
+	if st.Window > maxBatchWindow {
+		t.Fatalf("window %v exceeds the %v cap", st.Window, maxBatchWindow)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Create(tempLog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	g2 := NewGroupCommitter(l2)
+	for i := 0; i < 8; i++ {
+		if err := <-g2.Commit([]byte("async"), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := g2.Stats(); st.Window != 0 {
+		t.Fatalf("async-only pipeline chose a window of %v", st.Window)
+	}
+	if err := g2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
