@@ -1,0 +1,216 @@
+// B8: runtime membership churn. A star network over loopback TCP with
+// durable nodes runs k rounds of "insert burst at every node, churn
+// (coordinated remove + rejoin of rotating leaves at fresh listeners),
+// global update". A static-membership FullExport bus network replays the
+// identical insert programme as the reference. Headlines:
+//
+//   - the churned databases match the static reference byte for byte
+//     after every round (tombstones and epoch-stamped rejoins lose
+//     nothing and duplicate nothing);
+//   - zero exhausted dials: no survivor ever retries a departed peer's
+//     stale address, because removal floods a tombstone and rejoin
+//     floods the new address at a higher epoch;
+//   - per-round update wall/traffic for the churned network vs the
+//     static baseline — the price of rejoining through durable export
+//     state instead of re-shipping everything.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"codb"
+)
+
+const (
+	b8Leaves = 4 // star leaves; the hub imports from every leaf
+	b8Rounds = 4
+	b8Burst  = 10 // inserts per node per round
+	b8Churn  = 2  // leaves removed + rejoined per round (rotating)
+)
+
+// b8Name and b8Rule fix the star wiring: the hub n0 imports every leaf's
+// extent through one copy rule per leaf.
+func b8Name(i int) string { return fmt.Sprintf("n%d", i) }
+func b8Rule(i int) (id, text string) {
+	return fmt.Sprintf("r%d", i), fmt.Sprintf("n0.data(x, y) <- %s.data(x, y)", b8Name(i))
+}
+
+// b8Fingerprint renders every node's data extent into one sorted byte
+// string — the byte-identity observable.
+func b8Fingerprint(nw *codb.Network) string {
+	var sb strings.Builder
+	names := nw.Peers()
+	sort.Strings(names)
+	for _, name := range names {
+		tuples := nw.Peer(name).Tuples("data")
+		lines := make([]string, len(tuples))
+		for i, t := range tuples {
+			lines[i] = fmt.Sprint(t)
+		}
+		sort.Strings(lines)
+		fmt.Fprintf(&sb, "%s(%d): %s\n", name, len(tuples), strings.Join(lines, " "))
+	}
+	return sb.String()
+}
+
+// b8Insert commits the round's burst — the same tuples into both networks.
+func b8Insert(nw *codb.Network, round int) error {
+	for i := 0; i <= b8Leaves; i++ {
+		rows := make([]codb.Tuple, b8Burst)
+		for j := range rows {
+			k := round*1_000_000 + i*b8Burst + j
+			rows[j] = codb.Row(codb.Int(k), codb.Int(round))
+		}
+		if err := nw.Insert(b8Name(i), "data", rows...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// b8Update times one global update at the hub and returns a row with the
+// initiator's traffic totals.
+func b8Update(ctx context.Context, nw *codb.Network, name string) (benchRow, error) {
+	t0 := time.Now()
+	rep, err := nw.Update(ctx, "n0")
+	if err != nil {
+		return benchRow{}, err
+	}
+	wall := time.Since(t0)
+	row := benchRow{Name: name, NsPerOp: float64(wall.Nanoseconds())}
+	for _, n := range rep.MsgsPerRule {
+		row.Msgs += n
+	}
+	for _, n := range rep.BytesPerRule {
+		row.Bytes += n
+	}
+	for _, n := range rep.TuplesPerRule {
+		row.Tuples += n
+	}
+	return row, nil
+}
+
+// membershipChurn is B8.
+func membershipChurn(ctx context.Context) {
+	fmt.Println("== B8: membership churn — runtime leave/rejoin vs static membership")
+	root, err := os.MkdirTemp("", "codb-b8-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "codb-bench:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(root)
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "codb-bench: B8:", err)
+		os.Exit(1)
+	}
+
+	// Churned network: loopback TCP, every node durable so a rejoined leaf
+	// recovers its database and export watermarks from disk.
+	churn := codb.NewNetworkWithOptions(codb.NetworkOptions{
+		Transport: codb.TransportGroup{TCP: true},
+	})
+	defer churn.Close()
+	// Static reference: same wiring, no churn, full re-export every round —
+	// membership-independent ground truth.
+	static := codb.NewNetworkWithOptions(codb.NetworkOptions{
+		FullExport: true, DisableSessionSnapshots: true,
+	})
+	defer static.Close()
+
+	for i := 0; i <= b8Leaves; i++ {
+		name := b8Name(i)
+		if _, err := churn.AddDurablePeer(name, filepath.Join(root, name), "data(x int, y int)"); err != nil {
+			fail(err)
+		}
+		if _, err := static.AddPeer(name, "data(x int, y int)"); err != nil {
+			fail(err)
+		}
+	}
+	for i := 1; i <= b8Leaves; i++ {
+		id, text := b8Rule(i)
+		if err := churn.AddRule(id, text); err != nil {
+			fail(err)
+		}
+		if err := static.AddRule(id, text); err != nil {
+			fail(err)
+		}
+	}
+
+	fmt.Printf("%7s %12s %12s %8s %8s %10s\n",
+		"round/mode", "wall(ms)", "msgs", "bytes", "tuples", "identical")
+	var rows []benchRow
+	identical := true
+	for round := 0; round < b8Rounds; round++ {
+		if err := b8Insert(churn, round); err != nil {
+			fail(err)
+		}
+		if err := b8Insert(static, round); err != nil {
+			fail(err)
+		}
+
+		// Churn (after round 0): rotate b8Churn leaves out and back in.
+		// RemovePeer floods tombstones; the re-added leaf comes back at a
+		// fresh listener under a bumped epoch and re-declares its rule.
+		if round > 0 {
+			for c := 0; c < b8Churn; c++ {
+				victim := 1 + ((round-1)*b8Churn+c)%b8Leaves
+				name := b8Name(victim)
+				churn.RemovePeer(name)
+				if _, err := churn.AddDurablePeer(name, filepath.Join(root, name), "data(x int, y int)"); err != nil {
+					fail(err)
+				}
+				id, text := b8Rule(victim)
+				if err := churn.AddRule(id, text); err != nil {
+					fail(err)
+				}
+			}
+		}
+
+		roundRows := make([]benchRow, 0, 2)
+		for _, m := range []struct {
+			label string
+			nw    *codb.Network
+		}{{"churn", churn}, {"static", static}} {
+			row, err := b8Update(ctx, m.nw, fmt.Sprintf("round=%d/%s", round, m.label))
+			if err != nil {
+				fail(err)
+			}
+			roundRows = append(roundRows, row)
+		}
+		equal := b8Fingerprint(churn) == b8Fingerprint(static)
+		identical = identical && equal
+		roundRows[0].EqualDBs = &equal
+		for _, row := range roundRows {
+			fmt.Printf("%7s %12.3f %12d %8d %8d %10v\n", row.Name,
+				row.NsPerOp/1e6, row.Msgs, row.Bytes, row.Tuples, equal)
+		}
+		rows = append(rows, roundRows...)
+	}
+
+	// Zero-stale-dial check: no peer in the churned network ever exhausted
+	// a dial retry — tombstones and epoch overrides kept every send aimed
+	// at a live listener.
+	var dialFails uint64
+	for _, name := range churn.Peers() {
+		n, ok := churn.Peer(name).DialFailures()
+		if !ok {
+			fail(fmt.Errorf("%s has no dial counter", name))
+		}
+		dialFails += n
+	}
+	fmt.Printf("databases identical after every round: %v; exhausted dials at stale addresses: %d\n\n",
+		identical, dialFails)
+	rows = append(rows, benchRow{Name: "summary/churn-vs-static", EqualDBs: &identical, DialFails: dialFails})
+	writeBench("B8", rows)
+	if !identical || dialFails != 0 {
+		fmt.Fprintln(os.Stderr, "codb-bench: B8 failed: churned network diverged or dialed stale addresses")
+		os.Exit(1)
+	}
+}

@@ -14,6 +14,7 @@
 //	codb-bench -exp B5         # commit latency during background checkpoints
 //	codb-bench -exp B6         # HTTP serving layer on a multi-process deployment
 //	codb-bench -exp B7         # snapshot-backed write-path evaluation + ScanEq pushdown
+//	codb-bench -exp B8         # runtime membership churn vs static membership
 //	codb-bench -nodes 4,8,16   # override the network sizes
 //	codb-bench -tuples 500     # override per-node cardinality
 //	codb-bench -json .         # also write machine-readable BENCH_<exp>.json
@@ -87,6 +88,9 @@ type benchRow struct {
 	// the number of checkpoints that ran during the measured window.
 	P99Ns       float64 `json:"p99_ns,omitempty"`
 	Checkpoints int64   `json:"checkpoints,omitempty"`
+	// B8 field: dial attempts that exhausted every retry — nonzero means
+	// somebody kept a departed peer's stale address.
+	DialFails uint64 `json:"dial_failures,omitempty"`
 }
 
 func rowOf(name string, r experiment.Result) benchRow {
@@ -196,6 +200,9 @@ func main() {
 	}
 	if run("B7") {
 		snapshotEval(ctx)
+	}
+	if run("B8") {
+		membershipChurn(ctx)
 	}
 }
 

@@ -9,20 +9,30 @@
 //	codb-peer -name N2 -config net.codb -data ./n2 # durable storage
 //	codb-peer -name N3 -listen 127.0.0.1:7003      # wait for broadcasts
 //	codb-peer -name N4 -http 127.0.0.1:8080        # + HTTP/JSON gateway
+//	codb-peer -name N5 -join 127.0.0.1:7001        # join a live network
 //
 // The process runs until interrupted. With -mediator the node has no local
 // database (operations execute in the wrapper). With -http the node also
 // serves the HTTP/JSON gateway (query, insert, update, stats, health; see
 // internal/api/http) on the given address.
+//
+// With -join the peer needs no configuration file: it dials the given
+// admitting peer (super-peer or any network member), is admitted at a fresh
+// directory epoch, and receives the current rules and directory over the
+// wire. With -leave-on-signal the peer departs cleanly when interrupted: it
+// floods a Leave notice and flushes its outbox, so survivors tombstone it
+// instead of timing out on a dead address.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	httpapi "codb/internal/api/http"
 	"codb/internal/config"
@@ -47,6 +57,8 @@ func main() {
 	evalParallelism := flag.Int("eval-parallelism", 0, "hash-join fan-out for rule/query evaluation (0/1 = serial)")
 	noSessionSnapshots := flag.Bool("no-session-snapshots", false, "evaluate update sessions over the live wrapper instead of pinned snapshots")
 	mediator := flag.Bool("mediator", false, "run without a local database")
+	joinAddr := flag.String("join", "", "join a live network via the admitting peer at this address")
+	leaveOnSignal := flag.Bool("leave-on-signal", false, "announce a coordinated leave before shutting down")
 	verbose := flag.Bool("v", false, "verbose logging")
 	flag.Parse()
 	if *name == "" {
@@ -129,6 +141,16 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *joinAddr != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := p.JoinVia(ctx, *joinAddr); err != nil {
+			cancel()
+			p.Stop()
+			fatal(err)
+		}
+		cancel()
+		fmt.Printf("codb-peer %s joined network via %s\n", *name, *joinAddr)
+	}
 	fmt.Printf("codb-peer %s listening on %s\n", *name, tr.Addr())
 	var gw *httpapi.Server
 	if *httpAddr != "" {
@@ -146,6 +168,13 @@ func main() {
 	fmt.Println("codb-peer: shutting down")
 	if gw != nil {
 		gw.Close()
+	}
+	if *leaveOnSignal {
+		if err := p.Leave(); err != nil {
+			fmt.Fprintln(os.Stderr, "codb-peer: leave:", err)
+		} else {
+			fmt.Println("codb-peer: left the network")
+		}
 	}
 	p.Stop()
 	if db != nil {

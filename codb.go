@@ -100,15 +100,16 @@ func Row(vs ...Value) Tuple { return Tuple(vs) }
 // connected by an in-process bus or — with Transport.TCP — by real sockets
 // speaking the versioned binary wire protocol. Safe for concurrent use.
 type Network struct {
-	mu    sync.Mutex
-	bus   *transport.Bus
-	peers map[string]*peer.Peer
-	dbs   map[string]*storage.DB // databases the network opened and owns
-	addrs map[string]string      // TCP mode: node -> dial address
-	https map[string]*httpapi.Server
-	gw    *httpapi.Server // network-wide gateway (StartGateway)
-	super *superpeer.SuperPeer
-	opts  NetworkOptions
+	mu     sync.Mutex
+	bus    *transport.Bus
+	peers  map[string]*peer.Peer
+	dbs    map[string]*storage.DB // databases the network opened and owns
+	addrs  map[string]string      // TCP mode: node -> dial address
+	epochs map[string]uint64      // node -> directory epoch (bumped per re-add)
+	https  map[string]*httpapi.Server
+	gw     *httpapi.Server // network-wide gateway (StartGateway)
+	super  *superpeer.SuperPeer
+	opts   NetworkOptions
 }
 
 // StorageGroup groups the storage-engine knobs of NetworkOptions.
@@ -302,12 +303,13 @@ func NewNetwork() *Network { return NewNetworkWithOptions(NetworkOptions{}) }
 // NewNetworkWithOptions creates an empty network with algorithm toggles.
 func NewNetworkWithOptions(opts NetworkOptions) *Network {
 	return &Network{
-		bus:   transport.NewBus(),
-		peers: make(map[string]*peer.Peer),
-		dbs:   make(map[string]*storage.DB),
-		addrs: make(map[string]string),
-		https: make(map[string]*httpapi.Server),
-		opts:  opts.resolved(),
+		bus:    transport.NewBus(),
+		peers:  make(map[string]*peer.Peer),
+		dbs:    make(map[string]*storage.DB),
+		addrs:  make(map[string]string),
+		epochs: make(map[string]uint64),
+		https:  make(map[string]*httpapi.Server),
+		opts:   opts.resolved(),
 	}
 }
 
@@ -411,6 +413,15 @@ func (nw *Network) join(name string, w core.Wrapper) (*Peer, error) {
 		return nil, fmt.Errorf("codb: peer %q already exists", name)
 	}
 	opts := nw.peerOptions(name, w)
+	// A name that was here before rejoins as a fresh incarnation: its
+	// directory epoch bumps so the entry overrides any tombstone (or stale
+	// address) the survivors still hold.
+	epoch, seen := nw.epochs[name]
+	if seen {
+		epoch++
+	}
+	nw.epochs[name] = epoch
+	opts.Epoch = epoch
 	var addr string
 	if nw.opts.Transport.TCP {
 		tcp, err := transport.NewTCP(name, nw.opts.Transport.ListenAddr)
@@ -452,13 +463,15 @@ func (nw *Network) join(name string, w core.Wrapper) (*Peer, error) {
 	}
 	if nw.opts.Transport.TCP {
 		nw.addrs[name] = addr
-		update := map[string]string{name: addr}
-		for _, other := range nw.peers {
-			other.SetDirectory(update)
-		}
-		if nw.super != nil {
-			nw.super.Peer().SetDirectory(update)
-		}
+	}
+	// Flood the joiner's epoch-stamped entry: it overrides tombstones and
+	// stale addresses of earlier incarnations of the same name.
+	entry := []msg.DirEntry{{Node: name, Addr: addr, Epoch: epoch}}
+	for _, other := range nw.peers {
+		other.ApplyDirectoryEntries(entry)
+	}
+	if nw.super != nil {
+		nw.super.Peer().ApplyDirectoryEntries(entry)
 	}
 	nw.peers[name] = p
 	return p, nil
@@ -483,6 +496,27 @@ func (nw *Network) MustAddPeer(name string, relations ...string) *Peer {
 	return p
 }
 
+// JoinRemote starts a peer with an in-memory database and joins it into a
+// LIVE REMOTE network through the peer listening at addr (a super-peer or
+// any admitting peer of another process): the new peer dials the admitter,
+// sends a wire-level JoinRequest, and installs the rules and directory from
+// the JoinAccept handoff. Requires Transport.TCP. On a failed handshake the
+// peer is removed again and the error returned.
+func (nw *Network) JoinRemote(ctx context.Context, name, addr string, relations ...string) (*Peer, error) {
+	if !nw.opts.Transport.TCP {
+		return nil, fmt.Errorf("codb: JoinRemote requires Transport.TCP")
+	}
+	p, err := nw.AddPeer(name, relations...)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.JoinVia(ctx, addr); err != nil {
+		nw.RemovePeer(name)
+		return nil, err
+	}
+	return p, nil
+}
+
 // Peer returns a running peer by name (nil if absent).
 func (nw *Network) Peer(name string) *Peer {
 	nw.mu.Lock()
@@ -505,10 +539,13 @@ func (nw *Network) Peers() []string {
 // as the paper's dynamic networks allow). A database the network opened for
 // the peer is closed — durable ones checkpoint on the way out, so a future
 // AddDurablePeer over the same directory recovers from the snapshot instead
-// of replaying the whole log. The remaining peers forget their incremental-
-// export state toward the departed name: if a fresh peer later takes it,
-// nothing is wrongly assumed already materialised there (a durable
-// replacement over the same directory just costs one full re-export).
+// of replaying the whole log. A tombstone for the departed name is applied
+// on every survivor (and the super-peer): pipes to it come down, in-flight
+// deficits are written off, nobody dials its stale address again, and the
+// survivors' incremental-export state toward the name is reset — if a fresh
+// peer later takes it, nothing is wrongly assumed already materialised
+// there (a durable replacement over the same directory just costs one full
+// re-export).
 func (nw *Network) RemovePeer(name string) {
 	nw.mu.Lock()
 	p := nw.peers[name]
@@ -518,22 +555,28 @@ func (nw *Network) RemovePeer(name string) {
 	srv := nw.https[name]
 	delete(nw.https, name)
 	delete(nw.addrs, name)
+	epoch := nw.epochs[name] // the incarnation being tombstoned
 	rest := make([]*peer.Peer, 0, len(nw.peers))
 	for _, other := range nw.peers {
 		rest = append(rest, other)
 	}
+	super := nw.super
 	nw.mu.Unlock()
 	if srv != nil {
 		srv.Close()
+	}
+	tomb := []msg.DirEntry{{Node: name, Epoch: epoch, Deleted: true}}
+	for _, other := range rest {
+		other.ApplyDirectoryEntries(tomb)
+	}
+	if super != nil {
+		super.Peer().ApplyDirectoryEntries(tomb)
 	}
 	if p != nil {
 		p.Stop()
 	}
 	if db != nil {
 		db.Close()
-	}
-	for _, other := range rest {
-		other.ResetExportStateToward(name)
 	}
 }
 
@@ -754,6 +797,7 @@ func (nw *Network) Close() {
 	https := nw.https
 	nw.https = make(map[string]*httpapi.Server)
 	nw.addrs = make(map[string]string)
+	nw.epochs = make(map[string]uint64)
 	gw := nw.gw
 	nw.gw = nil
 	super := nw.super

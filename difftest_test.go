@@ -347,6 +347,93 @@ func TestDifferentialIncrementalVsFullExport(t *testing.T) {
 	}
 }
 
+// TestDifferentialChurn sandwiches runtime membership churn between update
+// rounds: after each round one non-origin peer leaves (tombstone flood)
+// and rejoins as a new incarnation over its own durable directory — in TCP
+// mode on a fresh listener port — with its rules re-declared. The churn
+// network must still converge byte-identically to a static-membership
+// FullExport reference that never churns, and no survivor may ever exhaust
+// a dial against a departed incarnation's stale address.
+func TestDifferentialChurn(t *testing.T) {
+	for _, tcp := range []bool{false, true} {
+		tcp := tcp
+		t.Run(fmt.Sprintf("tcp=%v", tcp), func(t *testing.T) {
+			t.Parallel()
+			sc := diffScenario{seed: 4242, shape: topo.Star, nodes: 4, tuples: 12, rounds: 4, burst: 5}
+			cfg, err := topo.Build(sc.shape, sc.nodes, topo.Options{Seed: sc.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			churnDir := t.TempDir()
+			churn := networkFromTopo(t, cfg,
+				NetworkOptions{Transport: TransportGroup{TCP: tcp}},
+				storage.Options{Dir: churnDir})
+			defer churn.Close()
+			full := networkFromTopo(t, cfg,
+				NetworkOptions{FullExport: true, DisableSessionSnapshots: true},
+				storage.Options{Shards: 1})
+			defer full.Close()
+
+			names := make([]string, 0, len(cfg.Nodes))
+			for _, n := range cfg.Nodes {
+				names = append(names, n.Name)
+			}
+			seed := workload.Generate(names, workload.Spec{TuplesPerNode: sc.tuples, Overlap: 0.2, Seed: sc.seed})
+			for node, tuples := range seed {
+				for _, nw := range []*Network{churn, full} {
+					if err := nw.Insert(node, "data", tuples...); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			origin := names[0]
+			for round := 0; round < sc.rounds; round++ {
+				if round > 0 {
+					// One non-origin peer churns: leave, then rejoin as a
+					// fresh incarnation over the same durable directory.
+					victim := names[1+(round-1)%(len(names)-1)]
+					churn.RemovePeer(victim)
+					if _, err := churn.AddDurablePeer(victim, filepath.Join(churnDir, victim), "data(x int, y int)"); err != nil {
+						t.Fatalf("round %d: rejoin %s: %v", round, victim, err)
+					}
+					for _, r := range cfg.Rules {
+						rule, err := cq.ParseRule(r.ID, r.Text)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if rule.Target == victim || rule.Source == victim {
+							if err := churn.AddRule(r.ID, r.Text); err != nil {
+								t.Fatalf("round %d: re-declare %s: %v", round, r.ID, err)
+							}
+						}
+					}
+					applyBurst(t, churn, names, sc, round)
+					applyBurst(t, full, names, sc, round)
+				}
+				if _, err := churn.Update(ctxT(t), origin); err != nil {
+					t.Fatalf("churn update round %d: %v", round, err)
+				}
+				if _, err := full.Update(ctxT(t), origin); err != nil {
+					t.Fatalf("reference update round %d: %v", round, err)
+				}
+				fi, ff := fingerprint(churn), fingerprint(full)
+				if !bytes.Equal(fi, ff) {
+					t.Fatalf("round %d: churn network diverged from static reference\nchurn:\n%s\nreference:\n%s",
+						round, fi, ff)
+				}
+			}
+			if tcp {
+				for _, name := range names {
+					if n, ok := churn.Peer(name).DialFailures(); ok && n != 0 {
+						t.Errorf("%s exhausted %d dials against stale addresses, want 0", name, n)
+					}
+				}
+			}
+		})
+	}
+}
+
 // exportTotals sums fallback and incremental export counts across every
 // peer's session reports, polling briefly so late-finalising participant
 // reports are counted.

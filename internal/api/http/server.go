@@ -18,6 +18,11 @@
 //	GET  /v1/stats/wire      TCP frame/byte counters + outbox batching
 //	GET  /v1/reports         accumulated per-session statistics reports
 //	GET  /v1/peers           pipes and discovered peers
+//	POST /v1/membership/join   admit a node into the live network (the
+//	                           fronting peer floods the directory delta and
+//	                           hands the joiner rules + directory)
+//	POST /v1/membership/leave  coordinated departure of a node (tombstone
+//	                           flooded, survivors stop dialing it)
 //
 // Failures are JSON objects {"error": "..."} with a status code derived
 // from the error's sentinel: cq.ErrBadQuery maps to 400, ErrUnknownNode to
@@ -101,6 +106,8 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("GET /v1/stats/wire", s.handleWireStats)
 	mux.HandleFunc("GET /v1/reports", s.handleReports)
 	mux.HandleFunc("GET /v1/peers", s.handlePeers)
+	mux.HandleFunc("POST /v1/membership/join", s.handleMembershipJoin)
+	mux.HandleFunc("POST /v1/membership/leave", s.handleMembershipLeave)
 	rht := opts.ReadHeaderTimeout
 	if rht == 0 {
 		rht = 10 * time.Second

@@ -49,6 +49,10 @@ const (
 	TagUpdateFinished
 	TagDiscovery
 	TagBatch
+	TagJoinRequest
+	TagJoinAccept
+	TagLeave
+	TagDirectoryDelta
 )
 
 // String names the tag for diagnostics.
@@ -78,6 +82,14 @@ func (t Tag) String() string {
 		return "Discovery"
 	case TagBatch:
 		return "Batch"
+	case TagJoinRequest:
+		return "JoinRequest"
+	case TagJoinAccept:
+		return "JoinAccept"
+	case TagLeave:
+		return "Leave"
+	case TagDirectoryDelta:
+		return "DirectoryDelta"
 	default:
 		return fmt.Sprintf("tag(0x%02x)", uint8(t))
 	}
@@ -110,6 +122,14 @@ func TagOf(p Payload) (Tag, error) {
 		return TagDiscovery, nil
 	case *Batch:
 		return TagBatch, nil
+	case *JoinRequest:
+		return TagJoinRequest, nil
+	case *JoinAccept:
+		return TagJoinAccept, nil
+	case *Leave:
+		return TagLeave, nil
+	case *DirectoryDelta:
+		return TagDirectoryDelta, nil
 	default:
 		return 0, fmt.Errorf("msg: no wire tag for %T", p)
 	}
@@ -168,6 +188,23 @@ func appendStringMap(dst []byte, m map[string]string) []byte {
 	for _, k := range keys {
 		dst = appendString(dst, k)
 		dst = appendString(dst, m[k])
+	}
+	return dst
+}
+
+// appendDirEntries preserves slice order (producers emit entries sorted by
+// node, keeping the encoding deterministic like the sorted maps).
+func appendDirEntries(dst []byte, es []DirEntry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(es)))
+	for _, e := range es {
+		dst = appendString(dst, e.Node)
+		dst = appendString(dst, e.Addr)
+		dst = binary.AppendUvarint(dst, e.Epoch)
+		if e.Deleted {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
 	}
 	return dst
 }
@@ -328,6 +365,22 @@ func (r *reader) stringMap() map[string]string {
 	return out
 }
 
+func (r *reader) dirEntries() []DirEntry {
+	n := r.count()
+	if n == 0 {
+		return nil
+	}
+	out := make([]DirEntry, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		e := DirEntry{Node: r.str(), Addr: r.str(), Epoch: r.uvarint()}
+		if db := r.take(1); len(db) == 1 {
+			e.Deleted = db[0] != 0
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
 // ---------------------------------------------------------------------------
 // per-payload encodings
 
@@ -446,6 +499,23 @@ func AppendPayload(dst []byte, p Payload) ([]byte, error) {
 		return dst, nil
 	case *Discovery:
 		return appendStringMap(dst, m.Known), nil
+	case *JoinRequest:
+		dst = appendString(dst, m.Node)
+		dst = appendString(dst, m.Addr)
+		return dst, nil
+	case *JoinAccept:
+		dst = appendString(dst, m.Node)
+		dst = binary.AppendUvarint(dst, m.Epoch)
+		dst = binary.AppendVarint(dst, int64(m.RulesVersion))
+		dst = appendString(dst, m.RulesText)
+		dst = appendDirEntries(dst, m.Directory)
+		return dst, nil
+	case *Leave:
+		dst = appendString(dst, m.Node)
+		dst = binary.AppendUvarint(dst, m.Epoch)
+		return dst, nil
+	case *DirectoryDelta:
+		return appendDirEntries(dst, m.Entries), nil
 	case *Batch:
 		dst = binary.AppendUvarint(dst, uint64(len(m.Payloads)))
 		for _, inner := range m.Payloads {
@@ -549,6 +619,18 @@ func decodePayload(tag Tag, r *reader) (Payload, error) {
 		return m, nil
 	case TagDiscovery:
 		return &Discovery{Known: r.stringMap()}, nil
+	case TagJoinRequest:
+		return &JoinRequest{Node: r.str(), Addr: r.str()}, nil
+	case TagJoinAccept:
+		m := &JoinAccept{Node: r.str(), Epoch: r.uvarint()}
+		m.RulesVersion = int(r.varint())
+		m.RulesText = r.str()
+		m.Directory = r.dirEntries()
+		return m, nil
+	case TagLeave:
+		return &Leave{Node: r.str(), Epoch: r.uvarint()}, nil
+	case TagDirectoryDelta:
+		return &DirectoryDelta{Entries: r.dirEntries()}, nil
 	case TagBatch:
 		n := r.count()
 		m := &Batch{}

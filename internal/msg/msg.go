@@ -343,6 +343,81 @@ func (m *Discovery) Size() int {
 	return n
 }
 
+// DirEntry is one epoch-stamped directory fact: where a node can be
+// dialed, or — with Deleted — that it left the network. Epochs make the
+// directory last-writer-wins: a fact only replaces an older one when its
+// epoch is higher (or it tombstones the same epoch), so a peer rejoining
+// at a new address overrides the stale entry everywhere, and a tombstone
+// lets the directory finally forget a departed name instead of re-dialing
+// it forever. Epoch 0 is the static-bootstrap epoch (configuration files,
+// legacy Discovery gossip).
+type DirEntry struct {
+	Node    string
+	Addr    string
+	Epoch   uint64
+	Deleted bool
+}
+
+// JoinRequest announces a node to an admitting peer: the joiner's name and
+// dial-back address. The admitter assigns the joiner's directory epoch and
+// answers with a JoinAccept.
+type JoinRequest struct {
+	Node string
+	Addr string
+}
+
+// Size implements Payload.
+func (m *JoinRequest) Size() int { return len(m.Node) + len(m.Addr) }
+
+// JoinAccept admits a node into a live network: the admitting peer's name,
+// the directory epoch assigned to the joiner, the current coordination-rules
+// configuration (version + concrete syntax, so the joiner needs no separate
+// broadcast), and an epoch-stamped snapshot of the whole directory.
+type JoinAccept struct {
+	Node         string
+	Epoch        uint64
+	RulesVersion int
+	RulesText    string
+	Directory    []DirEntry
+}
+
+// Size implements Payload.
+func (m *JoinAccept) Size() int {
+	n := len(m.Node) + len(m.RulesText) + 12
+	for _, e := range m.Directory {
+		n += len(e.Node) + len(e.Addr) + 9
+	}
+	return n
+}
+
+// Leave is a coordinated departure notice: survivors tombstone the node's
+// directory entry at the given epoch, write off its in-flight deficits and
+// reset their exporter watermarks toward it.
+type Leave struct {
+	Node  string
+	Epoch uint64
+}
+
+// Size implements Payload.
+func (m *Leave) Size() int { return len(m.Node) + 8 }
+
+// DirectoryDelta floods epoch-stamped directory facts (joins, address
+// changes, tombstones). Receivers apply the entries locally and never
+// forward them: deltas are star-flooded by the peer that produced them, so
+// the epoch precedence needs no gossip-loop suppression.
+type DirectoryDelta struct {
+	Entries []DirEntry
+}
+
+// Size implements Payload.
+func (m *DirectoryDelta) Size() int {
+	n := 0
+	for _, e := range m.Entries {
+		n += len(e.Node) + len(e.Addr) + 9
+	}
+	return n
+}
+
 // Batch packs several payloads for the same destination into one envelope
 // (see the package comment). Order is the send order; receivers deliver the
 // packed payloads individually, preserving it.

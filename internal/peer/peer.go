@@ -50,8 +50,14 @@ type Options struct {
 	// core.NewMediatorWrapper).
 	Wrapper core.Wrapper
 	// Directory seeds the node -> dial-address map used to establish
-	// pipes (TCP); in-process buses resolve names themselves.
+	// pipes (TCP); in-process buses resolve names themselves. Seed entries
+	// carry the static bootstrap epoch 0; runtime membership facts
+	// (msg.DirEntry) override them.
 	Directory map[string]string
+	// Epoch is this node's own directory epoch — the incarnation number
+	// other peers know this node under. Every runtime join bumps it;
+	// static bootstrap deployments leave it 0.
+	Epoch uint64
 	// MaxDepth, Eval, DisableDedup, Naive, FullExport tune the algorithm;
 	// see core.Config.
 	MaxDepth     int
@@ -99,14 +105,17 @@ type Peer struct {
 	inbox chan any // envelopes and commands, consumed by the actor loop
 
 	// Actor-owned state (no locks; only the loop touches these).
-	directory    map[string]string
+	directory    map[string]dirEntry
+	selfEpoch    uint64 // this node's own incarnation number
 	piped        map[string]bool
 	rulesVersion int
+	rulesText    string          // concrete syntax of the installed config (join handoff)
 	statsSeen    map[string]bool // stats-request flood dedup
 	queries      map[string]*queryWaiter
 	updates      map[string]chan msg.UpdateReport
 	remoteCmds   map[string]string // sid -> ReplyTo for StartUpdateCmd
 	statsSink    func(msg.StatsReport)
+	joinWait     chan *msg.JoinAccept // armed by JoinVia, fired by handleJoinAccept
 
 	stopped chan struct{}
 }
@@ -161,7 +170,8 @@ func New(opts Options) (*Peer, error) {
 		statePath:  statePath,
 		log:        log.With("peer", opts.Name),
 		inbox:      make(chan any, inboxCap),
-		directory:  make(map[string]string),
+		directory:  make(map[string]dirEntry),
+		selfEpoch:  opts.Epoch,
 		piped:      make(map[string]bool),
 		statsSeen:  make(map[string]bool),
 		queries:    make(map[string]*queryWaiter),
@@ -170,7 +180,7 @@ func New(opts Options) (*Peer, error) {
 		stopped:    make(chan struct{}),
 	}
 	for k, v := range opts.Directory {
-		p.directory[k] = v
+		p.directory[k] = dirEntry{addr: v}
 	}
 	if sn, ok := opts.Wrapper.(core.Snapshotter); ok && !opts.DisableReadPath {
 		p.readPath = newReadPath(opts.Name, sn, node, opts.Eval, opts.QueryCacheSize)
@@ -422,6 +432,18 @@ func (p *Peer) handleEnvelope(env msg.Envelope) {
 		}
 	case *msg.Discovery:
 		p.mergeDiscovery(m)
+	case *msg.JoinRequest:
+		p.handleJoinRequest(m)
+	case *msg.JoinAccept:
+		p.handleJoinAccept(m)
+	case *msg.Leave:
+		// A coordinated leave tombstones the departing node's own
+		// incarnation: same-epoch tombstones win over live entries.
+		p.applyDirectoryDelta([]msg.DirEntry{{Node: m.Node, Epoch: m.Epoch, Deleted: true}})
+	case *msg.DirectoryDelta:
+		// Deltas arrive star-flooded by the admitting/removing peer and
+		// are applied locally, never forwarded (no gossip loops).
+		p.applyDirectoryDelta(m.Entries)
 	default:
 		res := p.node.Handle(env)
 		p.dispatch(res)
@@ -491,11 +513,17 @@ func (p *Peer) ensurePipe(to string) error {
 	if p.piped[to] {
 		return nil
 	}
-	if err := p.tr.Connect(to, p.directory[to]); err != nil {
+	entry := p.directory[to]
+	if entry.deleted {
+		// Tombstoned peers are never dialed: a departed node's address
+		// must not accumulate failed dial attempts.
+		return fmt.Errorf("peer %s: %s has left the network", p.name, to)
+	}
+	if err := p.tr.Connect(to, entry.addr); err != nil {
 		return err
 	}
 	p.piped[to] = true
-	p.tr.Send(to, &msg.Discovery{Known: p.directoryCopy()})
+	p.tr.Send(to, &msg.DirectoryDelta{Entries: p.directoryEntries()})
 	return nil
 }
 
@@ -510,31 +538,12 @@ func (p *Peer) sendTo(to string, payload msg.Payload) error {
 	return err
 }
 
-func (p *Peer) directoryCopy() map[string]string {
-	known := make(map[string]string, len(p.directory)+1)
-	for k, v := range p.directory {
-		known[k] = v
-	}
-	tr := p.tr
-	if ob, ok := tr.(*transport.Outbox); ok {
-		tr = ob.Underlying()
-	}
-	if t, ok := tr.(*transport.TCP); ok {
-		known[p.name] = t.Addr()
-	} else if _, present := known[p.name]; !present {
-		known[p.name] = ""
-	}
-	return known
-}
-
+// mergeDiscovery applies a legacy address gossip map. Entries carry no
+// epoch, so they are treated as bootstrap (epoch 0) facts: they fill gaps
+// but can never override a runtime incarnation or resurrect a tombstone.
 func (p *Peer) mergeDiscovery(d *msg.Discovery) {
 	for node, addr := range d.Known {
-		if node == p.name {
-			continue
-		}
-		if cur, ok := p.directory[node]; !ok || (cur == "" && addr != "") {
-			p.directory[node] = addr
-		}
+		p.applyDirEntry(msg.DirEntry{Node: node, Addr: addr})
 	}
 }
 
@@ -574,18 +583,14 @@ func (p *Peer) applyBroadcast(from string, b *msg.RulesBroadcast) {
 		return
 	}
 	p.rulesVersion = b.Version
+	p.rulesText = b.Text
 	if err := p.installConfig(cfg); err != nil {
 		p.log.Warn("config install failed", "err", err)
 	}
 	// Forward the flood to everyone we know (dedup by version).
-	for _, acq := range p.node.Acquaintances() {
-		if acq != from {
-			p.sendTo(acq, b)
-		}
-	}
-	for node := range p.directory {
-		if node != from && node != p.name {
-			p.sendTo(node, b)
+	for _, to := range p.floodTargets() {
+		if to != from {
+			p.sendTo(to, b)
 		}
 	}
 }
@@ -597,9 +602,7 @@ func (p *Peer) applyBroadcast(from string, b *msg.RulesBroadcast) {
 // necessary".
 func (p *Peer) installConfig(cfg *config.Config) error {
 	for node, addr := range cfg.Directory() {
-		if node != p.name {
-			p.directory[node] = addr
-		}
+		p.mergeBootstrapAddr(node, addr)
 	}
 	if decl := cfg.Node(p.name); decl != nil {
 		if definer, ok := p.node.Wrapper().(interface {
@@ -649,9 +652,7 @@ func (p *Peer) handleStatsRequest(from string, req *msg.StatsRequest) {
 	}
 	p.statsSeen[req.ID] = true
 	if req.Addr != "" {
-		if _, ok := p.directory[req.ReplyTo]; !ok {
-			p.directory[req.ReplyTo] = req.Addr
-		}
+		p.applyDirEntry(msg.DirEntry{Node: req.ReplyTo, Addr: req.Addr})
 	}
 	if req.ReplyTo != p.name {
 		p.sendTo(req.ReplyTo, &msg.StatsReport{ID: req.ID, Node: p.name, Reports: p.node.Reports()})
@@ -708,6 +709,7 @@ func (p *Peer) ApplyConfig(cfg *config.Config, version int) error {
 	if derr := p.do(func() {
 		if version > p.rulesVersion {
 			p.rulesVersion = version
+			p.rulesText = cfg.String()
 		}
 		err = p.installConfig(cfg)
 	}); derr != nil {
@@ -716,13 +718,13 @@ func (p *Peer) ApplyConfig(cfg *config.Config, version int) error {
 	return err
 }
 
-// SetDirectory merges dial addresses into the peer's directory.
+// SetDirectory merges dial addresses into the peer's directory at the
+// static bootstrap epoch. Runtime membership facts (joins, tombstones —
+// epoch > 0) take precedence and are never overwritten.
 func (p *Peer) SetDirectory(dir map[string]string) {
 	p.do(func() {
 		for k, v := range dir {
-			if k != p.name {
-				p.directory[k] = v
-			}
+			p.mergeBootstrapAddr(k, v)
 		}
 	})
 }
@@ -1065,8 +1067,8 @@ func (p *Peer) Discovered() []string {
 		for _, a := range p.node.Acquaintances() {
 			acq[a] = true
 		}
-		for node := range p.directory {
-			if !acq[node] && node != p.name {
+		for node, e := range p.directory {
+			if !acq[node] && node != p.name && !e.deleted {
 				out = append(out, node)
 			}
 		}
@@ -1080,18 +1082,10 @@ func (p *Peer) SetStatsSink(fn func(msg.StatsReport)) {
 	p.do(func() { p.statsSink = fn })
 }
 
-// Broadcast sends a payload to every known peer (super-peer floods).
+// Broadcast sends a payload to every known live peer (super-peer floods).
 func (p *Peer) Broadcast(payload msg.Payload) {
 	p.do(func() {
-		targets := make(map[string]bool)
-		for _, a := range p.node.Acquaintances() {
-			targets[a] = true
-		}
-		for node := range p.directory {
-			targets[node] = true
-		}
-		delete(targets, p.name)
-		for node := range targets {
+		for _, node := range p.floodTargets() {
 			p.sendTo(node, payload)
 		}
 	})

@@ -122,20 +122,39 @@ func (sp *SuperPeer) Config() *config.Config {
 }
 
 // Broadcast ships the current configuration to every known peer; each peer
-// drops old rules/pipes and installs the new ones (paper §4). Every call
-// bumps the version so re-broadcasts reconfigure at runtime.
+// drops old rules/pipes and installs the new ones (paper §4). Every
+// successful call bumps the version so re-broadcasts reconfigure at
+// runtime; a call without a configuration fails without burning a version
+// (peers dedup by version, so a burnt number would make the next genuine
+// broadcast look stale to anyone who heard it second-hand).
 func (sp *SuperPeer) Broadcast() error {
 	sp.mu.Lock()
+	if sp.cfg == nil {
+		sp.mu.Unlock()
+		return fmt.Errorf("superpeer: no configuration set")
+	}
 	cfg := sp.cfg
 	sp.version++
 	version := sp.version
 	sp.mu.Unlock()
-	if cfg == nil {
-		return fmt.Errorf("superpeer: no configuration set")
-	}
 	sp.peer.SetDirectory(cfg.Directory())
-	sp.peer.Broadcast(&msg.RulesBroadcast{Version: version, Text: cfg.String()})
+	text := cfg.String()
+	// The flood never loops back here, so plant the snapshot joiners get.
+	sp.peer.SetRulesSnapshot(version, text)
+	sp.peer.Broadcast(&msg.RulesBroadcast{Version: version, Text: text})
 	return nil
+}
+
+// AdmitJoin admits a node into the live network through the super-peer's
+// own peer: directory delta flooded, rules + directory handed to the
+// joiner. Returns the epoch assigned to the joiner.
+func (sp *SuperPeer) AdmitJoin(node, addr string) (uint64, error) {
+	return sp.peer.AdmitJoin(node, addr)
+}
+
+// RemoveNode floods a tombstone for a departing node (coordinated leave).
+func (sp *SuperPeer) RemoveNode(node string) error {
+	return sp.peer.RemoveNode(node)
 }
 
 // StartUpdate commands a node to initiate a global update and waits for its

@@ -201,6 +201,41 @@ func TestBroadcastWithoutConfigFails(t *testing.T) {
 	}
 }
 
+// A failed Broadcast (no configuration) must not burn a version number:
+// peers dedup broadcasts by version, so burnt numbers create gaps and make
+// a later genuine broadcast carry a higher version than anything actually
+// shipped. The first real broadcast after n failures must carry the
+// configuration's version + 1, not + n + 1.
+func TestFailedBroadcastDoesNotBurnVersion(t *testing.T) {
+	_, peers, sp := buildNetwork(t)
+	for i := 0; i < 3; i++ {
+		if err := sp.Broadcast(); err == nil {
+			t.Fatal("broadcast without config accepted")
+		}
+	}
+	sp.mu.Lock()
+	burnt := sp.version
+	sp.mu.Unlock()
+	if burnt != 0 {
+		t.Fatalf("failed broadcasts burnt %d version numbers", burnt)
+	}
+	cfg, err := config.Parse(netCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.SetConfig(cfg)
+	if err := sp.Broadcast(); err != nil {
+		t.Fatal(err)
+	}
+	sp.mu.Lock()
+	shipped := sp.version
+	sp.mu.Unlock()
+	if shipped != cfg.Version+1 {
+		t.Fatalf("first real broadcast shipped version %d, want %d", shipped, cfg.Version+1)
+	}
+	waitRules(t, peers["B"], 2)
+}
+
 func TestCollectStatsTimeout(t *testing.T) {
 	_, _, sp := buildNetwork(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)

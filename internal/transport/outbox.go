@@ -183,6 +183,23 @@ func (o *Outbox) Connect(node, addr string) error {
 	return nil
 }
 
+// ConnectAddr implements AddrDialer when the underlying transport does: the
+// pipe is established by address, the learned name gets its writer queue.
+func (o *Outbox) ConnectAddr(addr string) (string, error) {
+	ad, ok := o.tr.(AddrDialer)
+	if !ok {
+		return "", fmt.Errorf("transport: %T cannot dial by address", o.tr)
+	}
+	node, err := ad.ConnectAddr(addr)
+	if err != nil {
+		return "", err
+	}
+	if o.queueFor(node) == nil {
+		return "", ErrClosed
+	}
+	return node, nil
+}
+
 // Send implements Transport: the payload is enqueued for the destination's
 // writer. Send blocks while the queue is full and returns an error only
 // when no pipe to the destination exists (or the Outbox is closed); later

@@ -41,8 +41,9 @@ type TCP struct {
 	handler   Handler
 	pipeDown  func(peer string)
 
-	frames atomic.Uint64 // envelope frames written (handshake excluded)
-	bytes  atomic.Uint64 // envelope frame bytes written, headers included
+	frames    atomic.Uint64 // envelope frames written (handshake excluded)
+	bytes     atomic.Uint64 // envelope frame bytes written, headers included
+	dialFails atomic.Uint64 // outbound dials that failed after every retry
 }
 
 // tcpConn is one pipe's write side: the connection, the version negotiated
@@ -64,6 +65,15 @@ const maxFrame = wire.MaxFrame
 // loop behind it) in a handshake read forever; established connections
 // carry no deadline — idle pipes are legal.
 const handshakeTimeout = 10 * time.Second
+
+// Outbound dials retry briefly with doubling backoff before giving up:
+// runtime join and rejoin race the remote's listener coming up, and a
+// connection-refused on loopback fails instantly, so a couple of retries
+// absorb the race without meaningfully stalling the caller.
+const (
+	dialAttempts    = 3
+	dialBackoffBase = 25 * time.Millisecond
+)
 
 // hello returns the handshake frame payload this node offers.
 func (t *TCP) hello() wire.Hello {
@@ -242,8 +252,48 @@ func (t *TCP) readLoop(peer string, c net.Conn, version byte) {
 	}
 }
 
-// Connect implements Transport: dials addr and handshakes. Re-connecting to
-// an already-piped node is a no-op.
+// dial establishes and handshakes an outbound connection, retrying briefly
+// with backoff; every attempt failing counts one DialFailures increment.
+func (t *TCP) dial(addr string) (c net.Conn, theirs wire.Hello, version byte, err error) {
+	for attempt := 1; ; attempt++ {
+		c, theirs, version, err = t.dialOnce(addr)
+		if err == nil {
+			return c, theirs, version, nil
+		}
+		if attempt >= dialAttempts {
+			t.dialFails.Add(1)
+			return nil, wire.Hello{}, 0, err
+		}
+		time.Sleep(dialBackoffBase << (attempt - 1))
+	}
+}
+
+func (t *TCP) dialOnce(addr string) (net.Conn, wire.Hello, byte, error) {
+	c, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+	if err != nil {
+		return nil, wire.Hello{}, 0, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c.SetDeadline(time.Now().Add(handshakeTimeout))
+	if err := wire.WriteHello(c, t.hello()); err != nil {
+		c.Close()
+		return nil, wire.Hello{}, 0, fmt.Errorf("transport: handshake with %s: %w", addr, err)
+	}
+	theirs, err := wire.ReadHello(c)
+	if err != nil {
+		c.Close()
+		return nil, wire.Hello{}, 0, fmt.Errorf("transport: handshake with %s: %w", addr, err)
+	}
+	version, err := wire.Negotiate(t.hello(), theirs)
+	if err != nil {
+		c.Close()
+		return nil, wire.Hello{}, 0, fmt.Errorf("transport: handshake with %s: %w", addr, err)
+	}
+	c.SetDeadline(time.Time{})
+	return c, theirs, version, nil
+}
+
+// Connect implements Transport: dials addr (with retry/backoff) and
+// handshakes. Re-connecting to an already-piped node is a no-op.
 func (t *TCP) Connect(node, addr string) error {
 	t.mu.Lock()
 	if t.closed {
@@ -259,30 +309,14 @@ func (t *TCP) Connect(node, addr string) error {
 	if addr == "" {
 		return fmt.Errorf("transport: connect to %s: no address", node)
 	}
-	c, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+	c, theirs, version, err := t.dial(addr)
 	if err != nil {
-		return fmt.Errorf("transport: dial %s (%s): %w", node, addr, err)
-	}
-	c.SetDeadline(time.Now().Add(handshakeTimeout))
-	if err := wire.WriteHello(c, t.hello()); err != nil {
-		c.Close()
-		return fmt.Errorf("transport: handshake with %s: %w", node, err)
-	}
-	theirs, err := wire.ReadHello(c)
-	if err != nil {
-		c.Close()
-		return fmt.Errorf("transport: handshake with %s: %w", node, err)
-	}
-	version, err := wire.Negotiate(t.hello(), theirs)
-	if err != nil {
-		c.Close()
-		return fmt.Errorf("transport: handshake with %s: %w", node, err)
+		return fmt.Errorf("transport: connect to %s: %w", node, err)
 	}
 	if theirs.Name != node {
 		c.Close()
 		return fmt.Errorf("transport: dialed %s but peer identifies as %s", node, theirs.Name)
 	}
-	c.SetDeadline(time.Time{})
 	t.register(node, c, version)
 	t.wg.Add(1)
 	go func() {
@@ -291,6 +325,39 @@ func (t *TCP) Connect(node, addr string) error {
 	}()
 	return nil
 }
+
+// ConnectAddr implements AddrDialer: it dials an address whose node name is
+// not known in advance (the first hop of a runtime join) and learns the
+// name from the remote's hello.
+func (t *TCP) ConnectAddr(addr string) (string, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return "", ErrClosed
+	}
+	t.mu.Unlock()
+	c, theirs, version, err := t.dial(addr)
+	if err != nil {
+		return "", err
+	}
+	if theirs.Name == t.self {
+		c.Close()
+		return "", fmt.Errorf("transport: %s dialed itself at %s", t.self, addr)
+	}
+	t.register(theirs.Name, c, version)
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.readLoop(theirs.Name, c, version)
+	}()
+	return theirs.Name, nil
+}
+
+// DialFailures counts outbound dials that failed after every retry — the
+// observable for "no dials to departed addresses": a healthy dynamic
+// network tombstones departed peers instead of re-dialing them, so churn
+// should leave this at zero.
+func (t *TCP) DialFailures() uint64 { return t.dialFails.Load() }
 
 // Send implements Transport: the envelope is encoded into one frame —
 // header at the negotiated version, payload tag, CRC — and written in a

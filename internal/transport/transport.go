@@ -49,6 +49,14 @@ type Transport interface {
 	Close() error
 }
 
+// AddrDialer is implemented by transports that can establish a pipe to an
+// address without knowing the remote's name in advance — the first dial of
+// a runtime join, where the joiner knows only the admitting peer's address.
+// The remote's name is learned from its handshake and returned.
+type AddrDialer interface {
+	ConnectAddr(addr string) (node string, err error)
+}
+
 // PipeNotifier is implemented by transports that can asynchronously report
 // a pipe failure (e.g. TCP detecting a dead connection in its read loop).
 // Asynchronous senders need this: a write into a connection the far side

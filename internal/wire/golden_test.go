@@ -63,6 +63,20 @@ func goldenPayloads() []msg.Payload {
 		&msg.StartUpdateCmd{SID: "N1-1-abc", ReplyTo: "super"},
 		&msg.UpdateFinished{SID: "N1-1-abc", Node: "N1", Report: report},
 		&msg.Discovery{Known: map[string]string{"N1": "127.0.0.1:9", "N2": ""}},
+		&msg.JoinRequest{Node: "N4", Addr: "127.0.0.1:7004"},
+		&msg.JoinAccept{
+			Node: "super", Epoch: 3, RulesVersion: 2,
+			RulesText: "node N1 addr :0\nend\n",
+			Directory: []msg.DirEntry{
+				{Node: "N1", Addr: "127.0.0.1:7001", Epoch: 1},
+				{Node: "N2", Addr: "", Epoch: 2, Deleted: true},
+			},
+		},
+		&msg.Leave{Node: "N4", Epoch: 3},
+		&msg.DirectoryDelta{Entries: []msg.DirEntry{
+			{Node: "N4", Addr: "127.0.0.1:7004", Epoch: 3},
+			{Node: "N5", Addr: "", Epoch: 9, Deleted: true},
+		}},
 		&msg.Batch{Payloads: []msg.Payload{
 			&msg.SessionAck{SID: "N1-1-abc", N: 1},
 			&msg.LinkClose{SID: "N1-1-abc", RuleID: "r1"},

@@ -1,0 +1,315 @@
+package codb
+
+// Runtime membership tests: tombstones stop traffic toward departed peers,
+// epoch precedence follows rejoiners to new addresses, the wire-level
+// join protocol hands rules and directory to a process that knew nothing,
+// and churn under concurrent traffic stays convergent (run under -race).
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"codb/internal/config"
+)
+
+// waitLiveDirEntry polls until p's directory holds a live, dialable entry
+// for node (membership deltas flood asynchronously).
+func waitLiveDirEntry(t *testing.T, p *Peer, node string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if addr, deleted, ok := p.DirectoryEntry(node); ok && !deleted && addr != "" {
+			return
+		}
+		if time.Now().After(deadline) {
+			addr, deleted, ok := p.DirectoryEntry(node)
+			t.Fatalf("%s never learned a live address for %s (addr=%q deleted=%v known=%v)",
+				p.Name(), node, addr, deleted, ok)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// assertNoDialFailures fails if any named peer's transport ever exhausted a
+// dial — the observable for "nobody dials a departed peer's stale address".
+func assertNoDialFailures(t *testing.T, nw *Network, names ...string) {
+	t.Helper()
+	for _, name := range names {
+		n, ok := nw.Peer(name).DialFailures()
+		if !ok {
+			t.Fatalf("%s has no dial counter (not a TCP transport?)", name)
+		}
+		if n != 0 {
+			t.Errorf("%s recorded %d exhausted dials to stale addresses, want 0", name, n)
+		}
+	}
+}
+
+// TestRemovePeerNoDialsToDeparted: RemovePeer must propagate a tombstone,
+// not just forget the address locally — survivors with rules toward the
+// departed name must neither dial its dead listener nor hang the session.
+func TestRemovePeerNoDialsToDeparted(t *testing.T) {
+	nw := NewNetworkWithOptions(NetworkOptions{Transport: TransportGroup{TCP: true}})
+	defer nw.Close()
+	nw.MustAddPeer("a", "r(x int)")
+	nw.MustAddPeer("b", "r(x int)")
+	nw.MustAddPeer("c", "r(x int)")
+	nw.MustAddRule("r1", `a.r(x) <- b.r(x)`)
+	nw.MustAddRule("r2", `a.r(x) <- c.r(x)`)
+	if err := nw.Insert("b", "r", Row(Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Insert("c", "r", Row(Int(2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Update(ctxT(t), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.Peer("a").Count("r"); got != 2 {
+		t.Fatalf("a.r = %d before churn, want 2", got)
+	}
+
+	nw.RemovePeer("c")
+	if _, deleted, ok := nw.Peer("a").DirectoryEntry("c"); !ok || !deleted {
+		t.Fatalf("survivor a holds no tombstone for c (known=%v deleted=%v)", ok, deleted)
+	}
+	// a still has rule r2 toward the departed c: sessions must complete by
+	// compensation, with zero dial attempts at c's dead listener.
+	for i := 10; i < 13; i++ {
+		if err := nw.Insert("b", "r", Row(Int(i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nw.Update(ctxT(t), "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := nw.Peer("a").Count("r"); got != 5 {
+		t.Fatalf("a.r = %d after churn updates, want 5", got)
+	}
+	assertNoDialFailures(t, nw, "a", "b")
+}
+
+// TestRejoinAtNewAddressReachable: a peer that leaves and rejoins under the
+// same name gets a fresh listener (new port). The old merge-only directory
+// stranded such rejoiners — survivors kept the first address forever. The
+// epoch-stamped entry must override it, so traffic reaches the new
+// incarnation with zero dials at the old port.
+func TestRejoinAtNewAddressReachable(t *testing.T) {
+	nw := NewNetworkWithOptions(NetworkOptions{Transport: TransportGroup{TCP: true}})
+	defer nw.Close()
+	nw.MustAddPeer("a", "r(x int)")
+	nw.MustAddPeer("b", "r(x int)")
+	nw.MustAddRule("r1", `a.r(x) <- b.r(x)`)
+	for i := 0; i < 5; i++ {
+		if err := nw.Insert("b", "r", Row(Int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nw.Update(ctxT(t), "a"); err != nil {
+		t.Fatal(err)
+	}
+	nw.mu.Lock()
+	oldAddr := nw.addrs["b"]
+	nw.mu.Unlock()
+
+	nw.RemovePeer("b")
+	nw.MustAddPeer("b", "r(x int)")
+	nw.MustAddRule("r1", `a.r(x) <- b.r(x)`)
+	nw.mu.Lock()
+	newAddr := nw.addrs["b"]
+	nw.mu.Unlock()
+	if newAddr == oldAddr {
+		t.Skipf("rejoined listener reused %s; cannot distinguish old from new", oldAddr)
+	}
+	if addr, deleted, ok := nw.Peer("a").DirectoryEntry("b"); !ok || deleted || addr != newAddr {
+		t.Fatalf("survivor a resolves b to %q (deleted=%v), want new address %q", addr, deleted, newAddr)
+	}
+
+	for i := 10; i < 15; i++ {
+		if err := nw.Insert("b", "r", Row(Int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nw.Update(ctxT(t), "a"); err != nil {
+		t.Fatal(err)
+	}
+	// 5 tuples from b's first life + 5 from the rejoined (fresh) b.
+	if got := nw.Peer("a").Count("r"); got != 10 {
+		t.Fatalf("a.r = %d after rejoin update, want 10 (new incarnation unreachable?)", got)
+	}
+	assertNoDialFailures(t, nw, "a", "b")
+}
+
+// TestJoinRemoteOverWire: a peer in a separate Network (standing in for a
+// separate process) joins a live network through the super-peer's wire
+// endpoint: JoinRequest out, JoinAccept back with the rules snapshot and
+// the epoch-stamped directory, directory delta flooded to the incumbents —
+// then a global update spans both processes.
+func TestJoinRemoteOverWire(t *testing.T) {
+	host := NewNetworkWithOptions(NetworkOptions{Transport: TransportGroup{TCP: true}})
+	defer host.Close()
+	host.MustAddPeer("a", "r(x int)")
+	host.MustAddPeer("b", "r(x int)")
+	sp, err := host.SuperPeer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := config.Parse(`version 1
+node a
+  rel r(x int)
+end
+node b
+  rel r(x int)
+end
+node c
+  rel r(x int)
+end
+rule r1: a.r(x) <- b.r(x)
+rule r2: a.r(x) <- c.r(x)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.SetConfig(cfg)
+	if err := sp.Broadcast(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(host.Peer("a").Rules()) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("a never installed the broadcast rules (has %d)", len(host.Peer("a").Rules()))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := host.Insert("b", "r", Row(Int(1)), Row(Int(2))); err != nil {
+		t.Fatal(err)
+	}
+
+	host.mu.Lock()
+	superAddr := host.addrs["super"]
+	host.mu.Unlock()
+	guest := NewNetworkWithOptions(NetworkOptions{Transport: TransportGroup{TCP: true}})
+	defer guest.Close()
+	c, err := guest.JoinRemote(ctxT(t), "c", superAddr, "r(x int)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The JoinAccept handoff carried the rules: c must know r2 already.
+	if got := len(c.Rules()); got != 1 {
+		t.Fatalf("joiner installed %d rules from the handoff, want 1", got)
+	}
+	if err := c.Insert("r", Row(Int(3)), Row(Int(4))); err != nil {
+		t.Fatal(err)
+	}
+
+	// The admit flood must teach the incumbents c's address.
+	waitLiveDirEntry(t, host.Peer("a"), "c")
+	if _, err := host.Update(ctxT(t), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := host.Peer("a").Count("r"); got != 4 {
+		t.Fatalf("a.r = %d after cross-process update, want 4 (2 from b + 2 from joined c)", got)
+	}
+	assertNoDialFailures(t, host, "a", "b")
+	if n, ok := c.DialFailures(); !ok || n != 0 {
+		t.Errorf("joiner recorded %d exhausted dials (counter ok=%v), want 0", n, ok)
+	}
+
+	// Coordinated leave over the wire: survivors tombstone c and stop
+	// dialing it; updates keep completing.
+	if err := c.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if _, deleted, ok := host.Peer("a").DirectoryEntry("c"); ok && deleted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("survivor a never tombstoned the departed c")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	guest.Close()
+	if _, err := host.Update(ctxT(t), "a"); err != nil {
+		t.Fatal(err)
+	}
+	assertNoDialFailures(t, host, "a", "b")
+}
+
+// TestChurnUnderConcurrentTraffic races joins, leaves and rule changes
+// against continuous updates and reads; meaningful under -race. The
+// network must stay responsive and convergent throughout.
+func TestChurnUnderConcurrentTraffic(t *testing.T) {
+	nw := NewNetwork()
+	defer nw.Close()
+	nw.MustAddPeer("a", "r(x int)")
+	nw.MustAddPeer("b", "r(x int)")
+	nw.MustAddRule("r1", `a.r(x) <- b.r(x)`)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				nw.Peer("a").Count("r")
+				if _, err := nw.LocalQuery("a", `ans(x) :- r(x)`, AllAnswers); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := nw.Insert("b", "r", Row(Int(i))); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := nw.Update(ctxT(t), "a"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Churn: c joins, links to b, pulls data, leaves — repeatedly, while
+	// the update/read traffic above keeps running.
+	for round := 0; round < 5; round++ {
+		if _, err := nw.AddPeer("c", "r(x int)"); err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.AddRule("rc", `c.r(x) <- b.r(x)`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nw.Update(ctxT(t), "c"); err != nil {
+			t.Fatal(err)
+		}
+		nw.RemovePeer("c")
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesce and converge: a holds exactly what b exported.
+	if _, err := nw.Update(ctxT(t), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := nw.Peer("a").Count("r"), nw.Peer("b").Count("r"); a != b {
+		t.Fatalf("after churn a.r = %d, b.r = %d; must converge", a, b)
+	}
+}

@@ -251,6 +251,64 @@ func TestRestartCorruptStateDegrades(t *testing.T) {
 	}
 }
 
+// TestLeaveThenRejoinDurableResumesIncremental: a peer that leaves the
+// network and rejoins over its own durable directory must pick up where it
+// left off — the rejoin itself does not reset the rejoiner's export state,
+// so the next session ships exactly one export per rule: incrementally
+// (just the delta) or, at worst, one full export. Never both.
+func TestLeaveThenRejoinDurableResumesIncremental(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	nw := buildDurablePair(t, dirA, dirB)
+	defer nw.Close()
+	for i := 0; i < 30; i++ {
+		if err := nw.Insert("b", "r", Row(Int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nw.Update(ctxT(t), "a"); err != nil {
+		t.Fatal(err)
+	}
+	waitForFile(t, filepath.Join(dirB, "exports.state"))
+
+	// b departs; a tombstones it and resets its own state toward b.
+	nw.RemovePeer("b")
+	// …and rejoins over the same durable directory (a new incarnation of
+	// the same data), re-declaring its rule.
+	if _, err := nw.AddDurablePeer("b", dirB, "r(x int)"); err != nil {
+		t.Fatal(err)
+	}
+	nw.MustAddRule("r1", `a.r(x) <- b.r(x)`)
+	for i := 100; i < 105; i++ {
+		if err := nw.Insert("b", "r", Row(Int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := nw.Update(ctxT(t), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.Peer("a").Count("r"); got != 35 {
+		t.Fatalf("a.r = %d after rejoin update, want 35", got)
+	}
+	repB := sessionReport(t, nw.Peer("b"), rep.SID)
+	exports := repB.ExportsIncremental + repB.ExportsFull + repB.ExportsFallback
+	if exports != 1 {
+		t.Errorf("rejoined exporter ran %d exports (incr=%d full=%d fallback=%d), want exactly one",
+			exports, repB.ExportsIncremental, repB.ExportsFull, repB.ExportsFallback)
+	}
+	if repB.ExportsIncremental == 1 {
+		// Resumed incrementally: only the 5 post-rejoin tuples shipped.
+		repA := sessionReport(t, nw.Peer("a"), rep.SID)
+		shipped := 0
+		for _, n := range repA.TuplesPerRule {
+			shipped += n
+		}
+		if shipped != 5 {
+			t.Errorf("rejoin session shipped %d tuples, want exactly the 5 new ones", shipped)
+		}
+	}
+}
+
 // TestRecreatedImporterGetsFullReexport: when a peer leaves and a fresh one
 // takes its name, the exporters must not assume anything is already
 // materialised there — RemovePeer resets their export state toward the

@@ -2,8 +2,10 @@
 # Smoke-test the HTTP/JSON serving layer on a real multi-process
 # deployment: three codb-peer processes on a TCP chain, each with its own
 # gateway, bootstrapped by codb-super, then driven end to end with curl —
-# health, insert, update, sync and streaming queries, stats, and the
-# 404/400 error mapping.
+# health, insert, update, sync and streaming queries, stats, the 404/400
+# error mapping, and runtime membership: a fourth peer admitted over
+# POST /v1/membership/join, an update with it present, a coordinated
+# leave, and the survivors answering afterwards.
 set -eu
 
 dir=$(mktemp -d)
@@ -92,5 +94,51 @@ code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
     exit 1
 }
 echo "error mapping ok"
+
+# Runtime membership: launch a fourth, config-less peer and admit it
+# through N0's gateway. The admitter dials the joiner, hands it the
+# current rules and the epoch-stamped directory, and floods the delta to
+# the incumbents.
+"$dir/codb-peer" -name N3 -listen 127.0.0.1:7183 \
+    -http 127.0.0.1:8183 >"$dir/N3.log" 2>&1 &
+pids="$pids $!"
+for _ in $(seq 1 50); do
+    if curl -fsS http://127.0.0.1:8183/healthz >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.2
+done
+curl -fsS -X POST http://127.0.0.1:8180/v1/membership/join \
+    -d '{"node":"N3","addr":"127.0.0.1:7183"}' | grep -q '"epoch"'
+echo "join ok"
+
+# With the joiner present, another insert + global update must still
+# converge the chain (N3 holds no chain relations; it just must not wedge
+# the session).
+curl -fsS -X POST http://127.0.0.1:8182/v1/insert \
+    -d '{"relation":"data","rows":[[9,90]]}' | grep -q '"inserted":1'
+curl -fsS -X POST 'http://127.0.0.1:8180/v1/update?timeout=1m' -d '{}' |
+    grep -q '"report"'
+body=$(curl -fsS -X POST http://127.0.0.1:8180/v1/query \
+    -d '{"query":"ans(k, v) :- data(k, v)","local":true}')
+echo "$body" | grep -q '"count":4' || {
+    echo "post-join query: want count 4, got: $body" >&2
+    exit 1
+}
+echo "update with joiner ok"
+
+# Coordinated leave through the gateway: survivors tombstone N3 and keep
+# answering — no timeouts toward the departed listener.
+curl -fsS -X POST http://127.0.0.1:8180/v1/membership/leave \
+    -d '{"node":"N3"}' | grep -q '"removed":true'
+curl -fsS -X POST 'http://127.0.0.1:8180/v1/update?timeout=1m' -d '{}' |
+    grep -q '"report"'
+body=$(curl -fsS -X POST http://127.0.0.1:8180/v1/query \
+    -d '{"query":"ans(k, v) :- data(k, v)","local":true}')
+echo "$body" | grep -q '"count":4' || {
+    echo "post-leave query: want count 4, got: $body" >&2
+    exit 1
+}
+echo "leave ok"
 
 echo "http smoke: PASS"
