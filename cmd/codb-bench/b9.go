@@ -1,0 +1,199 @@
+// B9: per-link propagation policies. A star network (hub n0 exports its
+// extent to every leaf through one copy rule per leaf) runs k rounds of
+// "insert burst at the hub, global update, skewed reads": the first half of
+// the leaves is hot (queried every round), the second half cold (never
+// read). The programme runs three times — all links push (the eager
+// default), all links pull (updates flood only invalidation hints; readers
+// pull on demand), and all links adaptive (links demote themselves to pull
+// after consecutive unread deliveries) — and records:
+//
+//   - bytes shipped over the cold links during the rounds: the lazy modes
+//     must move >= 5x less than all-push, since nobody reads those extents;
+//   - staleness at pull time on the hot links (p50/p99 across leaves):
+//     the price of laziness, bounded by the read-triggered synchronous
+//     pull;
+//   - byte-identity after Network.CatchUp: once the cold links are pulled
+//     up to date, the lazy databases must match the all-push reference
+//     byte for byte.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"codb"
+)
+
+const (
+	b9Leaves = 8  // star leaves importing the hub's extent
+	b9Hot    = 4  // leaves queried every round; the rest stay cold
+	b9Rounds = 16 // insert burst + update + skewed reads per round
+	b9Burst  = 40 // tuples inserted at the hub per round
+)
+
+func b9Name(i int) string { return fmt.Sprintf("l%d", i) }
+func b9Rule(i int) (id, text string) {
+	return fmt.Sprintf("r%d", i), fmt.Sprintf("%s.data(x, y) <- n0.data(x, y)", b9Name(i))
+}
+
+// b9LinkBytes sums pushed+pulled bytes over the given hub links
+// (exporter-side counters).
+func b9LinkBytes(nw *codb.Network, rules map[string]bool) int {
+	st, _ := nw.PeerPropagationStats("n0")
+	total := 0
+	for _, l := range st.Links {
+		if rules[l.RuleID] {
+			total += int(l.BytesPushed + l.BytesPulled)
+		}
+	}
+	return total
+}
+
+// b9Staleness aggregates the staleness-at-pull quantiles across the leaves:
+// the worst per-leaf p50 and p99, plus the sample count behind them.
+func b9Staleness(nw *codb.Network) (p50, p99 time.Duration, samples int) {
+	for i := 1; i <= b9Leaves; i++ {
+		st, ok := nw.PeerPropagationStats(b9Name(i))
+		if !ok {
+			continue
+		}
+		samples += st.StalenessSamples
+		if st.StalenessP50 > p50 {
+			p50 = st.StalenessP50
+		}
+		if st.StalenessP99 > p99 {
+			p99 = st.StalenessP99
+		}
+	}
+	return p50, p99, samples
+}
+
+// propagationPolicies is B9.
+func propagationPolicies(ctx context.Context) {
+	fmt.Println("== B9: per-link propagation policies — push vs lazy pull vs adaptive under skewed reads")
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "codb-bench: B9:", err)
+		os.Exit(1)
+	}
+
+	coldRules := make(map[string]bool)
+	allRules := make(map[string]bool)
+	for i := 1; i <= b9Leaves; i++ {
+		id, _ := b9Rule(i)
+		allRules[id] = true
+		if i > b9Hot {
+			coldRules[id] = true
+		}
+	}
+
+	fmt.Printf("%-10s %12s %12s %12s %12s %10s\n",
+		"mode", "coldB(rounds)", "allB(rounds)", "stale-p50", "stale-p99", "identical")
+
+	var rows []benchRow
+	var pushColdBytes int
+	var pushFingerprint string
+	coldBytesOf := make(map[string]int)
+	identicalAll := true
+	for _, mode := range []string{"push", "pull", "adaptive"} {
+		opts := codb.NetworkOptions{}
+		if mode != "push" {
+			opts.Propagation = codb.PropagationGroup{Default: mode}
+		}
+		nw := codb.NewNetworkWithOptions(opts)
+		if _, err := nw.AddPeer("n0", "data(x int, y int)"); err != nil {
+			fail(err)
+		}
+		for i := 1; i <= b9Leaves; i++ {
+			if _, err := nw.AddPeer(b9Name(i), "data(x int, y int)"); err != nil {
+				fail(err)
+			}
+		}
+		for i := 1; i <= b9Leaves; i++ {
+			id, text := b9Rule(i)
+			if err := nw.AddRule(id, text); err != nil {
+				fail(err)
+			}
+		}
+
+		for round := 0; round < b9Rounds; round++ {
+			tuples := make([]codb.Tuple, b9Burst)
+			for j := range tuples {
+				tuples[j] = codb.Row(codb.Int(round*1_000_000+j), codb.Int(round))
+			}
+			if err := nw.Insert("n0", "data", tuples...); err != nil {
+				fail(err)
+			}
+			if _, err := nw.Update(ctx, "n0"); err != nil {
+				fail(err)
+			}
+			// Skewed reads: only the hot leaves are ever queried. The local
+			// query is what triggers a hot pull link's synchronous pull.
+			for i := 1; i <= b9Hot; i++ {
+				got, err := nw.LocalQuery(b9Name(i), fmt.Sprintf("ans(x, y) :- data(x, y), y >= %d", round), codb.AllAnswers)
+				if err != nil {
+					fail(err)
+				}
+				if len(got) != b9Burst {
+					fail(fmt.Errorf("mode %s round %d: hot leaf %s sees %d of %d fresh tuples",
+						mode, round, b9Name(i), len(got), b9Burst))
+				}
+			}
+		}
+
+		coldBytes := b9LinkBytes(nw, coldRules)
+		allBytes := b9LinkBytes(nw, allRules)
+		p50, p99, samples := b9Staleness(nw)
+
+		// Catch-up: pull every lazy link up to date, then the databases must
+		// match all-push byte for byte.
+		if _, err := nw.CatchUp(ctx); err != nil {
+			fail(err)
+		}
+		catchupBytes := b9LinkBytes(nw, allRules) - allBytes
+		fp := b8Fingerprint(nw)
+		equal := true
+		if mode == "push" {
+			pushFingerprint = fp
+			pushColdBytes = coldBytes
+		} else {
+			equal = fp == pushFingerprint
+			identicalAll = identicalAll && equal
+		}
+		nw.Close()
+
+		fmt.Printf("%-10s %12d %12d %12v %12v %10v\n", mode,
+			coldBytes, allBytes, p50.Round(time.Microsecond), p99.Round(time.Microsecond), equal)
+		coldBytesOf[mode] = coldBytes
+		row := benchRow{
+			Name:    "rounds/" + mode,
+			Bytes:   coldBytes,
+			Msgs:    allBytes,
+			NsPerOp: float64(p50.Nanoseconds()),
+			P99Ns:   float64(p99.Nanoseconds()),
+			Tuples:  samples,
+		}
+		if mode != "push" {
+			row.Ratio = ratio(pushColdBytes, coldBytes)
+			row.EqualDBs = &equal
+		}
+		rows = append(rows, row)
+		rows = append(rows, benchRow{Name: "catchup/" + mode, Bytes: catchupBytes})
+		if samples > 0 && p99 > 2*time.Second {
+			fail(fmt.Errorf("mode %s: staleness p99 %v exceeds the pull-timeout bound", mode, p99))
+		}
+	}
+
+	pullRatio := ratio(pushColdBytes, coldBytesOf["pull"])
+	adaptiveRatio := ratio(pushColdBytes, coldBytesOf["adaptive"])
+	fmt.Printf("cold-link bytes, push over pull: %.1fx; push over adaptive: %.1fx; identical after catch-up: %v\n\n",
+		pullRatio, adaptiveRatio, identicalAll)
+	rows = append(rows, benchRow{Name: "summary/cold-links", Ratio: pullRatio, BytesRatio: adaptiveRatio, EqualDBs: &identicalAll})
+	writeBench("B9", rows)
+	if pullRatio < 5 || adaptiveRatio < 5 || !identicalAll {
+		fmt.Fprintln(os.Stderr, "codb-bench: B9 failed: lazy links saved too little or diverged after catch-up")
+		os.Exit(1)
+	}
+}

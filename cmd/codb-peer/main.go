@@ -31,6 +31,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,6 +58,10 @@ func main() {
 	evalParallelism := flag.Int("eval-parallelism", 0, "hash-join fan-out for rule/query evaluation (0/1 = serial)")
 	noSessionSnapshots := flag.Bool("no-session-snapshots", false, "evaluate update sessions over the live wrapper instead of pinned snapshots")
 	mediator := flag.Bool("mediator", false, "run without a local database")
+	var linkPolicies linkPolicyFlags
+	flag.Var(&linkPolicies, "link-policy", "per-link propagation policy rule=mode[:filter], mode push|pull|adaptive|filter (repeatable)")
+	maxStaleness := flag.Duration("max-staleness", 0, "deadline after which a stale pull link is pulled without a read (0 = on demand only)")
+	pullTimeout := flag.Duration("pull-timeout", 0, "how long a local query waits on a triggered pull before serving stale data (0 = default 2s)")
 	joinAddr := flag.String("join", "", "join a live network via the admitting peer at this address")
 	leaveOnSignal := flag.Bool("leave-on-signal", false, "announce a coordinated leave before shutting down")
 	verbose := flag.Bool("v", false, "verbose logging")
@@ -128,6 +133,10 @@ func main() {
 	opts := peer.Options{Name: *name, Transport: tr, Wrapper: wrapper, Logger: logger}
 	opts.Eval.Parallelism = *evalParallelism
 	opts.DisableSessionSnapshots = *noSessionSnapshots
+	opts.LinkPolicies = linkPolicies.modes
+	opts.LinkFilters = linkPolicies.filters
+	opts.MaxStaleness = *maxStaleness
+	opts.PullTimeout = *pullTimeout
 	if cfg != nil {
 		opts.Directory = cfg.Directory()
 	}
@@ -189,4 +198,35 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "codb-peer:", err)
 	os.Exit(1)
+}
+
+// linkPolicyFlags accumulates repeated -link-policy rule=mode[:filter]
+// values.
+type linkPolicyFlags struct {
+	modes   map[string]string
+	filters map[string]string
+	specs   []string
+}
+
+func (f *linkPolicyFlags) String() string { return strings.Join(f.specs, ",") }
+
+func (f *linkPolicyFlags) Set(spec string) error {
+	rule, rest, ok := strings.Cut(spec, "=")
+	if !ok || rule == "" {
+		return fmt.Errorf("want rule=mode[:filter], got %q", spec)
+	}
+	mode, filter, _ := strings.Cut(rest, ":")
+	if _, err := core.ParsePolicyMode(mode); err != nil {
+		return err
+	}
+	if f.modes == nil {
+		f.modes = make(map[string]string)
+		f.filters = make(map[string]string)
+	}
+	f.modes[rule] = mode
+	if filter != "" {
+		f.filters[rule] = filter
+	}
+	f.specs = append(f.specs, spec)
+	return nil
 }

@@ -31,6 +31,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	httpapi "codb/internal/api/http"
 	"codb/internal/config"
@@ -69,6 +70,11 @@ type (
 	// StorageStats is a peer's storage-engine report: per-shard row/byte
 	// counts, WAL size, group-commit batching counters.
 	StorageStats = storage.DetailedStats
+	// PropagationStats is a peer's propagation-policy snapshot: per-link
+	// counters plus staleness quantiles.
+	PropagationStats = peer.PropagationStats
+	// LinkPropagationStats is one link's propagation counters.
+	LinkPropagationStats = core.LinkPropagationStats
 )
 
 // Query modes.
@@ -176,6 +182,31 @@ type ReadGroup struct {
 	DisableReadPath bool
 }
 
+// PropagationGroup configures per-link propagation policies: how committed
+// deltas travel each coordination rule during global updates.
+type PropagationGroup struct {
+	// Policies maps rule IDs to modes: "push" (eager, the default), "pull"
+	// (updates flood only a cheap invalidation hint; the importer pulls
+	// the delta on demand), "adaptive" (flips between push and pull using
+	// the importer's read demand), or "filter" (push with a predicate).
+	Policies map[string]string
+	// Filters maps rule IDs to filter predicates — comma-separated
+	// comparisons over the rule's frontier variables, e.g. "x > 10" —
+	// dropped bindings are counted as suppressed. A filter combines with
+	// any mode.
+	Filters map[string]string
+	// Default applies to every rule without an explicit Policies entry
+	// ("" = push).
+	Default string
+	// MaxStaleness bounds how long a pull link may stay stale before the
+	// importer pulls on its own (0 = pull only on local reads or explicit
+	// CatchUp).
+	MaxStaleness time.Duration
+	// PullTimeout bounds how long a local query blocks on a triggered pull
+	// before answering from the stale extent (0 = peer default, 2s).
+	PullTimeout time.Duration
+}
+
 // HTTPGroup enables the per-peer HTTP/JSON serving layer.
 type HTTPGroup struct {
 	// Enable starts one HTTP gateway per peer as it joins, serving the
@@ -222,6 +253,8 @@ type NetworkOptions struct {
 	Transport TransportGroup
 	// Read holds the read-path knobs.
 	Read ReadGroup
+	// Propagation holds the per-link propagation policies.
+	Propagation PropagationGroup
 	// HTTP enables the per-peer HTTP/JSON gateways.
 	HTTP HTTPGroup
 
@@ -330,6 +363,10 @@ func (nw *Network) peerOptions(name string, w core.Wrapper) peer.Options {
 		DisableSessionSnapshots: nw.opts.DisableSessionSnapshots,
 		QueryCacheSize:          nw.opts.Read.QueryCacheSize,
 		DisableReadPath:         nw.opts.Read.DisableReadPath,
+		LinkPolicies:            nw.opts.Propagation.Policies,
+		LinkFilters:             nw.opts.Propagation.Filters,
+		MaxStaleness:            nw.opts.Propagation.MaxStaleness,
+		PullTimeout:             nw.opts.Propagation.PullTimeout,
 	}
 }
 
@@ -594,7 +631,93 @@ func (nw *Network) AddRule(id, text string) error {
 	if err := tgt.AddRule(id, text); err != nil {
 		return err
 	}
-	return src.AddRule(id, text)
+	if err := src.AddRule(id, text); err != nil {
+		return err
+	}
+	// Apply the configured (or default) propagation policy to the fresh
+	// link on both endpoints: the exporter enforces it, the importer drives
+	// pulls and the adaptive demand signal from it.
+	prop := nw.opts.Propagation
+	mode, explicit := prop.Policies[id]
+	if !explicit {
+		mode = prop.Default
+	}
+	filter := prop.Filters[id]
+	if (mode != "" && mode != "push") || filter != "" {
+		if mode == "" {
+			mode = "push"
+		}
+		return nw.SetLinkPolicy(id, mode, filter)
+	}
+	return nil
+}
+
+// SetLinkPolicy configures one rule's propagation policy on both endpoints:
+// mode is "push", "pull", "adaptive" or "filter"; filter is an optional
+// comma-separated comparison list over the rule's frontier variables.
+func (nw *Network) SetLinkPolicy(id, mode, filter string) error {
+	nw.mu.Lock()
+	ps := make([]*peer.Peer, 0, len(nw.peers))
+	for _, p := range nw.peers {
+		ps = append(ps, p)
+	}
+	nw.mu.Unlock()
+	applied := false
+	for _, p := range ps {
+		if err := p.SetLinkPolicy(id, mode, filter); err != nil {
+			return err
+		}
+		for _, r := range p.Rules() {
+			if r.ID == id {
+				applied = true
+			}
+		}
+	}
+	if !applied {
+		return fmt.Errorf("codb: link policy for %s: no peer knows the rule", id)
+	}
+	return nil
+}
+
+// PeerPropagationStats returns a node's propagation-policy snapshot
+// (per-link counters, staleness quantiles); ok is false for unknown peers.
+func (nw *Network) PeerPropagationStats(node string) (stats PropagationStats, ok bool) {
+	p := nw.Peer(node)
+	if p == nil {
+		return PropagationStats{}, false
+	}
+	return p.PropagationStats(), true
+}
+
+// CatchUp drives every lazy (pull/adaptive) link in the network to the
+// fixpoint eager push would have reached: each round asks every peer to pull
+// each of its outgoing links once, and rounds repeat until one materialises
+// nothing new anywhere — tuples arriving over one pulled link can make
+// another link's pending delta non-empty, exactly like in-session cascading.
+// It returns the total number of tuples materialised. After CatchUp, pulled
+// databases are byte-identical to what all-push propagation yields.
+func (nw *Network) CatchUp(ctx context.Context) (int, error) {
+	nw.mu.Lock()
+	ps := make([]*peer.Peer, 0, len(nw.peers))
+	for _, p := range nw.peers {
+		ps = append(ps, p)
+	}
+	nw.mu.Unlock()
+	total := 0
+	for {
+		round := 0
+		for _, p := range ps {
+			n, err := p.CatchUp(ctx)
+			if err != nil {
+				return total, err
+			}
+			round += n
+		}
+		total += round
+		if round == 0 {
+			return total, nil
+		}
+	}
 }
 
 // MustAddRule is AddRule panicking on error.

@@ -434,6 +434,181 @@ func TestDifferentialChurn(t *testing.T) {
 	}
 }
 
+// TestDifferentialPropagationPolicies randomizes the per-link propagation
+// policy — every rule independently push, pull, or adaptive — and runs the
+// usual randomized trace against an all-push FullExport reference. Lazy
+// links are allowed to lag while the round runs; after Network.CatchUp
+// (which pulls every link up to date) the databases must be byte-identical
+// to the eager reference and the certain-answer panel must agree exactly.
+func TestDifferentialPropagationPolicies(t *testing.T) {
+	policyModes := []string{"push", "pull", "adaptive"}
+	for _, sc := range diffScenarios(9) {
+		sc := sc
+		t.Run(fmt.Sprintf("%s/n=%d/seed=%d", sc.shape, sc.nodes, sc.seed), func(t *testing.T) {
+			t.Parallel()
+			cfg, err := topo.Build(sc.shape, sc.nodes, topo.Options{Seed: sc.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rnd := rand.New(rand.NewSource(sc.seed*7 + 3))
+			policies := make(map[string]string, len(cfg.Rules))
+			lazyLinks := 0
+			for _, r := range cfg.Rules {
+				mode := policyModes[rnd.Intn(len(policyModes))]
+				policies[r.ID] = mode
+				if mode != "push" {
+					lazyLinks++
+				}
+			}
+			if lazyLinks == 0 { // degenerate draw: force at least one lazy link
+				policies[cfg.Rules[0].ID] = "pull"
+			}
+			lazy := networkFromTopo(t, cfg,
+				NetworkOptions{Propagation: PropagationGroup{Policies: policies}},
+				storage.Options{Shards: sc.shards})
+			defer lazy.Close()
+			full := networkFromTopo(t, cfg,
+				NetworkOptions{FullExport: true, DisableSessionSnapshots: true},
+				storage.Options{Shards: 1})
+			defer full.Close()
+
+			names := make([]string, 0, len(cfg.Nodes))
+			for _, n := range cfg.Nodes {
+				names = append(names, n.Name)
+			}
+			seed := workload.Generate(names, workload.Spec{TuplesPerNode: sc.tuples, Overlap: 0.2, Seed: sc.seed})
+			for node, tuples := range seed {
+				for _, nw := range []*Network{lazy, full} {
+					if err := nw.Insert(node, "data", tuples...); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			for round := 0; round < sc.rounds; round++ {
+				if round > 0 {
+					applyBurst(t, lazy, names, sc, round)
+					applyBurst(t, full, names, sc, round)
+				}
+				origin := names[rnd.Intn(len(names))]
+				if _, err := lazy.Update(ctxT(t), origin); err != nil {
+					t.Fatalf("lazy update round %d: %v", round, err)
+				}
+				if _, err := full.Update(ctxT(t), origin); err != nil {
+					t.Fatalf("reference update round %d: %v", round, err)
+				}
+				// Pull-effective links may lag until the catch-up pull.
+				if _, err := lazy.CatchUp(ctxT(t)); err != nil {
+					t.Fatalf("catch-up round %d: %v", round, err)
+				}
+				fi, ff := fingerprint(lazy), fingerprint(full)
+				if !bytes.Equal(fi, ff) {
+					t.Fatalf("round %d (origin %s, policies %v): caught-up lazy network diverged\nlazy:\n%s\nfull:\n%s",
+						round, origin, policies, fi, ff)
+				}
+				for _, name := range names {
+					for _, q := range diffQueries {
+						al := answerSet(t, lazy, name, q, CertainAnswers)
+						af := answerSet(t, full, name, q, CertainAnswers)
+						if !equalKeys(al, af) {
+							t.Fatalf("round %d: certain answers diverge at %s for %q: %d vs %d",
+								round, name, q, len(al), len(af))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialPropagationChurn churns the *exporter* of a pull link:
+// after its extent has been pulled once (persisting the link's export
+// watermark durably), the exporter leaves and rejoins as a new incarnation
+// over the same durable directory. The next hint/pull cycle must resume
+// from the restored watermark — shipping exactly the post-rejoin delta,
+// not a full re-export — and the importer must still converge to the
+// exporter's exact extent.
+func TestDifferentialPropagationChurn(t *testing.T) {
+	dirB := t.TempDir()
+	nw := NewNetworkWithOptions(NetworkOptions{
+		Propagation: PropagationGroup{Policies: map[string]string{"r1": "pull"}},
+	})
+	defer nw.Close()
+	if _, err := nw.AddPeer("a", "data(x int, y int)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddDurablePeer("b", dirB, "data(x int, y int)"); err != nil {
+		t.Fatal(err)
+	}
+	nw.MustAddRule("r1", `a.data(x, y) <- b.data(x, y)`)
+
+	const seeded = 30
+	for i := 0; i < seeded; i++ {
+		if err := nw.Insert("b", "data", Row(Int(i), Int(0))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nw.Update(ctxT(t), "b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.Peer("a").Count("data"); got != 0 {
+		t.Fatalf("pull link leaked %d tuples eagerly", got)
+	}
+	if n, err := nw.CatchUp(ctxT(t)); err != nil || n != seeded {
+		t.Fatalf("catch-up pulled %d tuples (err %v), want %d", n, err, seeded)
+	}
+	waitForFile(t, filepath.Join(dirB, "exports.state"))
+
+	// The exporter churns: leave, rejoin over the same durable directory,
+	// re-declare the rule (the network re-applies the pull policy).
+	nw.RemovePeer("b")
+	if _, err := nw.AddDurablePeer("b", dirB, "data(x int, y int)"); err != nil {
+		t.Fatal(err)
+	}
+	nw.MustAddRule("r1", `a.data(x, y) <- b.data(x, y)`)
+
+	const delta = 5
+	for i := 0; i < delta; i++ {
+		if err := nw.Insert("b", "data", Row(Int(1000+i), Int(1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nw.Update(ctxT(t), "b"); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := nw.PeerPropagationStats("a")
+	if !ok {
+		t.Fatal("no propagation stats at a")
+	}
+	var before uint64
+	for _, l := range st.Links {
+		if l.RuleID == "r1" {
+			before = l.PulledTuples
+		}
+	}
+	if n, err := nw.CatchUp(ctxT(t)); err != nil || n != delta {
+		t.Fatalf("post-rejoin catch-up applied %d fresh tuples (err %v), want %d", n, err, delta)
+	}
+	st, _ = nw.PeerPropagationStats("a")
+	for _, l := range st.Links {
+		if l.RuleID == "r1" {
+			// The pull resumed from the durable watermark: the response
+			// carried only the post-rejoin delta, not the whole extent.
+			if shipped := l.PulledTuples - before; shipped != delta {
+				t.Errorf("post-rejoin pull shipped %d bindings, want %d (watermark not resumed)", shipped, delta)
+			}
+		}
+	}
+	if got, want := nw.Peer("a").Count("data"), seeded+delta; got != want {
+		t.Fatalf("a.data = %d after churn catch-up, want %d", got, want)
+	}
+	ka := answerSet(t, nw, "a", diffQueries[0], AllAnswers)
+	kb := answerSet(t, nw, "b", diffQueries[0], AllAnswers)
+	if !equalKeys(ka, kb) {
+		t.Fatalf("importer extent (%d) != churned exporter extent (%d)", len(ka), len(kb))
+	}
+}
+
 // exportTotals sums fallback and incremental export counts across every
 // peer's session reports, polling briefly so late-finalising participant
 // reports are counted.

@@ -13,9 +13,16 @@
 //	POST /v1/insert          insert rows into a local relation
 //	POST /v1/update          run a global or scoped update, return the report
 //	GET  /v1/schema          the node's relation declarations
+//	GET  /v1/stats           cumulative per-node export counters (sessions,
+//	                         full/incremental/fallback exports, watermark
+//	                         skips, suppressed bindings, incremental batches)
 //	GET  /v1/stats/read      query-result cache counters
 //	GET  /v1/stats/storage   storage engine report
 //	GET  /v1/stats/wire      TCP frame/byte counters + outbox batching
+//	GET  /v1/stats/propagation  per-link propagation policy counters
+//	                            (hints, pulls, byte split, staleness)
+//	PUT  /v1/links/{rule}/policy  set a link's propagation policy
+//	                              {"mode": "pull", "filter": "x > 10"}
 //	GET  /v1/reports         accumulated per-session statistics reports
 //	GET  /v1/peers           pipes and discovered peers
 //	POST /v1/membership/join   admit a node into the live network (the
@@ -101,9 +108,12 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("POST /v1/insert", s.handleInsert)
 	mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	mux.HandleFunc("GET /v1/schema", s.handleSchema)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/stats/read", s.handleReadStats)
 	mux.HandleFunc("GET /v1/stats/storage", s.handleStorageStats)
 	mux.HandleFunc("GET /v1/stats/wire", s.handleWireStats)
+	mux.HandleFunc("GET /v1/stats/propagation", s.handlePropagationStats)
+	mux.HandleFunc("PUT /v1/links/{rule}/policy", s.handleLinkPolicy)
 	mux.HandleFunc("GET /v1/reports", s.handleReports)
 	mux.HandleFunc("GET /v1/peers", s.handlePeers)
 	mux.HandleFunc("POST /v1/membership/join", s.handleMembershipJoin)
@@ -478,6 +488,63 @@ func (s *Server) handleWireStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if ob, obOK := p.OutboxStats(); obOK {
 		resp["outbox"] = ob
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStats serves the node's cumulative export counters. Unlike
+// /v1/reports these never roll out of the bounded reports ring, so
+// long-lived peers keep exact totals.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	p, err := s.peerFor(r)
+	if err != nil {
+		s.writeErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node": p.Name(), "totals": p.ExportTotals()})
+}
+
+func (s *Server) handlePropagationStats(w http.ResponseWriter, r *http.Request) {
+	p, err := s.peerFor(r)
+	if err != nil {
+		s.writeErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node": p.Name(), "propagation": p.PropagationStats()})
+}
+
+// linkPolicyRequest is the PUT /v1/links/{rule}/policy body.
+type linkPolicyRequest struct {
+	// Mode is "push", "pull", "adaptive" or "filter".
+	Mode string `json:"mode"`
+	// Filter is an optional comma-separated comparison list over the
+	// rule's frontier variables (required for mode "filter").
+	Filter string `json:"filter"`
+}
+
+func (s *Server) handleLinkPolicy(w http.ResponseWriter, r *http.Request) {
+	p, err := s.peerFor(r)
+	if err != nil {
+		s.writeErr(w, r, err)
+		return
+	}
+	rule := r.PathValue("rule")
+	var req linkPolicyRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeErr(w, r, err)
+		return
+	}
+	if err := p.SetLinkPolicy(rule, req.Mode, req.Filter); err != nil {
+		s.writeErr(w, r, fmt.Errorf("%w: %v", cq.ErrBadQuery, err))
+		return
+	}
+	mode, filter := req.Mode, req.Filter
+	if mode == "" {
+		mode = "push"
+	}
+	resp := map[string]any{"node": p.Name(), "rule": rule, "mode": mode}
+	if filter != "" {
+		resp["filter"] = filter
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -53,7 +53,8 @@ func (c *Console) Execute(line string) bool {
 	case "help":
 		c.printf("query|certain|local <node> <query>; update <node>; scoped <node> <rel,...>;\n")
 		c.printf("insert <node> <rel> v…; show <node> <rel>; peers <node>; report <node>;\n")
-		c.printf("cache <node>; storage <node>; wire <node>; stats; reload <file>; topology; quit\n")
+		c.printf("cache <node>; storage <node>; wire <node>; links <node>; policy <rule> <mode> [filter];\n")
+		c.printf("catchup; stats; reload <file>; topology; quit\n")
 	case "query", "certain", "local":
 		c.runQuery(cmd, rest)
 	case "update":
@@ -74,6 +75,12 @@ func (c *Console) Execute(line string) bool {
 		c.runStorage(fields[1:])
 	case "wire":
 		c.runWire(fields[1:])
+	case "links":
+		c.runLinks(fields[1:])
+	case "policy":
+		c.runPolicy(fields[1:])
+	case "catchup":
+		c.runCatchUp()
 	case "stats":
 		c.runStats()
 	case "reload":
@@ -335,6 +342,75 @@ func (c *Console) runStorage(args []string) {
 	} else {
 		c.printf("group commit: off (memory-only database or disabled)\n")
 	}
+	if p := c.nw.Peer(args[0]); p != nil {
+		if tot := p.ExportTotals(); tot.Sessions > 0 {
+			c.printf("exports (cumulative, %d sessions): %d full, %d incremental, %d fallback\n",
+				tot.Sessions, tot.ExportsFull, tot.ExportsIncremental, tot.ExportsFallback)
+			c.printf("  skipped by watermark: %d, suppressed bindings: %d, incremental batches: %d\n",
+				tot.SkippedByWatermark, tot.SuppressedBindings, tot.IncrementalMsgs)
+		}
+	}
+}
+
+func (c *Console) runLinks(args []string) {
+	if len(args) != 1 {
+		c.printf("usage: links <node>\n")
+		return
+	}
+	st, ok := c.nw.PeerPropagationStats(args[0])
+	if !ok {
+		c.printf("unknown peer %s\n", args[0])
+		return
+	}
+	if len(st.Links) == 0 {
+		c.printf("no links with policies or propagation traffic\n")
+		return
+	}
+	for _, l := range st.Links {
+		c.printf("  %-8s policy=%s effective=%s", l.RuleID, l.Policy, l.Effective)
+		if l.Filter != "" {
+			c.printf(" filter=%q", l.Filter)
+		}
+		c.printf("\n")
+		c.printf("           pushed=%dB pulled=%dB suppressed=%d(%dB) hints=%d/%d pulls=%d/%d tuples=%d\n",
+			l.BytesPushed, l.BytesPulled, l.SuppressedBindings, l.BytesSuppressed,
+			l.HintsSent, l.HintsReceived, l.PullsServed, l.PullsIssued, l.PulledTuples)
+	}
+	if len(st.StaleLinks) > 0 {
+		c.printf("stale: %v\n", st.StaleLinks)
+	}
+	if st.StalenessSamples > 0 {
+		c.printf("staleness at pull: p50=%v p99=%v over %d pulls\n",
+			st.StalenessP50.Round(time.Microsecond), st.StalenessP99.Round(time.Microsecond), st.StalenessSamples)
+	}
+}
+
+func (c *Console) runPolicy(args []string) {
+	if len(args) < 2 || len(args) > 3 {
+		c.printf("usage: policy <rule> <push|pull|adaptive|filter> [filter]\n")
+		return
+	}
+	filter := ""
+	if len(args) == 3 {
+		filter = args[2]
+	}
+	if err := c.nw.SetLinkPolicy(args[0], args[1], filter); err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	c.printf("ok\n")
+}
+
+func (c *Console) runCatchUp() {
+	ctx, cancel := c.ctx()
+	defer cancel()
+	start := time.Now()
+	n, err := c.nw.CatchUp(ctx)
+	if err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	c.printf("caught up: %d tuples materialised in %v\n", n, time.Since(start).Round(time.Microsecond))
 }
 
 func (c *Console) runStats() {

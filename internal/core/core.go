@@ -147,6 +147,12 @@ type Config struct {
 	// sessions over pinned snapshots, unlocking shard-parallel hash-join
 	// builds and secondary-index pushdown on the write path.
 	DisableSessionSnapshots bool
+	// LinkSpeaksPull reports whether the named peer can receive the
+	// pull-family payloads (wire protocol version 2). nil assumes every
+	// peer can — correct for in-process transports; the peer layer wires a
+	// negotiated-version check for TCP so pull links toward old peers
+	// degrade to push instead of tearing the pipe with an unknown tag.
+	LinkSpeaksPull func(node string) bool
 	// Clock supplies timestamps (UnixNano); nil uses a zero clock, which
 	// keeps pure-core tests deterministic. The peer layer injects real
 	// time.
@@ -280,6 +286,13 @@ type Node struct {
 	// when something actually changed.
 	exportsChanged uint64
 
+	// policies holds the per-rule propagation policies (push is implicit
+	// for rules without one); propStats the per-rule propagation counters;
+	// totals the cumulative roll-up of the session-report export counters.
+	policies  map[string]*linkPolicy
+	propStats map[string]*propStat
+	totals    ExportTotals
+
 	// deferAcks batches acknowledgement flushes across a burst of Handle
 	// calls; dirty tracks the sessions awaiting a flush. See DeferAcks.
 	deferAcks bool
@@ -351,6 +364,8 @@ func NewNode(cfg Config) (*Node, error) {
 		tracker:     tracker,
 		snapshotter: snapshotter,
 		exports:     make(map[string]*exportState),
+		policies:    make(map[string]*linkPolicy),
+		propStats:   make(map[string]*propStat),
 	}, nil
 }
 
@@ -434,10 +449,12 @@ func (n *Node) addParsedRule(rule *cq.Rule, text string) error {
 	return nil
 }
 
-// RemoveRule drops a rule (no-op if unknown).
+// RemoveRule drops a rule (no-op if unknown). Its propagation policy goes
+// with it; the accumulated counters stay (they are historical).
 func (n *Node) RemoveRule(id string) {
 	delete(n.rules, id)
 	delete(n.appliers, id)
+	delete(n.policies, id)
 	n.dropExportState(id)
 	n.invalidateRuleCaches()
 }
@@ -694,6 +711,13 @@ func (n *Node) ActiveSessions() []string {
 func (n *Node) NoteReport(rep msg.UpdateReport) { n.recordReport(rep) }
 
 func (n *Node) recordReport(rep msg.UpdateReport) {
+	n.totals.Sessions++
+	n.totals.ExportsFull += rep.ExportsFull
+	n.totals.ExportsIncremental += rep.ExportsIncremental
+	n.totals.ExportsFallback += rep.ExportsFallback
+	n.totals.SkippedByWatermark += rep.SkippedByWatermark
+	n.totals.SuppressedBindings += rep.SuppressedBindings
+	n.totals.IncrementalMsgs += rep.IncrementalMsgs
 	n.reports = append(n.reports, rep)
 	if len(n.reports) > n.cfg.MaxReports {
 		n.reports = n.reports[len(n.reports)-n.cfg.MaxReports:]

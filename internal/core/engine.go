@@ -418,6 +418,16 @@ func (n *Node) exportSince(s *session, rule *cq.Rule, to string, r *Result) {
 	}
 	s.evaluated[rule.ID] = true
 
+	// Lazy links: a global update floods only the cheap invalidation hint;
+	// the importer pulls the actual delta on demand (ServePull serves it
+	// from the durable watermark, so nothing here is lost — merely
+	// deferred). Query and scoped sessions are explicit demand and always
+	// export eagerly.
+	if s.kind == msg.KindUpdate && n.pullEffective(rule) {
+		n.sendHint(s, rule, to, r)
+		return
+	}
+
 	// Pin the evaluation view before reading the watermark horizon: with a
 	// snapshot-backed view the new watermark is the snapshot's own LSN, so
 	// it can never advance past commits the evaluation didn't observe.
@@ -538,6 +548,12 @@ func (n *Node) deltaBindings(s *session, rule *cq.Rule, deltas map[string][]rela
 // running session (the in-session semi-naive step) and ships any new
 // bindings.
 func (n *Node) exportDelta(s *session, rule *cq.Rule, to string, fresh map[string][]relation.Tuple, path []string, r *Result) {
+	// Lazy links defer in-session deltas too; the hint is deduplicated per
+	// session, so a link that already hinted at join time stays quiet.
+	if s.kind == msg.KindUpdate && n.pullEffective(rule) {
+		n.sendHint(s, rule, to, r)
+		return
+	}
 	reads := rule.BodyRelations()
 	var bindings []relation.Tuple
 	if n.cfg.Naive {
@@ -570,6 +586,7 @@ func (n *Node) exportDelta(s *session, rule *cq.Rule, to string, fresh map[strin
 // sendData filters the bindings against the link's session sent cache and
 // its persistent shipped-fingerprint set, then ships one data batch.
 func (n *Node) sendData(s *session, rule *cq.Rule, to string, bindings []relation.Tuple, path []string, mode msg.ExportMode, skipped int, r *Result) {
+	bindings = n.applyFilter(rule, bindings)
 	if !n.cfg.DisableDedup {
 		sent := s.sentSet(rule.ID)
 		kept := bindings[:0:0]
@@ -627,6 +644,7 @@ func (n *Node) sendData(s *session, rule *cq.Rule, to string, bindings []relatio
 	n.ds.Sent(s.sid, to, 1)
 	s.rep.SentMsgs++
 	s.rep.SentBytes += data.Size()
+	n.propStatFor(rule.ID).bytesPushed += uint64(data.Size())
 	s.noteSentTo(to)
 }
 

@@ -1,0 +1,531 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"codb/internal/chase"
+	"codb/internal/cq"
+	"codb/internal/msg"
+	"codb/internal/relation"
+)
+
+// PolicyMode selects how an incoming link (Source == Self) propagates
+// committed deltas to its importer.
+type PolicyMode uint8
+
+const (
+	// PolicyPush is the eager default: every update session evaluates the
+	// link and ships the frontier bindings immediately.
+	PolicyPush PolicyMode = iota
+	// PolicyPull makes the link lazy: update sessions flood only a cheap
+	// UpdateHint (the exporter's LSN advanced); the importer pulls the
+	// actual delta on demand via PullRequest/PullResponse, served from the
+	// link's durable watermark — exactly the incremental export it would
+	// have received eagerly.
+	PolicyPull
+	// PolicyAdaptive flips the link between push and pull based on the
+	// importer's demand signal (LinkDemand): cold links (no reads since the
+	// last hint) demote to pull, hot links promote back to push.
+	PolicyAdaptive
+	// PolicyFilter behaves like push but requires a predicate filter over
+	// the rule's frontier variables; bindings failing it are dropped at the
+	// exporter and counted as suppressed. (A filter predicate can also be
+	// combined with pull and adaptive modes.)
+	PolicyFilter
+)
+
+// String names the mode in the configuration vocabulary.
+func (m PolicyMode) String() string {
+	switch m {
+	case PolicyPush:
+		return "push"
+	case PolicyPull:
+		return "pull"
+	case PolicyAdaptive:
+		return "adaptive"
+	case PolicyFilter:
+		return "filter"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(m))
+	}
+}
+
+// ParsePolicyMode parses a configuration string into a PolicyMode.
+func ParsePolicyMode(s string) (PolicyMode, error) {
+	switch s {
+	case "push", "":
+		return PolicyPush, nil
+	case "pull":
+		return PolicyPull, nil
+	case "adaptive":
+		return PolicyAdaptive, nil
+	case "filter":
+		return PolicyFilter, nil
+	default:
+		return PolicyPush, fmt.Errorf("core: unknown propagation policy %q (want push, pull, adaptive or filter)", s)
+	}
+}
+
+// linkPolicy is one rule's configured propagation policy. Both endpoints of
+// a link hold the same configuration: the exporter enforces it (hint instead
+// of data, filter predicates), the importer uses it to drive pulls and the
+// adaptive demand signal.
+type linkPolicy struct {
+	mode      PolicyMode
+	filter    []cq.Comparison
+	filterSrc string
+	frontier  []string // rule frontier, the filter's variable layout
+	// demandPull is the adaptive mode's current decision (exporter side,
+	// driven by LinkDemand messages from the importer). Adaptive links
+	// start out pushing.
+	demandPull bool
+}
+
+// propStat accumulates one rule's propagation counters. Exporter-side and
+// importer-side fields live in the same struct; each endpoint only writes
+// its own half.
+type propStat struct {
+	hintsSent   uint64
+	pullsServed uint64
+	bytesPushed uint64
+	bytesPulled uint64
+	// bytesSuppressed / suppressedBindings count filter drops (exporter).
+	bytesSuppressed    uint64
+	suppressedBindings uint64
+	// Importer side.
+	hintsReceived uint64
+	pullsIssued   uint64
+	pulledTuples  uint64
+}
+
+// LinkPropagationStats is the public snapshot of one link's propagation
+// counters.
+type LinkPropagationStats struct {
+	RuleID string `json:"rule"`
+	// Policy is the configured mode; Effective is what the exporter is
+	// doing right now (adaptive links flip between push and pull, pull
+	// links degrade to push toward peers that do not speak the pull
+	// protocol).
+	Policy    string `json:"policy"`
+	Effective string `json:"effective"`
+	Filter    string `json:"filter,omitempty"`
+
+	HintsSent          uint64 `json:"hints_sent"`
+	PullsServed        uint64 `json:"pulls_served"`
+	BytesPushed        uint64 `json:"bytes_pushed"`
+	BytesPulled        uint64 `json:"bytes_pulled"`
+	BytesSuppressed    uint64 `json:"bytes_suppressed"`
+	SuppressedBindings uint64 `json:"suppressed_bindings"`
+
+	HintsReceived uint64 `json:"hints_received"`
+	PullsIssued   uint64 `json:"pulls_issued"`
+	PulledTuples  uint64 `json:"pulled_tuples"`
+}
+
+// SetLinkPolicy configures the propagation policy of one rule known to this
+// node. filterSrc is an optional comma-separated comparison list over the
+// rule's frontier variables ("" = no filter); mode "filter" requires one.
+func (n *Node) SetLinkPolicy(ruleID, mode, filterSrc string) error {
+	rs, ok := n.rules[ruleID]
+	if !ok {
+		return fmt.Errorf("core: cannot set policy: unknown rule %s", ruleID)
+	}
+	m, err := ParsePolicyMode(mode)
+	if err != nil {
+		return err
+	}
+	if m == PolicyFilter && filterSrc == "" {
+		return fmt.Errorf("core: policy filter for rule %s needs a predicate", ruleID)
+	}
+	frontier := rs.rule.Frontier()
+	var cmps []cq.Comparison
+	if filterSrc != "" {
+		cmps, err = cq.ParseFilter(filterSrc)
+		if err != nil {
+			return err
+		}
+		for _, c := range cmps {
+			for _, v := range c.Vars(nil) {
+				if !containsStr(frontier, v) {
+					return fmt.Errorf("core: rule %s: filter variable %s is not in the frontier %v", ruleID, v, frontier)
+				}
+			}
+		}
+	}
+	if n.policies == nil {
+		n.policies = make(map[string]*linkPolicy)
+	}
+	n.policies[ruleID] = &linkPolicy{mode: m, filter: cmps, filterSrc: filterSrc, frontier: frontier}
+	return nil
+}
+
+// LinkPolicy reports a rule's configured policy mode and filter source
+// ("push", "" when never configured).
+func (n *Node) LinkPolicy(ruleID string) (mode, filter string) {
+	if pol := n.policies[ruleID]; pol != nil {
+		return pol.mode.String(), pol.filterSrc
+	}
+	return PolicyPush.String(), ""
+}
+
+// speaksPull reports whether the peer at the far end of a link can receive
+// the pull-family payloads (wire protocol version 2). Without a callback
+// every peer is assumed capable — correct for in-process transports.
+func (n *Node) speaksPull(node string) bool {
+	if n.cfg.LinkSpeaksPull == nil {
+		return true
+	}
+	return n.cfg.LinkSpeaksPull(node)
+}
+
+// pullEffective reports whether exports through the rule currently go lazy:
+// the policy wants pull (configured or adaptive demand) and the importer
+// speaks the pull protocol. Links toward peers that do not are degraded to
+// push rather than starved.
+func (n *Node) pullEffective(rule *cq.Rule) bool {
+	pol := n.policies[rule.ID]
+	if pol == nil {
+		return false
+	}
+	switch pol.mode {
+	case PolicyPull:
+	case PolicyAdaptive:
+		if !pol.demandPull {
+			return false
+		}
+	default:
+		return false
+	}
+	return n.speaksPull(rule.Target)
+}
+
+// propStatFor returns (creating) one rule's counter record.
+func (n *Node) propStatFor(ruleID string) *propStat {
+	st := n.propStats[ruleID]
+	if st == nil {
+		if n.propStats == nil {
+			n.propStats = make(map[string]*propStat)
+		}
+		st = &propStat{}
+		n.propStats[ruleID] = st
+	}
+	return st
+}
+
+// applyFilter drops the bindings failing the rule's filter predicate,
+// counting them (and their encoded volume) as suppressed.
+func (n *Node) applyFilter(rule *cq.Rule, bindings []relation.Tuple) []relation.Tuple {
+	pol := n.policies[rule.ID]
+	if pol == nil || len(pol.filter) == 0 {
+		return bindings
+	}
+	kept := bindings[:0:0]
+	dropped, droppedBytes := 0, 0
+	for _, b := range bindings {
+		if cq.EvalComparisons(pol.filter, pol.frontier, b) {
+			kept = append(kept, b)
+		} else {
+			dropped++
+			droppedBytes += b.EncodedLen()
+		}
+	}
+	if dropped > 0 {
+		st := n.propStatFor(rule.ID)
+		st.suppressedBindings += uint64(dropped)
+		st.bytesSuppressed += uint64(droppedBytes)
+	}
+	return kept
+}
+
+// sendHint floods the pull link's cheap invalidation notice: the exporter's
+// commit horizon advanced, pull when the data matters. One hint per session
+// per link; hints are control traffic outside the termination detector's
+// scope (never DS-counted).
+func (n *Node) sendHint(s *session, rule *cq.Rule, to string, r *Result) {
+	if s.hinted == nil {
+		s.hinted = make(map[string]bool)
+	}
+	if s.hinted[rule.ID] {
+		return
+	}
+	s.hinted[rule.ID] = true
+	var lsn uint64
+	if n.tracker != nil {
+		lsn = n.tracker.LSN()
+	}
+	r.send(to, &msg.UpdateHint{RuleID: rule.ID, LSN: lsn})
+	n.propStatFor(rule.ID).hintsSent++
+}
+
+// HandleLinkDemand applies the importer's demand signal to an adaptive
+// link: wantPull demotes the link to lazy hints, !wantPull promotes it back
+// to eager push. Ignored for non-adaptive policies (the configuration wins).
+func (n *Node) HandleLinkDemand(ruleID string, wantPull bool) {
+	pol := n.policies[ruleID]
+	if pol == nil || pol.mode != PolicyAdaptive {
+		return
+	}
+	pol.demandPull = wantPull
+}
+
+// ServePull computes a downstream pull: exactly the incremental export the
+// importer would have received eagerly, evaluated sessionless from the
+// link's durable watermark over the wrapper's change spill, with the same
+// fallback-to-full ladder as exportSince. The link's watermark and shipped
+// fingerprints advance, so a later session (or pull) ships only what
+// committed afterwards.
+func (n *Node) ServePull(req *msg.PullRequest) (*msg.PullResponse, error) {
+	rs, ok := n.rules[req.RuleID]
+	if !ok || rs.rule.Source != n.cfg.Self {
+		return nil, fmt.Errorf("core: pull for unknown or foreign rule %s", req.RuleID)
+	}
+	rule := rs.rule
+
+	// Pin the evaluation view before reading the watermark horizon, exactly
+	// as exportSince does: the new watermark is the view's own LSN, so it
+	// can never advance past commits the evaluation did not observe.
+	v := view{base: n.cfg.Wrapper}
+	if n.snapshotter != nil && n.tracker != nil {
+		v.snap = n.snapshotter.ReadSnapshot()
+	}
+	var cur uint64
+	if n.tracker != nil {
+		cur = n.viewLSN(v)
+	}
+
+	mode := msg.ExportFull
+	var bindings []relation.Tuple
+	var skipped int
+	full := func() error {
+		bs, err := chase.Bindings(rule, v, n.chaseOpts())
+		if err != nil {
+			return fmt.Errorf("core: pull export %s: %w", rule.ID, err)
+		}
+		bindings = bs
+		return nil
+	}
+
+	es := n.exports[rule.ID]
+	switch {
+	case n.tracker == nil || n.cfg.FullExport:
+		if err := full(); err != nil {
+			return nil, err
+		}
+	case es == nil:
+		if err := full(); err != nil {
+			return nil, err
+		}
+		n.exports[rule.ID] = &exportState{watermark: cur, shipped: make(map[string]bool)}
+		n.exportsChanged++
+	default:
+		deltas := make(map[string][]relation.Tuple)
+		intact := true
+		for _, rel := range rule.BodyRelations() {
+			delta, ok := n.tracker.Changes(rel, es.watermark)
+			if !ok {
+				intact = false
+				break
+			}
+			if len(delta) > 0 {
+				deltas[rel] = delta
+			}
+			skipped += n.cfg.Wrapper.Count(rel) - len(delta)
+		}
+		if !intact {
+			mode, skipped = msg.ExportFallback, 0
+			if err := full(); err != nil {
+				return nil, err
+			}
+		} else {
+			mode = msg.ExportIncremental
+			bs, err := n.deltaBindingsOver(v, rule, deltas)
+			if err != nil {
+				return nil, err
+			}
+			bindings = bs
+		}
+		if es.watermark != cur {
+			es.watermark = cur
+			n.exportsChanged++
+		}
+	}
+
+	bindings = n.applyFilter(rule, bindings)
+	if es := n.exports[rule.ID]; es != nil && !n.cfg.DisableDedup {
+		kept := bindings[:0:0]
+		for _, b := range bindings {
+			k := b.Key()
+			if !es.shipped[k] {
+				es.shipped[k] = true
+				kept = append(kept, b)
+			}
+		}
+		bindings = kept
+		if len(kept) > 0 {
+			n.exportsChanged++
+		}
+		if len(es.shipped) > n.cfg.MaxFingerprints {
+			delete(n.exports, rule.ID)
+			n.exportsChanged++
+		}
+	}
+
+	resp := &msg.PullResponse{RuleID: rule.ID, AtLSN: cur, Mode: mode, Skipped: skipped, Bindings: bindings}
+	st := n.propStatFor(rule.ID)
+	st.pullsServed++
+	st.bytesPulled += uint64(resp.Size())
+	return resp, nil
+}
+
+// deltaBindingsOver is the sessionless variant of deltaBindings: semi-naive
+// evaluation over per-relation deltas against an explicit view.
+func (n *Node) deltaBindingsOver(v view, rule *cq.Rule, deltas map[string][]relation.Tuple) ([]relation.Tuple, error) {
+	seen := make(map[string]bool)
+	var bindings []relation.Tuple
+	for _, rel := range rule.BodyRelations() {
+		delta := deltas[rel]
+		if len(delta) == 0 {
+			continue
+		}
+		bs, err := chase.BindingsDelta(rule, v, rel, delta, n.chaseOpts())
+		if err != nil {
+			return nil, fmt.Errorf("core: pull delta export %s over %s: %w", rule.ID, rel, err)
+		}
+		for _, b := range bs {
+			if k := b.Key(); !seen[k] {
+				seen[k] = true
+				bindings = append(bindings, b)
+			}
+		}
+	}
+	return bindings, nil
+}
+
+// ApplyPull materialises a pull response at the importer through the normal
+// chase-and-commit path (deterministic Skolem nulls plus set semantics make
+// the result byte-identical to an eager push). It returns the per-relation
+// fresh tuples — the caller cascades invalidation hints through its own
+// dependent links — and the total count of genuinely new tuples.
+func (n *Node) ApplyPull(resp *msg.PullResponse) (fresh map[string][]relation.Tuple, total int, err error) {
+	rs := n.rules[resp.RuleID]
+	applier := n.appliers[resp.RuleID]
+	if rs == nil || applier == nil || rs.rule.Target != n.cfg.Self {
+		return nil, 0, fmt.Errorf("core: pull response for unknown or foreign rule %s", resp.RuleID)
+	}
+	facts := applier.Facts(resp.Bindings)
+	byRel := make(map[string][]relation.Tuple)
+	for _, f := range facts {
+		byRel[f.Rel] = append(byRel[f.Rel], f.Tuple)
+	}
+	fresh = make(map[string][]relation.Tuple)
+	for rel, ts := range byRel {
+		fs, insErr := n.cfg.Wrapper.InsertMany(rel, ts)
+		if insErr != nil {
+			continue // schema violation from a remote peer: drop, keep going
+		}
+		if len(fs) > 0 {
+			fresh[rel] = fs
+			total += len(fs)
+		}
+	}
+	st := n.propStatFor(resp.RuleID)
+	st.pulledTuples += uint64(total)
+	return fresh, total, nil
+}
+
+// LazyDependents returns this node's currently-lazy incoming links whose
+// bodies read any of the changed relations: the links that would have
+// received a hint had the change arrived in a session. The peer uses it to
+// cascade invalidation after materialising a pull outside any session.
+func (n *Node) LazyDependents(changed []string) []*cq.Rule {
+	var out []*cq.Rule
+	for _, rule := range n.Incoming() {
+		if !n.pullEffective(rule) {
+			continue
+		}
+		for _, rel := range rule.BodyRelations() {
+			if containsStr(changed, rel) {
+				out = append(out, rule)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// NoteHintSent counts an exporter-side out-of-session hint (pull cascade).
+func (n *Node) NoteHintSent(ruleID string) { n.propStatFor(ruleID).hintsSent++ }
+
+// NoteHintReceived counts an importer-side hint arrival.
+func (n *Node) NoteHintReceived(ruleID string) { n.propStatFor(ruleID).hintsReceived++ }
+
+// NotePullIssued counts an importer-side pull request.
+func (n *Node) NotePullIssued(ruleID string) { n.propStatFor(ruleID).pullsIssued++ }
+
+// PropagationStats snapshots the per-link propagation counters, sorted by
+// rule ID. Every rule with a configured policy or recorded traffic appears.
+func (n *Node) PropagationStats() []LinkPropagationStats {
+	ids := make(map[string]bool, len(n.policies)+len(n.propStats))
+	for id := range n.policies {
+		ids[id] = true
+	}
+	for id := range n.propStats {
+		ids[id] = true
+	}
+	out := make([]LinkPropagationStats, 0, len(ids))
+	for id := range ids {
+		ls := LinkPropagationStats{RuleID: id, Policy: PolicyPush.String(), Effective: PolicyPush.String()}
+		if pol := n.policies[id]; pol != nil {
+			ls.Policy = pol.mode.String()
+			ls.Filter = pol.filterSrc
+		}
+		if rs, ok := n.rules[id]; ok {
+			if rs.rule.Source == n.cfg.Self {
+				// Exporter side: the gate actually applied, including the
+				// importer-speaks-pull and adaptive-demand checks.
+				if n.pullEffective(rs.rule) {
+					ls.Effective = PolicyPull.String()
+				}
+			} else if pol := n.policies[id]; pol != nil && pol.mode == PolicyPull {
+				// Importer side: a configured pull policy is what this node
+				// acts on (stale marks, read-triggered pulls); adaptive
+				// demand and version degradation are exporter-side state it
+				// cannot see, so those report the configured default.
+				ls.Effective = PolicyPull.String()
+			}
+		}
+		if st := n.propStats[id]; st != nil {
+			ls.HintsSent = st.hintsSent
+			ls.PullsServed = st.pullsServed
+			ls.BytesPushed = st.bytesPushed
+			ls.BytesPulled = st.bytesPulled
+			ls.BytesSuppressed = st.bytesSuppressed
+			ls.SuppressedBindings = st.suppressedBindings
+			ls.HintsReceived = st.hintsReceived
+			ls.PullsIssued = st.pullsIssued
+			ls.PulledTuples = st.pulledTuples
+		}
+		out = append(out, ls)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RuleID < out[j].RuleID })
+	return out
+}
+
+// ExportTotals is the cumulative per-node roll-up of the session-report
+// export counters: the reports ring is bounded (Config.MaxReports), so
+// summing Reports() undercounts on long-lived peers — these totals never
+// reset while the process lives.
+type ExportTotals struct {
+	Sessions           int `json:"sessions"`
+	ExportsFull        int `json:"exports_full"`
+	ExportsIncremental int `json:"exports_incremental"`
+	ExportsFallback    int `json:"exports_fallback"`
+	SkippedByWatermark int `json:"skipped_by_watermark"`
+	SuppressedBindings int `json:"suppressed_bindings"`
+	IncrementalMsgs    int `json:"incremental_msgs"`
+}
+
+// ExportTotals returns the cumulative export counters accumulated across
+// every completed session at this node.
+func (n *Node) ExportTotals() ExportTotals { return n.totals }

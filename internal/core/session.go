@@ -28,6 +28,9 @@ type session struct {
 	sent map[string]map[string]bool
 	// seqOut numbers outgoing data batches per rule.
 	seqOut map[string]int
+	// hinted marks pull-policy links whose lazy invalidation hint has been
+	// flooded in this session (one hint per link per session).
+	hinted map[string]bool
 
 	// Query-mode state.
 	query *cq.Query // non-nil at the origin of a query session

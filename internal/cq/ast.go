@@ -159,6 +159,42 @@ func (c Comparison) Vars(dst []string) []string {
 	return dst
 }
 
+// EvalComparisons reports whether a binding tuple, laid out in the given
+// variable order, satisfies every comparison. Variables not present in vars
+// (and positions past the end of the binding) fail the comparison — callers
+// validate variable coverage up front (e.g. against a rule's frontier), so
+// a mismatch here means a malformed binding, which must not pass a filter.
+func EvalComparisons(cmps []Comparison, vars []string, binding relation.Tuple) bool {
+	resolve := func(t Term) (relation.Value, bool) {
+		if !t.IsVar() {
+			return t.Const, true
+		}
+		for i, v := range vars {
+			if v == t.Var {
+				if i >= len(binding) {
+					return relation.Value{}, false
+				}
+				return binding[i], true
+			}
+		}
+		return relation.Value{}, false
+	}
+	for _, c := range cmps {
+		l, ok := resolve(c.L)
+		if !ok {
+			return false
+		}
+		r, ok := resolve(c.R)
+		if !ok {
+			return false
+		}
+		if !c.Op.Eval(l, r) {
+			return false
+		}
+	}
+	return true
+}
+
 // Query is a conjunctive query with one head atom, a body of relational
 // atoms, and comparison predicates.
 type Query struct {

@@ -504,6 +504,40 @@ func parseRule(id, src string) (*Rule, error) {
 	return r, nil
 }
 
+// ParseFilter parses a comma-separated list of comparison predicates
+// ("x > 10, y != \"hr\"") — the concrete syntax of a per-link propagation
+// filter. The variables are resolved by the caller against the link rule's
+// frontier; ParseFilter only checks the comparison grammar. Failures match
+// ErrBadQuery like every other parse error.
+func ParseFilter(src string) ([]Comparison, error) {
+	cmps, err := parseFilter(src)
+	if err != nil {
+		return nil, &badQuery{err}
+	}
+	return cmps, nil
+}
+
+func parseFilter(src string) ([]Comparison, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	atoms, _, cmps, err := p.bodyItems()
+	if err != nil {
+		return nil, err
+	}
+	if len(atoms) > 0 {
+		return nil, fmt.Errorf("cq: filter must contain only comparisons, found atom %s", atoms[0].Rel)
+	}
+	if len(cmps) == 0 {
+		return nil, fmt.Errorf("cq: filter has no comparisons")
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.lex.errf(p.tok.pos, "trailing input")
+	}
+	return cmps, nil
+}
+
 // MustParseRule is ParseRule panicking on error; for tests and examples.
 func MustParseRule(id, src string) *Rule {
 	r, err := ParseRule(id, src)

@@ -28,9 +28,12 @@ import (
 // trailing bytes after a well-formed payload are an error — so a corrupt
 // frame cannot be silently half-read.
 //
-// Compatibility: the tag space and field order are part of wire protocol
-// version 1 (wire.V1). Adding a payload type means a new tag; changing a
-// field order or width means a new protocol version.
+// Compatibility: the tag space and field order are part of the wire
+// protocol version (internal/wire). Tags 0x10–0x1F are version 1; the
+// pull-propagation family at 0x20+ (UpdateHint, PullRequest, PullResponse,
+// LinkDemand) is version 2 — peers never send those tags on a connection
+// negotiated at V1. Adding a payload type means a new tag; changing a field
+// order or width means a new protocol version.
 
 // Tag identifies a payload type on the wire. Tags 0x00–0x0F are reserved
 // for the wire layer itself (handshake frames); payload tags start at 0x10.
@@ -53,6 +56,17 @@ const (
 	TagJoinAccept
 	TagLeave
 	TagDirectoryDelta
+)
+
+// Pull-family tags (wire protocol version 2). Kept in their own block at
+// 0x20 so the V1 tag space stays closed: a V1-negotiated connection never
+// carries these (the peer layer degrades pull links to push toward peers
+// that only speak V1).
+const (
+	TagUpdateHint Tag = 0x20 + iota
+	TagPullRequest
+	TagPullResponse
+	TagLinkDemand
 )
 
 // String names the tag for diagnostics.
@@ -90,6 +104,14 @@ func (t Tag) String() string {
 		return "Leave"
 	case TagDirectoryDelta:
 		return "DirectoryDelta"
+	case TagUpdateHint:
+		return "UpdateHint"
+	case TagPullRequest:
+		return "PullRequest"
+	case TagPullResponse:
+		return "PullResponse"
+	case TagLinkDemand:
+		return "LinkDemand"
 	default:
 		return fmt.Sprintf("tag(0x%02x)", uint8(t))
 	}
@@ -130,6 +152,14 @@ func TagOf(p Payload) (Tag, error) {
 		return TagLeave, nil
 	case *DirectoryDelta:
 		return TagDirectoryDelta, nil
+	case *UpdateHint:
+		return TagUpdateHint, nil
+	case *PullRequest:
+		return TagPullRequest, nil
+	case *PullResponse:
+		return TagPullResponse, nil
+	case *LinkDemand:
+		return TagLinkDemand, nil
 	default:
 		return 0, fmt.Errorf("msg: no wire tag for %T", p)
 	}
@@ -516,6 +546,25 @@ func AppendPayload(dst []byte, p Payload) ([]byte, error) {
 		return dst, nil
 	case *DirectoryDelta:
 		return appendDirEntries(dst, m.Entries), nil
+	case *UpdateHint:
+		dst = appendString(dst, m.RuleID)
+		dst = binary.AppendUvarint(dst, m.LSN)
+		return dst, nil
+	case *PullRequest:
+		dst = appendString(dst, m.RuleID)
+		dst = binary.AppendUvarint(dst, m.SinceLSN)
+		return dst, nil
+	case *PullResponse:
+		dst = appendString(dst, m.RuleID)
+		dst = binary.AppendUvarint(dst, m.AtLSN)
+		dst = append(dst, byte(m.Mode))
+		dst = binary.AppendVarint(dst, int64(m.Skipped))
+		dst = appendTuples(dst, m.Bindings)
+		return dst, nil
+	case *LinkDemand:
+		dst = appendString(dst, m.RuleID)
+		dst = append(dst, m.Mode)
+		return dst, nil
 	case *Batch:
 		dst = binary.AppendUvarint(dst, uint64(len(m.Payloads)))
 		for _, inner := range m.Payloads {
@@ -631,6 +680,24 @@ func decodePayload(tag Tag, r *reader) (Payload, error) {
 		return &Leave{Node: r.str(), Epoch: r.uvarint()}, nil
 	case TagDirectoryDelta:
 		return &DirectoryDelta{Entries: r.dirEntries()}, nil
+	case TagUpdateHint:
+		return &UpdateHint{RuleID: r.str(), LSN: r.uvarint()}, nil
+	case TagPullRequest:
+		return &PullRequest{RuleID: r.str(), SinceLSN: r.uvarint()}, nil
+	case TagPullResponse:
+		m := &PullResponse{RuleID: r.str(), AtLSN: r.uvarint()}
+		if mb := r.take(1); len(mb) == 1 {
+			m.Mode = ExportMode(mb[0])
+		}
+		m.Skipped = int(r.varint())
+		m.Bindings = r.tuples()
+		return m, nil
+	case TagLinkDemand:
+		m := &LinkDemand{RuleID: r.str()}
+		if mb := r.take(1); len(mb) == 1 {
+			m.Mode = mb[0]
+		}
+		return m, nil
 	case TagBatch:
 		n := r.count()
 		m := &Batch{}

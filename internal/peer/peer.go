@@ -82,6 +82,21 @@ type Options struct {
 	// DisableReadPath forces every read through the actor loop, as the
 	// seed implementation did — the baseline of the B3 benchmark.
 	DisableReadPath bool
+	// LinkPolicies maps rule IDs to propagation policy modes ("push",
+	// "pull", "adaptive", "filter"); LinkFilters maps rule IDs to filter
+	// predicates (comma-separated comparisons over the rule's frontier
+	// variables). Policies are remembered and applied when the rule is
+	// declared; see core.PolicyMode.
+	LinkPolicies map[string]string
+	LinkFilters  map[string]string
+	// MaxStaleness bounds how long a pull link may stay hinted-stale
+	// before the peer pulls on its own (0 = pull only on local reads or
+	// explicit PullLink/CatchUp).
+	MaxStaleness time.Duration
+	// PullTimeout bounds how long a local query blocks on a triggered
+	// pull before answering from the stale extent (0 selects
+	// DefaultPullTimeout).
+	PullTimeout time.Duration
 	// Outbox tunes the outbound pipeline (queue bound, batch caps); the
 	// OnDrop hook is owned by the peer, which uses it to compensate the
 	// termination detector for undeliverable messages. A caller-supplied
@@ -102,6 +117,12 @@ type Peer struct {
 	readPath   *readPath         // concurrent reads; nil when the wrapper cannot snapshot
 	log        *slog.Logger
 
+	// Propagation-policy runtime (see propagation.go). prop carries its own
+	// mutex: the read path consults it off the actor loop.
+	prop         *propState
+	maxStaleness time.Duration
+	pullTimeout  time.Duration
+
 	inbox chan any // envelopes and commands, consumed by the actor loop
 
 	// Actor-owned state (no locks; only the loop touches these).
@@ -115,7 +136,8 @@ type Peer struct {
 	updates      map[string]chan msg.UpdateReport
 	remoteCmds   map[string]string // sid -> ReplyTo for StartUpdateCmd
 	statsSink    func(msg.StatsReport)
-	joinWait     chan *msg.JoinAccept // armed by JoinVia, fired by handleJoinAccept
+	linkPolicies map[string]linkPolicyCfg // remembered policies, re-applied on reconfiguration
+	joinWait     chan *msg.JoinAccept     // armed by JoinVia, fired by handleJoinAccept
 
 	stopped chan struct{}
 }
@@ -135,6 +157,9 @@ func New(opts Options) (*Peer, error) {
 	if opts.Name == "" || opts.Transport == nil || opts.Wrapper == nil {
 		return nil, fmt.Errorf("peer: Name, Transport and Wrapper are required")
 	}
+	// The capability callback is late-bound: the node is built before the
+	// peer that answers it exists.
+	var speaks func(string) bool
 	node, err := core.NewNode(core.Config{
 		Self:                    opts.Name,
 		Wrapper:                 opts.Wrapper,
@@ -144,7 +169,13 @@ func New(opts Options) (*Peer, error) {
 		Naive:                   opts.Naive,
 		FullExport:              opts.FullExport,
 		DisableSessionSnapshots: opts.DisableSessionSnapshots,
-		Clock:                   func() int64 { return time.Now().UnixNano() },
+		LinkSpeaksPull: func(node string) bool {
+			if speaks == nil {
+				return true
+			}
+			return speaks(node)
+		},
+		Clock: func() int64 { return time.Now().UnixNano() },
 	})
 	if err != nil {
 		return nil, err
@@ -178,6 +209,25 @@ func New(opts Options) (*Peer, error) {
 		updates:    make(map[string]chan msg.UpdateReport),
 		remoteCmds: make(map[string]string),
 		stopped:    make(chan struct{}),
+
+		prop:         newPropState(),
+		maxStaleness: opts.MaxStaleness,
+		pullTimeout:  opts.PullTimeout,
+	}
+	speaks = p.speaksPull
+	if p.pullTimeout <= 0 {
+		p.pullTimeout = DefaultPullTimeout
+	}
+	if len(opts.LinkPolicies) > 0 || len(opts.LinkFilters) > 0 {
+		p.linkPolicies = make(map[string]linkPolicyCfg)
+		for id, mode := range opts.LinkPolicies {
+			p.linkPolicies[id] = linkPolicyCfg{mode: mode, filter: opts.LinkFilters[id]}
+		}
+		for id, f := range opts.LinkFilters {
+			if _, ok := p.linkPolicies[id]; !ok {
+				p.linkPolicies[id] = linkPolicyCfg{mode: "push", filter: f}
+			}
+		}
 	}
 	for k, v := range opts.Directory {
 		p.directory[k] = dirEntry{addr: v}
@@ -185,6 +235,7 @@ func New(opts Options) (*Peer, error) {
 	if sn, ok := opts.Wrapper.(core.Snapshotter); ok && !opts.DisableReadPath {
 		p.readPath = newReadPath(opts.Name, sn, node, opts.Eval, opts.QueryCacheSize)
 		p.readPath.record = p.noteLocalQueryReport
+		p.readPath.beforeRead = p.maybePullForQuery
 		p.refreshReadRules() // loop not yet running: safe here
 	}
 	if !opts.DisableOutbox {
@@ -444,7 +495,20 @@ func (p *Peer) handleEnvelope(env msg.Envelope) {
 		// Deltas arrive star-flooded by the admitting/removing peer and
 		// are applied locally, never forwarded (no gossip loops).
 		p.applyDirectoryDelta(m.Entries)
+	case *msg.UpdateHint:
+		p.handleUpdateHint(env.From, m)
+	case *msg.PullRequest:
+		p.handlePullRequest(env.From, m)
+	case *msg.PullResponse:
+		p.handlePullResponse(env.From, m)
+	case *msg.LinkDemand:
+		p.node.HandleLinkDemand(m.RuleID, m.Mode == 1)
 	default:
+		if d, ok := m.(*msg.SessionData); ok {
+			// Feed the adaptive policy's cold-link detector before the
+			// session machinery consumes the delivery.
+			p.noteDataDelivery(d.RuleID)
+		}
 		res := p.node.Handle(env)
 		p.dispatch(res)
 	}
@@ -642,6 +706,7 @@ func (p *Peer) installConfig(cfg *config.Config) error {
 	for a := range after {
 		p.ensurePipe(a)
 	}
+	p.applyLinkPolicies()
 	p.refreshReadRules()
 	return nil
 }
@@ -694,6 +759,7 @@ func (p *Peer) AddRule(id, text string) error {
 			for _, a := range p.node.Acquaintances() {
 				p.ensurePipe(a)
 			}
+			p.applyLinkPolicies()
 		}
 		p.refreshReadRules()
 	}); derr != nil {
@@ -969,6 +1035,14 @@ func (p *Peer) StorageStats() (stats storage.DetailedStats, ok bool) {
 		return storage.DetailedStats{}, false
 	}
 	return w.DB().DetailedStats(), true
+}
+
+// ExportTotals returns the node's cumulative export counters — the roll-up
+// of every completed session's report, never bounded by the reports ring.
+func (p *Peer) ExportTotals() core.ExportTotals {
+	var out core.ExportTotals
+	p.do(func() { out = p.node.ExportTotals() })
+	return out
 }
 
 // Reports returns the statistics module's accumulated per-session reports.

@@ -46,6 +46,10 @@ type readPath struct {
 	// record posts a bypassed query's synthetic report to the statistics
 	// module (set by the peer; never blocks the reader).
 	record func(msg.UpdateReport)
+	// beforeRead runs on the reader's goroutine ahead of every local query
+	// (set by the peer): it counts read demand per outgoing link and pulls
+	// stale lazy links so the query observes fresh data. Nil-safe.
+	beforeRead func(*cq.Query)
 
 	// outgoing is the actor loop's published copy of the node's outgoing
 	// rules at rule-set version ver, consulted by the local-only query
@@ -105,6 +109,9 @@ func (rp *readPath) view() core.ReadView { return rp.snap.ReadSnapshot() }
 // snapshot is taken (and the entry stamped with *its* LSN) only when the
 // query must actually evaluate.
 func (rp *readPath) localQuery(q *cq.Query, mode core.QueryMode) (answers []relation.Tuple, hit bool, err error) {
+	if rp.beforeRead != nil {
+		rp.beforeRead(q)
+	}
 	key := core.CacheKey(q, mode)
 	ver := rp.node.RuleSetVersion()
 	var view core.ReadView

@@ -402,6 +402,20 @@ func (t *TCP) Send(to string, p msg.Payload) error {
 	return nil
 }
 
+// PeerVersion reports the wire protocol version negotiated with a piped
+// peer; ok is false when no live pipe to the node exists. The peer layer
+// consults it before sending V2-only payloads (the pull-propagation
+// family): an unknown or V1 pipe degrades the link to push.
+func (t *TCP) PeerVersion(node string) (version byte, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	conn := t.conns[node]
+	if conn == nil {
+		return 0, false
+	}
+	return conn.version, true
+}
+
 // Disconnect implements Transport.
 func (t *TCP) Disconnect(node string) {
 	t.mu.Lock()

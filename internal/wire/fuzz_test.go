@@ -22,7 +22,7 @@ func FuzzWireFrame(f *testing.F) {
 		if err != nil {
 			f.Fatal(err)
 		}
-		f.Add(wire.AppendFrame(nil, wire.V1, byte(tag), body))
+		f.Add(wire.AppendFrame(nil, frameVersion(tag), byte(tag), body))
 	}
 	var hello bytes.Buffer
 	if err := wire.WriteHello(&hello, wire.Hello{Name: "N1", Min: 1, Max: 1}); err != nil {

@@ -81,18 +81,34 @@ func goldenPayloads() []msg.Payload {
 			&msg.SessionAck{SID: "N1-1-abc", N: 1},
 			&msg.LinkClose{SID: "N1-1-abc", RuleID: "r1"},
 		}},
+		&msg.UpdateHint{RuleID: "r1", LSN: 1 << 33},
+		&msg.PullRequest{RuleID: "r1", SinceLSN: 42},
+		&msg.PullResponse{
+			RuleID: "r1", AtLSN: 99, Mode: msg.ExportIncremental, Skipped: 3,
+			Bindings: tuples,
+		},
+		&msg.LinkDemand{RuleID: "r1", Mode: 1},
 	}
 }
 
-// goldenFrame builds the full V1 frame for a payload, exactly as the TCP
-// transport writes it.
+// frameVersion is the lowest protocol version that carries a tag: the
+// pull-family payloads (0x20+) only exist on V2 connections.
+func frameVersion(tag msg.Tag) byte {
+	if byte(tag) >= 0x20 {
+		return wire.V2
+	}
+	return wire.V1
+}
+
+// goldenFrame builds the full frame for a payload, exactly as the TCP
+// transport writes it, at the lowest version that can carry the tag.
 func goldenFrame(t *testing.T, p msg.Payload) ([]byte, msg.Tag) {
 	t.Helper()
 	body, tag, err := msg.AppendEnvelope(nil, msg.Envelope{From: "N1", Payload: p})
 	if err != nil {
 		t.Fatalf("encode %T: %v", p, err)
 	}
-	return wire.AppendFrame(nil, wire.V1, byte(tag), body), tag
+	return wire.AppendFrame(nil, frameVersion(tag), byte(tag), body), tag
 }
 
 func fixturePath(tag msg.Tag) string {
@@ -134,8 +150,8 @@ func TestGoldenVectors(t *testing.T) {
 			if err != nil {
 				t.Fatalf("fixture frame unreadable: %v", err)
 			}
-			if h.Version != wire.V1 || h.Type != byte(tag) {
-				t.Fatalf("fixture header = %+v, want version %d type %d", h, wire.V1, tag)
+			if h.Version != frameVersion(tag) || h.Type != byte(tag) {
+				t.Fatalf("fixture header = %+v, want version %d type %d", h, frameVersion(tag), tag)
 			}
 			env, err := msg.DecodeEnvelope(msg.Tag(h.Type), body)
 			if err != nil {

@@ -47,13 +47,20 @@ const HeaderLen = 12
 // Protocol versions this implementation speaks.
 const (
 	// V1 is the first frame protocol version: the header above with
-	// internal/msg binary payload bodies.
+	// internal/msg binary payload bodies (tags 0x10–0x1F).
 	V1 = 1
+
+	// V2 adds the pull-propagation payload family (msg tags 0x20+:
+	// UpdateHint, PullRequest, PullResponse, LinkDemand). The frame layout
+	// is unchanged; a connection negotiated at V1 simply never carries
+	// those tags — the peer layer degrades pull links to push toward
+	// V1-only peers.
+	V2 = 2
 
 	// MinVersion and MaxVersion bound the supported range offered in the
 	// handshake.
 	MinVersion = V1
-	MaxVersion = V1
+	MaxVersion = V2
 )
 
 // TypeHello tags the handshake frame. Tags below 0x10 are reserved for the

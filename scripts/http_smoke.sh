@@ -141,4 +141,34 @@ echo "$body" | grep -q '"count":4' || {
 }
 echo "leave ok"
 
+# Propagation policies through the gateway: flip the N1→N0 link to pull on
+# both endpoints, update upstream, and watch the importer go stale (the
+# update floods only a hint) and then fresh (the next local query pulls the
+# delta synchronously).
+curl -fsS -X PUT http://127.0.0.1:8181/v1/links/e0/policy \
+    -d '{"mode":"pull"}' | grep -q '"mode":"pull"'
+curl -fsS -X PUT http://127.0.0.1:8180/v1/links/e0/policy \
+    -d '{"mode":"pull"}' | grep -q '"mode":"pull"'
+curl -fsS -X POST http://127.0.0.1:8181/v1/insert \
+    -d '{"relation":"data","rows":[[100,1000]]}' | grep -q '"inserted":1'
+curl -fsS -X POST 'http://127.0.0.1:8181/v1/update?timeout=1m' -d '{}' |
+    grep -q '"report"'
+# Stale: the hint arrived, the delta did not.
+curl -fsS http://127.0.0.1:8180/v1/stats/propagation |
+    grep -q '"stale_links":\["e0"\]' || {
+    echo "pull link e0 not stale after upstream update" >&2
+    exit 1
+}
+# Fresh: the local query triggers the pull and sees the new tuple.
+body=$(curl -fsS -X POST http://127.0.0.1:8180/v1/query \
+    -d '{"query":"ans(k, v) :- data(k, v)","local":true}')
+echo "$body" | grep -q '"count":5' || {
+    echo "post-pull query: want count 5, got: $body" >&2
+    exit 1
+}
+# …and the cumulative counters saw the pull on both sides of the link.
+curl -fsS http://127.0.0.1:8181/v1/stats/propagation | grep -q '"pulls_served":1'
+curl -fsS http://127.0.0.1:8180/v1/stats | grep -q '"sessions"'
+echo "propagation policies ok"
+
 echo "http smoke: PASS"
