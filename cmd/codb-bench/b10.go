@@ -1,0 +1,307 @@
+// B10: partition/heal failure detection. Two scenarios over a durable
+// loopback-TCP star with the heartbeat suspicion detector on, each replayed
+// against an unbroken reference network as byte-identity ground truth:
+//
+//   - partition/heal: a leaf is silently partitioned (a fault injector
+//     drops its traffic in both directions) under continuing update load.
+//     Headlines: the hub suspects the leaf within 2x the suspicion
+//     timeout, every in-partition session still terminates (written off by
+//     compensation, not hung), the injected silence never counts as a
+//     transport dial failure, and after the heal the re-pipe + catch-up
+//     restore byte-identity with the reference.
+//   - rolling restart: leaves crash-stop and come back over their own
+//     directories at the same address between update rounds. Headlines:
+//     zero lost sessions (every update returns), zero exhausted dials
+//     (restarts reuse their listener), and byte-identity at the end — the
+//     restarted exporters resume from durable watermarks.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"codb"
+	"codb/internal/transport"
+)
+
+const (
+	b10Timeout    = 150 * time.Millisecond // suspicion timeout (down at 2x)
+	b10PartRounds = 3                      // update rounds while partitioned
+	b10Restarts   = 2                      // leaves crash-stopped in leg 2
+)
+
+// b10Wait polls a node's membership snapshot until cond holds.
+func b10Wait(nw *codb.Network, node string, wait time.Duration, cond func(codb.MembershipStats) bool) (codb.MembershipStats, bool) {
+	deadline := time.Now().Add(wait)
+	for {
+		st, ok := nw.PeerMembershipStats(node)
+		if ok && cond(st) {
+			return st, true
+		}
+		if time.Now().After(deadline) {
+			return st, false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// b10Star builds the B8 star wiring (hub n0 imports every leaf's data
+// extent) on an existing network.
+func b10Star(nw *codb.Network, durableRoot string) error {
+	for i := 0; i <= b8Leaves; i++ {
+		name := b8Name(i)
+		var err error
+		if durableRoot == "" {
+			_, err = nw.AddPeer(name, "data(x int, y int)")
+		} else {
+			_, err = nw.AddDurablePeer(name, filepath.Join(durableRoot, name), "data(x int, y int)")
+		}
+		if err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= b8Leaves; i++ {
+		id, text := b8Rule(i)
+		if err := nw.AddRule(id, text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// partitionHeal is B10.
+func partitionHeal(ctx context.Context) {
+	fmt.Println("== B10: partition/heal — heartbeat suspicion, write-off, re-pipe + catch-up")
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "codb-bench: B10:", err)
+		os.Exit(1)
+	}
+	root, err := os.MkdirTemp("", "codb-b10-*")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(root)
+
+	// Reference: same wiring on the in-process bus, never faulted. Both
+	// networks replay the identical insert/update programme.
+	ref := codb.NewNetworkWithOptions(codb.NetworkOptions{})
+	defer ref.Close()
+	if err := b10Star(ref, ""); err != nil {
+		fail(err)
+	}
+
+	// ---- Leg 1: silent partition, detection, heal, catch-up ----
+	parts := make(map[string]*transport.Partitioner)
+	faulted := codb.NewNetworkWithOptions(codb.NetworkOptions{
+		Transport: codb.TransportGroup{
+			TCP: true,
+			Wrap: func(node string, tr transport.Transport) transport.Transport {
+				f := transport.NewPartitioner(tr)
+				parts[node] = f
+				return f
+			},
+		},
+		Suspicion: codb.SuspicionGroup{Timeout: b10Timeout},
+	})
+	defer faulted.Close()
+	if err := b10Star(faulted, filepath.Join(root, "faulted")); err != nil {
+		fail(err)
+	}
+
+	round := 0
+	update := func(nw *codb.Network) (benchRow, error) {
+		return b8Update(ctx, nw, fmt.Sprintf("round=%d", round))
+	}
+	step := func() benchRow {
+		if err := b8Insert(faulted, round); err != nil {
+			fail(err)
+		}
+		if err := b8Insert(ref, round); err != nil {
+			fail(err)
+		}
+		row, err := update(faulted)
+		if err != nil {
+			fail(fmt.Errorf("faulted update round %d: %w", round, err))
+		}
+		if _, err := update(ref); err != nil {
+			fail(err)
+		}
+		round++
+		return row
+	}
+
+	var rows []benchRow
+	step() // healthy round: pipes up, watermarks established
+
+	// Partition the last leaf, symmetrically: silence both directions.
+	victim := b8Name(b8Leaves)
+	others := make([]string, 0, b8Leaves)
+	for i := 0; i < b8Leaves; i++ {
+		others = append(others, b8Name(i))
+	}
+	parts[victim].Partition(others...)
+	for _, name := range others {
+		parts[name].Partition(victim)
+	}
+	partStart := time.Now()
+
+	// Detection: the hub must suspect the silent leaf within 2x the
+	// suspicion timeout, and declare it down soon after.
+	st, ok := b10Wait(faulted, "n0", 2*b10Timeout, func(st codb.MembershipStats) bool {
+		s := st.States[victim]
+		return s == "suspect" || s == "down"
+	})
+	if !ok {
+		fail(fmt.Errorf("hub never suspected the partitioned leaf within 2x timeout: %+v", st))
+	}
+	suspectNs := time.Since(partStart)
+	st, ok = b10Wait(faulted, "n0", 10*b10Timeout, func(st codb.MembershipStats) bool {
+		return st.States[victim] == "down"
+	})
+	if !ok {
+		fail(fmt.Errorf("hub never declared the partitioned leaf down: %+v", st))
+	}
+	downNs := time.Since(partStart)
+	fmt.Printf("partition detected: suspect after %v, down after %v (timeout %v)\n",
+		suspectNs.Round(time.Millisecond), downNs.Round(time.Millisecond), b10Timeout)
+	rows = append(rows,
+		benchRow{Name: "partition/detect-suspect", NsPerOp: float64(suspectNs.Nanoseconds())},
+		benchRow{Name: "partition/detect-down", NsPerOp: float64(downNs.Nanoseconds())})
+
+	// Update load continues through the partition; every session must
+	// terminate (compensated, not hung).
+	for i := 0; i < b10PartRounds; i++ {
+		row := step()
+		row.Name = fmt.Sprintf("partition/update-%d", i)
+		rows = append(rows, row)
+	}
+	droppedOut, droppedIn := parts["n0"].Dropped()
+	if droppedOut == 0 && droppedIn == 0 {
+		fail(fmt.Errorf("the hub's injector dropped nothing — the partition never bit"))
+	}
+
+	// Heal: paced redials re-pipe, directory deltas re-exchange, catch-up
+	// resumes from the durable watermarks.
+	for _, f := range parts {
+		f.Heal()
+	}
+	healStart := time.Now()
+	st, ok = b10Wait(faulted, "n0", 20*b10Timeout, func(st codb.MembershipStats) bool {
+		return st.States[victim] == "alive" && st.Heals >= 1
+	})
+	if !ok {
+		fail(fmt.Errorf("hub never healed the partitioned leaf: %+v", st))
+	}
+	healNs := time.Since(healStart)
+	rows = append(rows, benchRow{Name: "partition/heal-repipe", NsPerOp: float64(healNs.Nanoseconds())})
+
+	// Post-heal convergence: one more round, then byte-identity with the
+	// reference (the heal's own catch-up lands asynchronously).
+	step()
+	equal := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if b8Fingerprint(faulted) == b8Fingerprint(ref) {
+			equal = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	convergedNs := time.Since(healStart)
+	var dialFails uint64
+	for _, name := range faulted.Peers() {
+		if n, ok := faulted.Peer(name).DialFailures(); ok {
+			dialFails += n
+		}
+	}
+	fmt.Printf("healed: re-piped after %v, byte-identical with reference after %v; identical=%v dial_failures=%d dropped=%d\n",
+		healNs.Round(time.Millisecond), convergedNs.Round(time.Millisecond), equal, dialFails, droppedOut+droppedIn)
+	rows = append(rows, benchRow{Name: "partition/summary", NsPerOp: float64(convergedNs.Nanoseconds()),
+		EqualDBs: &equal, DialFails: dialFails})
+	if !equal || dialFails != 0 {
+		fail(fmt.Errorf("post-heal divergence (identical=%v) or dial failures (%d)", equal, dialFails))
+	}
+
+	// ---- Leg 2: rolling restart of durable leaves under update load ----
+	rolling := codb.NewNetworkWithOptions(codb.NetworkOptions{
+		Transport: codb.TransportGroup{TCP: true},
+		Suspicion: codb.SuspicionGroup{Timeout: b10Timeout},
+	})
+	defer rolling.Close()
+	rollRoot := filepath.Join(root, "rolling")
+	if err := b10Star(rolling, rollRoot); err != nil {
+		fail(err)
+	}
+	ref2 := codb.NewNetworkWithOptions(codb.NetworkOptions{})
+	defer ref2.Close()
+	if err := b10Star(ref2, ""); err != nil {
+		fail(err)
+	}
+
+	lost := 0
+	restarted := uint64(0)
+	rounds := 2*b10Restarts + 2
+	for r := 0; r < rounds; r++ {
+		if err := b8Insert(rolling, 100+r); err != nil {
+			fail(err)
+		}
+		if err := b8Insert(ref2, 100+r); err != nil {
+			fail(err)
+		}
+		t0 := time.Now()
+		if _, err := rolling.Update(ctx, "n0"); err != nil {
+			lost++
+		}
+		wall := time.Since(t0)
+		if _, err := ref2.Update(ctx, "n0"); err != nil {
+			fail(err)
+		}
+		rows = append(rows, benchRow{Name: fmt.Sprintf("rolling/update-%d", r), NsPerOp: float64(wall.Nanoseconds())})
+
+		// Crash-stop a rotating leaf between rounds; wait for the hub to
+		// write the old incarnation off before the rule re-add re-pipes it
+		// (a live pipe supersedes a pipe-down still in flight).
+		if r%2 == 1 && restarted < b10Restarts {
+			leaf := 1 + int(restarted)%b8Leaves
+			name := b8Name(leaf)
+			if _, err := rolling.RestartDurablePeer(name, filepath.Join(rollRoot, name)); err != nil {
+				fail(err)
+			}
+			restarted++
+			if st, ok := b10Wait(rolling, "n0", 10*b10Timeout, func(st codb.MembershipStats) bool {
+				return st.Downs >= restarted
+			}); !ok {
+				fail(fmt.Errorf("hub never noted restarted %s down: %+v", name, st))
+			}
+			id, text := b8Rule(leaf)
+			if err := rolling.AddRule(id, text); err != nil {
+				fail(err)
+			}
+		}
+	}
+	equal2 := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if b8Fingerprint(rolling) == b8Fingerprint(ref2) {
+			equal2 = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var dialFails2 uint64
+	for _, name := range rolling.Peers() {
+		if n, ok := rolling.Peer(name).DialFailures(); ok {
+			dialFails2 += n
+		}
+	}
+	st2, _ := rolling.PeerMembershipStats("n0")
+	fmt.Printf("rolling restart: %d restarts, %d lost sessions, %d dial failures, identical=%v (hub saw %d downs, %d heals)\n\n",
+		restarted, lost, dialFails2, equal2, st2.Downs, st2.Heals)
+	rows = append(rows, benchRow{Name: "rolling/summary", EqualDBs: &equal2, DialFails: dialFails2, Msgs: lost})
+	writeBench("B10", rows)
+	if lost != 0 || dialFails2 != 0 || !equal2 || st2.Downs < restarted || st2.Heals < restarted {
+		fail(fmt.Errorf("rolling restart: lost=%d dialFails=%d identical=%v downs=%d heals=%d",
+			lost, dialFails2, equal2, st2.Downs, st2.Heals))
+	}
+}

@@ -16,6 +16,7 @@
 //	codb-bench -exp B7         # snapshot-backed write-path evaluation + ScanEq pushdown
 //	codb-bench -exp B8         # runtime membership churn vs static membership
 //	codb-bench -exp B9         # propagation policies: push vs lazy pull vs adaptive
+//	codb-bench -exp B10        # partition/heal: suspicion detection, catch-up, rolling restart
 //	codb-bench -nodes 4,8,16   # override the network sizes
 //	codb-bench -tuples 500     # override per-node cardinality
 //	codb-bench -json .         # also write machine-readable BENCH_<exp>.json
@@ -48,7 +49,7 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "comma-separated experiments to run (E1..E7,A1..A4,B1..B9 or 'all')")
+	expFlag    = flag.String("exp", "all", "comma-separated experiments to run (E1..E7,A1..A4,B1..B10 or 'all')")
 	nodesFlag  = flag.String("nodes", "4,8,16,32", "comma-separated network sizes")
 	tuplesFlag = flag.Int("tuples", 250, "tuples per node")
 	seedFlag   = flag.Int64("seed", 42, "workload seed")
@@ -207,6 +208,9 @@ func main() {
 	}
 	if run("B9") {
 		propagationPolicies(ctx)
+	}
+	if run("B10") {
+		partitionHeal(ctx)
 	}
 }
 

@@ -62,6 +62,8 @@ func main() {
 	flag.Var(&linkPolicies, "link-policy", "per-link propagation policy rule=mode[:filter], mode push|pull|adaptive|filter (repeatable)")
 	maxStaleness := flag.Duration("max-staleness", 0, "deadline after which a stale pull link is pulled without a read (0 = on demand only)")
 	pullTimeout := flag.Duration("pull-timeout", 0, "how long a local query waits on a triggered pull before serving stale data (0 = default 2s)")
+	suspicionTimeout := flag.Duration("suspicion-timeout", 0, "silence after which an acquaintance is suspected, twice that down (0 = failure detection off)")
+	suspicionInterval := flag.Duration("suspicion-interval", 0, "heartbeat and detector scan period (0 = suspicion-timeout/4)")
 	joinAddr := flag.String("join", "", "join a live network via the admitting peer at this address")
 	leaveOnSignal := flag.Bool("leave-on-signal", false, "announce a coordinated leave before shutting down")
 	verbose := flag.Bool("v", false, "verbose logging")
@@ -137,6 +139,8 @@ func main() {
 	opts.LinkFilters = linkPolicies.filters
 	opts.MaxStaleness = *maxStaleness
 	opts.PullTimeout = *pullTimeout
+	opts.SuspicionTimeout = *suspicionTimeout
+	opts.SuspicionInterval = *suspicionInterval
 	if cfg != nil {
 		opts.Directory = cfg.Directory()
 	}

@@ -75,6 +75,9 @@ type (
 	PropagationStats = peer.PropagationStats
 	// LinkPropagationStats is one link's propagation counters.
 	LinkPropagationStats = core.LinkPropagationStats
+	// MembershipStats is a peer's failure-detector snapshot: per-peer
+	// suspicion states, transition counters, directory totals.
+	MembershipStats = peer.MembershipStats
 )
 
 // Query modes.
@@ -162,6 +165,26 @@ type TransportGroup struct {
 	// TCP mode (default "127.0.0.1:0"; keep port 0 with more than one
 	// peer per host).
 	ListenAddr string
+	// Wrap, when set, wraps each joining peer's transport before the peer
+	// is built on it — the fault-injection seam. Return
+	// transport.NewPartitioner(tr) (keeping the reference) to inject
+	// partitions and delays per peer, as the B10 benchmark and the
+	// partition stress tests do; return tr unchanged to leave a peer
+	// unwrapped.
+	Wrap func(node string, tr transport.Transport) transport.Transport
+}
+
+// SuspicionGroup enables the heartbeat failure detector on every peer: each
+// TCP pipe carries periodic heartbeat frames, and a peer silent past Timeout
+// is suspected, past 2×Timeout declared down — in-flight work written off,
+// pipe severed, paced redials armed — but never tombstoned, because a
+// partitioned peer is expected back. On reconnect the pipe, directory and
+// lazy links heal automatically. See internal/peer/suspicion.go.
+type SuspicionGroup struct {
+	// Timeout is the silence threshold; 0 disables the detector.
+	Timeout time.Duration
+	// Interval is the heartbeat emission and scan period (0 = Timeout/4).
+	Interval time.Duration
 }
 
 // ReadGroup groups the read-path knobs of NetworkOptions.
@@ -255,6 +278,8 @@ type NetworkOptions struct {
 	Read ReadGroup
 	// Propagation holds the per-link propagation policies.
 	Propagation PropagationGroup
+	// Suspicion enables the heartbeat failure detector (partition/heal).
+	Suspicion SuspicionGroup
 	// HTTP enables the per-peer HTTP/JSON gateways.
 	HTTP HTTPGroup
 
@@ -367,6 +392,8 @@ func (nw *Network) peerOptions(name string, w core.Wrapper) peer.Options {
 		LinkFilters:             nw.opts.Propagation.Filters,
 		MaxStaleness:            nw.opts.Propagation.MaxStaleness,
 		PullTimeout:             nw.opts.Propagation.PullTimeout,
+		SuspicionTimeout:        nw.opts.Suspicion.Timeout,
+		SuspicionInterval:       nw.opts.Suspicion.Interval,
 	}
 }
 
@@ -480,6 +507,9 @@ func (nw *Network) join(name string, w core.Wrapper) (*Peer, error) {
 			return nil, err
 		}
 		opts.Transport = tr
+	}
+	if wrap := nw.opts.Transport.Wrap; wrap != nil {
+		opts.Transport = wrap(name, opts.Transport)
 	}
 	p, err := peer.New(opts)
 	if err != nil {
@@ -615,6 +645,68 @@ func (nw *Network) RemovePeer(name string) {
 	if db != nil {
 		db.Close()
 	}
+}
+
+// RestartDurablePeer stops a durable peer in place — a crash-stop: no leave,
+// no tombstone, no directory change — and brings a fresh incarnation up over
+// the same directory and the same listen address, as a process restart does.
+// Survivors see only the pipe drop and the silence; with the suspicion
+// detector on they write the incarnation off, pace redials, and heal when
+// the replacement answers — resuming exports from the durable watermarks
+// rather than re-shipping history. Contrast RemovePeer, which tombstones the
+// name and resets export state toward it.
+func (nw *Network) RestartDurablePeer(name, dir string) (*Peer, error) {
+	nw.mu.Lock()
+	p := nw.peers[name]
+	db := nw.dbs[name]
+	addr := nw.addrs[name]
+	if p == nil || db == nil || addr == "" {
+		nw.mu.Unlock()
+		return nil, fmt.Errorf("codb: restart %s: not a running durable TCP peer", name)
+	}
+	epoch := nw.epochs[name] + 1
+	peerDir := make(map[string]string, len(nw.addrs))
+	for node, a := range nw.addrs {
+		if node != name {
+			peerDir[node] = a
+		}
+	}
+	delete(nw.peers, name)
+	delete(nw.dbs, name)
+	nw.mu.Unlock()
+
+	p.Stop()
+	if err := db.Close(); err != nil {
+		return nil, err
+	}
+
+	db2, err := storage.Open(nw.storageOptions(dir))
+	if err != nil {
+		return nil, err
+	}
+	tcp, err := transport.NewTCP(name, addr)
+	if err != nil {
+		db2.Close()
+		return nil, err
+	}
+	opts := nw.peerOptions(name, core.NewStoreWrapper(db2))
+	opts.Epoch = epoch
+	opts.Transport = tcp
+	opts.Directory = peerDir
+	if wrap := nw.opts.Transport.Wrap; wrap != nil {
+		opts.Transport = wrap(name, opts.Transport)
+	}
+	p2, err := peer.New(opts)
+	if err != nil {
+		db2.Close()
+		return nil, err
+	}
+	nw.mu.Lock()
+	nw.peers[name] = p2
+	nw.dbs[name] = db2
+	nw.epochs[name] = epoch
+	nw.mu.Unlock()
+	return p2, nil
 }
 
 // AddRule declares a GLAV coordination rule on both endpoints, e.g.
@@ -820,6 +912,17 @@ func (nw *Network) PeerWireStats(node string) (frames, bytes uint64, ok bool) {
 		return 0, 0, false
 	}
 	return p.WireStats()
+}
+
+// PeerMembershipStats returns a node's failure-detector and directory
+// snapshot (suspicion states, suspect/down/heal counters, live and
+// tombstoned directory entries); ok is false for unknown peers.
+func (nw *Network) PeerMembershipStats(node string) (stats MembershipStats, ok bool) {
+	p := nw.Peer(node)
+	if p == nil {
+		return MembershipStats{}, false
+	}
+	return p.MembershipStats(), true
 }
 
 // StartGateway starts one HTTP gateway serving every node of the network

@@ -21,6 +21,9 @@
 //	GET  /v1/stats/wire      TCP frame/byte counters + outbox batching
 //	GET  /v1/stats/propagation  per-link propagation policy counters
 //	                            (hints, pulls, byte split, staleness)
+//	GET  /v1/stats/membership   failure-detector snapshot (suspicion states
+//	                            per acquaintance, suspect/down/heal counts,
+//	                            directory totals)
 //	PUT  /v1/links/{rule}/policy  set a link's propagation policy
 //	                              {"mode": "pull", "filter": "x > 10"}
 //	GET  /v1/reports         accumulated per-session statistics reports
@@ -113,6 +116,7 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("GET /v1/stats/storage", s.handleStorageStats)
 	mux.HandleFunc("GET /v1/stats/wire", s.handleWireStats)
 	mux.HandleFunc("GET /v1/stats/propagation", s.handlePropagationStats)
+	mux.HandleFunc("GET /v1/stats/membership", s.handleMembershipStats)
 	mux.HandleFunc("PUT /v1/links/{rule}/policy", s.handleLinkPolicy)
 	mux.HandleFunc("GET /v1/reports", s.handleReports)
 	mux.HandleFunc("GET /v1/peers", s.handlePeers)
@@ -511,6 +515,15 @@ func (s *Server) handlePropagationStats(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"node": p.Name(), "propagation": p.PropagationStats()})
+}
+
+func (s *Server) handleMembershipStats(w http.ResponseWriter, r *http.Request) {
+	p, err := s.peerFor(r)
+	if err != nil {
+		s.writeErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node": p.Name(), "membership": p.MembershipStats()})
 }
 
 // linkPolicyRequest is the PUT /v1/links/{rule}/policy body.

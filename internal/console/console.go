@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -53,7 +54,8 @@ func (c *Console) Execute(line string) bool {
 	case "help":
 		c.printf("query|certain|local <node> <query>; update <node>; scoped <node> <rel,...>;\n")
 		c.printf("insert <node> <rel> v…; show <node> <rel>; peers <node>; report <node>;\n")
-		c.printf("cache <node>; storage <node>; wire <node>; links <node>; policy <rule> <mode> [filter];\n")
+		c.printf("cache <node>; storage <node>; wire <node>; links <node>; membership <node>;\n")
+		c.printf("policy <rule> <mode> [filter];\n")
 		c.printf("catchup; stats; reload <file>; topology; quit\n")
 	case "query", "certain", "local":
 		c.runQuery(cmd, rest)
@@ -77,6 +79,8 @@ func (c *Console) Execute(line string) bool {
 		c.runWire(fields[1:])
 	case "links":
 		c.runLinks(fields[1:])
+	case "membership":
+		c.runMembership(fields[1:])
 	case "policy":
 		c.runPolicy(fields[1:])
 	case "catchup":
@@ -382,6 +386,33 @@ func (c *Console) runLinks(args []string) {
 	if st.StalenessSamples > 0 {
 		c.printf("staleness at pull: p50=%v p99=%v over %d pulls\n",
 			st.StalenessP50.Round(time.Microsecond), st.StalenessP99.Round(time.Microsecond), st.StalenessSamples)
+	}
+}
+
+func (c *Console) runMembership(args []string) {
+	if len(args) != 1 {
+		c.printf("usage: membership <node>\n")
+		return
+	}
+	st, ok := c.nw.PeerMembershipStats(args[0])
+	if !ok {
+		c.printf("unknown peer %s\n", args[0])
+		return
+	}
+	c.printf("directory: %d live peers, %d tombstones\n", st.LivePeers, st.Tombstones)
+	if !st.Enabled {
+		c.printf("failure detection: off\n")
+		return
+	}
+	c.printf("failure detection: %d suspected, %d down, %d healed (cumulative)\n",
+		st.Suspects, st.Downs, st.Heals)
+	names := make([]string, 0, len(st.States))
+	for name := range st.States {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c.printf("  %-10s %s\n", name, st.States[name])
 	}
 }
 

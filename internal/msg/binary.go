@@ -31,8 +31,8 @@ import (
 // Compatibility: the tag space and field order are part of the wire
 // protocol version (internal/wire). Tags 0x10–0x1F are version 1; the
 // pull-propagation family at 0x20+ (UpdateHint, PullRequest, PullResponse,
-// LinkDemand) is version 2 — peers never send those tags on a connection
-// negotiated at V1. Adding a payload type means a new tag; changing a field
+// LinkDemand) and the Heartbeat liveness frame are version 2 — peers never
+// send those tags on a connection negotiated at V1. Adding a payload type means a new tag; changing a field
 // order or width means a new protocol version.
 
 // Tag identifies a payload type on the wire. Tags 0x00–0x0F are reserved
@@ -67,6 +67,7 @@ const (
 	TagPullRequest
 	TagPullResponse
 	TagLinkDemand
+	TagHeartbeat
 )
 
 // String names the tag for diagnostics.
@@ -112,6 +113,8 @@ func (t Tag) String() string {
 		return "PullResponse"
 	case TagLinkDemand:
 		return "LinkDemand"
+	case TagHeartbeat:
+		return "Heartbeat"
 	default:
 		return fmt.Sprintf("tag(0x%02x)", uint8(t))
 	}
@@ -160,6 +163,8 @@ func TagOf(p Payload) (Tag, error) {
 		return TagPullResponse, nil
 	case *LinkDemand:
 		return TagLinkDemand, nil
+	case *Heartbeat:
+		return TagHeartbeat, nil
 	default:
 		return 0, fmt.Errorf("msg: no wire tag for %T", p)
 	}
@@ -565,6 +570,9 @@ func AppendPayload(dst []byte, p Payload) ([]byte, error) {
 		dst = appendString(dst, m.RuleID)
 		dst = append(dst, m.Mode)
 		return dst, nil
+	case *Heartbeat:
+		dst = binary.AppendUvarint(dst, m.Seq)
+		return dst, nil
 	case *Batch:
 		dst = binary.AppendUvarint(dst, uint64(len(m.Payloads)))
 		for _, inner := range m.Payloads {
@@ -698,6 +706,8 @@ func decodePayload(tag Tag, r *reader) (Payload, error) {
 			m.Mode = mb[0]
 		}
 		return m, nil
+	case TagHeartbeat:
+		return &Heartbeat{Seq: r.uvarint()}, nil
 	case TagBatch:
 		n := r.count()
 		m := &Batch{}

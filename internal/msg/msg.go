@@ -485,6 +485,20 @@ type LinkDemand struct {
 // Size implements Payload.
 func (m *LinkDemand) Size() int { return len(m.RuleID) + 1 }
 
+// Heartbeat announces pipe liveness: the transport emits one per interval on
+// every V2 pipe so the receiving peer's suspicion state machine can tell a
+// quiet-but-healthy acquaintance from a partitioned one. Like the rest of
+// the 0x20 family, heartbeats are control traffic, not basic messages: they
+// carry no session obligations and are never counted in the
+// Dijkstra–Scholten deficit. Seq increments per emitting transport, so a
+// resumed stream is distinguishable from a duplicate in traces.
+type Heartbeat struct {
+	Seq uint64
+}
+
+// Size implements Payload.
+func (m *Heartbeat) Size() int { return 8 }
+
 // Batch packs several payloads for the same destination into one envelope
 // (see the package comment). Order is the send order; receivers deliver the
 // packed payloads individually, preserving it.

@@ -1,0 +1,149 @@
+package peer
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"codb/internal/core"
+	"codb/internal/msg"
+	"codb/internal/relation"
+	"codb/internal/storage"
+	"codb/internal/transport"
+	"codb/internal/wire"
+)
+
+// TestHeartbeatsNeverReachV1Peer: with the suspicion detector on, the
+// transport emits heartbeat frames — but only on pipes negotiated at V2 or
+// later. An acquaintance that handshook at V1 predates the heartbeat tag and
+// must never see one (it would fail the decode and tear the pipe down).
+// Symmetrically, the detector must exempt the V1 peer from silence judgment:
+// a peer that cannot send heartbeats is indistinguishable idle vs partitioned.
+func TestHeartbeatsNeverReachV1Peer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type observed struct {
+		newTags    int  // frames tagged 0x20+ (heartbeats included) — must stay 0
+		badVersion bool // frames not at the negotiated V1
+	}
+	got := make(chan observed, 1)
+	go func() {
+		var o observed
+		defer func() { got <- o }()
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		if _, err := wire.ReadHello(c); err != nil {
+			return
+		}
+		// An old build: V1 is all it speaks.
+		if err := wire.WriteHello(c, wire.Hello{Name: "B", Min: wire.V1, Max: wire.V1}); err != nil {
+			return
+		}
+		ack := func(sid string) {
+			body, tag, err := msg.AppendEnvelope(nil, msg.Envelope{From: "B", Payload: &msg.SessionAck{SID: sid, N: 1}})
+			if err == nil {
+				wire.WriteFrame(c, wire.V1, byte(tag), body)
+			}
+		}
+		var handle func(p msg.Payload)
+		handle = func(p msg.Payload) {
+			switch m := p.(type) {
+			case *msg.Batch:
+				for _, inner := range m.Payloads {
+					handle(inner)
+				}
+			case *msg.SessionRequest:
+				ack(m.SID)
+			case *msg.SessionData:
+				ack(m.SID)
+			case *msg.LinkClose:
+				ack(m.SID)
+			}
+		}
+		// Keep reading until the remote closes: heartbeats, if wrongly sent,
+		// arrive after the session completes.
+		for {
+			h, body, err := wire.ReadFrame(c)
+			if err != nil {
+				return
+			}
+			if h.Version != wire.V1 {
+				o.badVersion = true
+			}
+			if h.Type >= 0x20 {
+				o.newTags++
+				continue
+			}
+			env, err := msg.DecodeEnvelope(msg.Tag(h.Type), body)
+			if err != nil {
+				return
+			}
+			handle(env.Payload)
+		}
+	}()
+
+	db := storage.MustOpenMem()
+	if err := db.DefineRelation(&relation.RelDef{Name: "r", Attrs: []relation.Attr{{Name: "a", Type: relation.TInt}}}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := transport.NewTCP("A", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Options{
+		Name:              "A",
+		Transport:         tr,
+		Wrapper:           core.NewStoreWrapper(db),
+		Directory:         map[string]string{"B": ln.Addr().String()},
+		SuspicionTimeout:  120 * time.Millisecond,
+		SuspicionInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Stop)
+	if err := p.AddRule("r1", `B.r(x) <- A.r(x)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Insert("r", relation.Tuple{relation.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunUpdate(ctxT(t)); err != nil {
+		t.Fatalf("update against V1 peer: %v", err)
+	}
+
+	// Let many heartbeat intervals and several suspicion timeouts elapse.
+	// The V1 pipe must receive none of them, and the silent-but-exempt peer
+	// must never be suspected.
+	time.Sleep(400 * time.Millisecond)
+	st := p.MembershipStats()
+	if !st.Enabled {
+		t.Fatal("suspicion detector not enabled")
+	}
+	if st.Suspects != 0 || st.Downs != 0 {
+		t.Errorf("V1 peer judged by silence: %d suspects, %d downs", st.Suspects, st.Downs)
+	}
+	if state := st.States["B"]; state != "alive" {
+		t.Errorf("V1 peer state = %q, want alive", state)
+	}
+
+	p.Stop() // closes the transport; the fake's read loop returns
+	select {
+	case o := <-got:
+		if o.newTags != 0 {
+			t.Errorf("V1 peer received %d frames tagged 0x20+ (heartbeats leak across versions), want 0", o.newTags)
+		}
+		if o.badVersion {
+			t.Error("frames arrived at a version other than the negotiated V1")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("fake V1 peer never finished observing")
+	}
+}

@@ -94,6 +94,12 @@ func (p *Peer) forgetPeer(node string) {
 	p.dispatch(p.node.CompensatePeerLoss(node))
 	p.node.ResetExportStateToward(node)
 	p.persistExportState()
+	if p.susp != nil {
+		// A tombstoned peer is not expected back: stop judging its silence
+		// (contrast with a suspicion down, which keeps the entry and the
+		// watermarks so a comeback resumes incrementally).
+		p.susp.forget(node)
+	}
 }
 
 // directoryEntries snapshots the directory — tombstones included — plus
@@ -112,11 +118,7 @@ func (p *Peer) directoryEntries() []msg.DirEntry {
 // listenAddr returns this node's dialable listen address, or "" when the
 // transport has none (in-process bus).
 func (p *Peer) listenAddr() string {
-	tr := p.tr
-	if ob, ok := tr.(*transport.Outbox); ok {
-		tr = ob.Underlying()
-	}
-	if t, ok := tr.(*transport.TCP); ok {
+	if t, ok := rawTransport(p.tr).(*transport.TCP); ok {
 		return t.Addr()
 	}
 	return ""
@@ -355,11 +357,7 @@ func (p *Peer) DirectoryEntry(node string) (addr string, deleted bool, ok bool) 
 // when the transport does not track dials (in-process bus). Stale-address
 // regression tests assert this stays zero across churn.
 func (p *Peer) DialFailures() (uint64, bool) {
-	tr := p.tr
-	if ob, isOutbox := tr.(*transport.Outbox); isOutbox {
-		tr = ob.Underlying()
-	}
-	if t, isTCP := tr.(*transport.TCP); isTCP {
+	if t, isTCP := rawTransport(p.tr).(*transport.TCP); isTCP {
 		return t.DialFailures(), true
 	}
 	return 0, false

@@ -97,6 +97,17 @@ type Options struct {
 	// pull before answering from the stale extent (0 selects
 	// DefaultPullTimeout).
 	PullTimeout time.Duration
+	// SuspicionTimeout enables the heartbeat failure detector: a piped peer
+	// silent for this long is suspected, and for twice this long declared
+	// down — in-flight deficits written off, pipe severed, paced redials
+	// armed — but never tombstoned: a partitioned peer is expected back
+	// (see suspicion.go). 0 disables the detector. Meaningful with a
+	// transport that emits heartbeats (transport.HeartbeatStarter, i.e.
+	// TCP); other transports exempt every peer from silence judgment.
+	SuspicionTimeout time.Duration
+	// SuspicionInterval is the heartbeat emission and suspicion-scan period
+	// (0 selects SuspicionTimeout / 4).
+	SuspicionInterval time.Duration
 	// Outbox tunes the outbound pipeline (queue bound, batch caps); the
 	// OnDrop hook is owned by the peer, which uses it to compensate the
 	// termination detector for undeliverable messages. A caller-supplied
@@ -122,6 +133,8 @@ type Peer struct {
 	prop         *propState
 	maxStaleness time.Duration
 	pullTimeout  time.Duration
+
+	susp *suspicion // failure detector; nil when disabled (actor-owned)
 
 	inbox chan any // envelopes and commands, consumed by the actor loop
 
@@ -259,8 +272,39 @@ func New(opts Options) (*Peer, error) {
 	if pn, ok := p.tr.(transport.PipeNotifier); ok {
 		pn.SetPipeDownHandler(p.notePipeDown)
 	}
+	// The detector must exist before the loop starts: the loop consults
+	// p.susp on every envelope.
+	if opts.SuspicionTimeout > 0 {
+		p.susp = newSuspicion(opts.SuspicionTimeout, time.Now)
+		interval := opts.SuspicionInterval
+		if interval <= 0 {
+			interval = opts.SuspicionTimeout / 4
+		}
+		if interval <= 0 {
+			interval = time.Millisecond
+		}
+		if hb, ok := rawTransport(p.tr).(transport.HeartbeatStarter); ok {
+			hb.StartHeartbeats(interval)
+		}
+		go p.suspicionLoop(interval)
+	}
 	go p.loop()
 	return p, nil
+}
+
+// rawTransport unwraps the outbox pipeline and any fault-injection wrapper
+// down to the concrete transport.
+func rawTransport(tr transport.Transport) transport.Transport {
+	for {
+		switch x := tr.(type) {
+		case *transport.Outbox:
+			tr = x.Underlying()
+		case *transport.Partitioner:
+			tr = x.Underlying()
+		default:
+			return tr
+		}
+	}
 }
 
 // pipeDown reports an involuntarily failed pipe; the actor loop writes off
@@ -386,6 +430,11 @@ func (p *Peer) handlePipeDown(d pipeDown) {
 	p.log.Warn("pipe down", "peer", d.peer)
 	delete(p.piped, d.peer)
 	p.dispatch(p.node.CompensatePeerLoss(d.peer))
+	if p.susp != nil {
+		// The transport beat the detector to the verdict; recording it
+		// arms the paced-redial heal path.
+		p.susp.noteDown(d.peer)
+	}
 }
 
 // stopToken ends the actor loop (posted by Stop).
@@ -465,6 +514,13 @@ func (p *Peer) Stop() {
 
 // handleEnvelope processes one inbound message inside the actor loop.
 func (p *Peer) handleEnvelope(env msg.Envelope) {
+	// Any traffic at all is liveness: reset the sender's suspicion timer,
+	// and if it was declared down, its return is a heal.
+	if p.susp != nil && env.From != p.name {
+		if p.susp.observe(env.From) {
+			p.healPeer(env.From)
+		}
+	}
 	switch m := env.Payload.(type) {
 	case *msg.RulesBroadcast:
 		p.applyBroadcast(env.From, m)
@@ -503,6 +559,9 @@ func (p *Peer) handleEnvelope(env msg.Envelope) {
 		p.handlePullResponse(env.From, m)
 	case *msg.LinkDemand:
 		p.node.HandleLinkDemand(m.RuleID, m.Mode == 1)
+	case *msg.Heartbeat:
+		// Pure liveness: the observe above already reset the suspicion
+		// timer, and a heartbeat carries nothing else.
 	default:
 		if d, ok := m.(*msg.SessionData); ok {
 			// Feed the adaptive policy's cold-link detector before the
@@ -587,6 +646,9 @@ func (p *Peer) ensurePipe(to string) error {
 		return err
 	}
 	p.piped[to] = true
+	if p.susp != nil {
+		p.susp.track(to)
+	}
 	p.tr.Send(to, &msg.DirectoryDelta{Entries: p.directoryEntries()})
 	return nil
 }
@@ -698,6 +760,9 @@ func (p *Peer) installConfig(cfg *config.Config) error {
 		if !after[old] {
 			p.tr.Disconnect(old)
 			delete(p.piped, old)
+			if p.susp != nil {
+				p.susp.forget(old)
+			}
 		}
 	}
 	// Create pipes for the new acquaintances (paper §3: "When a node
@@ -1014,11 +1079,7 @@ func (p *Peer) Running() bool {
 // TCP transport. Safe off-loop: the transport reference is immutable and
 // the counters are atomics.
 func (p *Peer) WireStats() (frames, bytes uint64, ok bool) {
-	tr := p.tr
-	if ob, isOutbox := tr.(*transport.Outbox); isOutbox {
-		tr = ob.Underlying()
-	}
-	t, isTCP := tr.(*transport.TCP)
+	t, isTCP := rawTransport(p.tr).(*transport.TCP)
 	if !isTCP {
 		return 0, 0, false
 	}

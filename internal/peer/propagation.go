@@ -96,11 +96,7 @@ type PropagationStats struct {
 // handshake yet) conservatively cannot — so the first contact on a fresh
 // pull link pushes, and the link goes lazy once the pipe is up.
 func (p *Peer) speaksPull(node string) bool {
-	tr := p.tr
-	if ob, ok := tr.(*transport.Outbox); ok {
-		tr = ob.Underlying()
-	}
-	t, ok := tr.(*transport.TCP)
+	t, ok := rawTransport(p.tr).(*transport.TCP)
 	if !ok {
 		return true
 	}

@@ -32,10 +32,13 @@ type TCP struct {
 	ln   net.Listener
 	box  *mailbox
 
-	mu     sync.Mutex
-	conns  map[string]*tcpConn
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	conns   map[string]*tcpConn
+	dialing map[string]chan struct{} // per-node in-flight Connect gate
+	closed  bool
+	done    chan struct{} // closed by Close; aborts backoff sleeps and tickers
+	wg      sync.WaitGroup
+	hbOnce  sync.Once
 
 	handlerMu sync.Mutex
 	handler   Handler
@@ -53,6 +56,7 @@ type TCP struct {
 type tcpConn struct {
 	c       net.Conn
 	version byte
+	inbound bool // accepted from the peer's dial rather than our own
 	writeMu sync.Mutex
 	buf     []byte
 }
@@ -75,6 +79,13 @@ const (
 	dialBackoffBase = 25 * time.Millisecond
 )
 
+// bufRetain caps the write buffer kept between frames on a pipe. The buffer
+// grows to fit whatever frame is in flight (up to maxFrame), but retaining a
+// one-off 64 MiB encoding for the lifetime of the pipe would pin that much
+// memory per connection; anything beyond this cap is released after the
+// write.
+const bufRetain = 64 << 10
+
 // hello returns the handshake frame payload this node offers.
 func (t *TCP) hello() wire.Hello {
 	return wire.Hello{Name: t.self, Min: wire.MinVersion, Max: wire.MaxVersion}
@@ -87,7 +98,14 @@ func NewTCP(self, addr string) (*TCP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
-	t := &TCP{self: self, ln: ln, box: newMailbox(), conns: make(map[string]*tcpConn)}
+	t := &TCP{
+		self:    self,
+		ln:      ln,
+		box:     newMailbox(),
+		conns:   make(map[string]*tcpConn),
+		dialing: make(map[string]chan struct{}),
+		done:    make(chan struct{}),
+	}
 	t.wg.Add(2)
 	go t.acceptLoop()
 	go t.pump()
@@ -184,21 +202,43 @@ func (t *TCP) serve(c net.Conn) {
 		return
 	}
 	c.SetDeadline(time.Time{})
-	t.register(theirs.Name, c, version)
+	if !t.register(theirs.Name, c, version, true) {
+		return // lost a simultaneous-open tie-break; register closed c
+	}
 	t.readLoop(theirs.Name, c, version)
 }
 
-func (t *TCP) register(peer string, c net.Conn, version byte) {
+// register installs c as the pipe to peer and reports whether it was kept.
+//
+// When a conn for the peer already exists in the OPPOSITE direction, the two
+// ends dialed each other simultaneously (both redialing after a heal is the
+// common case). Naive last-write-wins is a shootout: each end replaces and
+// closes a different socket, the close each inflicts tears down the conn the
+// other end kept, both pipes die, and the paced redials cross again one
+// timeout later. Instead both ends apply the same tie-break — keep the
+// socket initiated by the lexicographically smaller name — so a crossed pair
+// deterministically converges on one surviving socket with no pipe-down.
+// A same-direction duplicate is a genuine reconnect and replaces as before.
+func (t *TCP) register(peer string, c net.Conn, version byte, inbound bool) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
 		c.Close()
-		return
+		return false
 	}
 	if old := t.conns[peer]; old != nil {
+		loses := t.self > peer // our own dial loses when our name is larger
+		if inbound {
+			loses = peer > t.self
+		}
+		if old.inbound != inbound && loses {
+			c.Close()
+			return false
+		}
 		old.c.Close()
 	}
-	t.conns[peer] = &tcpConn{c: c, version: version}
+	t.conns[peer] = &tcpConn{c: c, version: version, inbound: inbound}
+	return true
 }
 
 // dropConn removes the pipe for peer if it is still connection c, closes c,
@@ -253,7 +293,9 @@ func (t *TCP) readLoop(peer string, c net.Conn, version byte) {
 }
 
 // dial establishes and handshakes an outbound connection, retrying briefly
-// with backoff; every attempt failing counts one DialFailures increment.
+// with backoff; every attempt failing counts one DialFailures increment. The
+// backoff sleep aborts when the transport closes, so Close never waits out a
+// retry schedule.
 func (t *TCP) dial(addr string) (c net.Conn, theirs wire.Hello, version byte, err error) {
 	for attempt := 1; ; attempt++ {
 		c, theirs, version, err = t.dialOnce(addr)
@@ -264,7 +306,13 @@ func (t *TCP) dial(addr string) (c net.Conn, theirs wire.Hello, version byte, er
 			t.dialFails.Add(1)
 			return nil, wire.Hello{}, 0, err
 		}
-		time.Sleep(dialBackoffBase << (attempt - 1))
+		backoff := time.NewTimer(dialBackoffBase << (attempt - 1))
+		select {
+		case <-backoff.C:
+		case <-t.done:
+			backoff.Stop()
+			return nil, wire.Hello{}, 0, ErrClosed
+		}
 	}
 }
 
@@ -293,19 +341,48 @@ func (t *TCP) dialOnce(addr string) (net.Conn, wire.Hello, byte, error) {
 }
 
 // Connect implements Transport: dials addr (with retry/backoff) and
-// handshakes. Re-connecting to an already-piped node is a no-op.
+// handshakes. Re-connecting to an already-piped node is a no-op. In-flight
+// dials are serialised per node: when two callers race a Connect to the same
+// peer, one dials and the other waits for the outcome, so two sockets are
+// never registered back to back (which would silently close the first while
+// its read loop was live).
 func (t *TCP) Connect(node, addr string) error {
-	t.mu.Lock()
-	if t.closed {
+	for {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return ErrClosed
+		}
+		if _, ok := t.conns[node]; ok {
+			t.mu.Unlock()
+			return nil
+		}
+		gate := t.dialing[node]
+		if gate == nil {
+			gate = make(chan struct{})
+			t.dialing[node] = gate
+			t.mu.Unlock()
+			err := t.dialAndRegister(node, addr)
+			t.mu.Lock()
+			delete(t.dialing, node)
+			t.mu.Unlock()
+			close(gate)
+			return err
+		}
 		t.mu.Unlock()
-		return ErrClosed
+		// Another Connect to this node is mid-dial: wait for its outcome and
+		// re-check instead of racing a second socket into register.
+		select {
+		case <-gate:
+		case <-t.done:
+			return ErrClosed
+		}
 	}
-	if _, ok := t.conns[node]; ok {
-		t.mu.Unlock()
-		return nil
-	}
-	t.mu.Unlock()
+}
 
+// dialAndRegister is the single-flight body of Connect: the caller holds the
+// per-node dialing gate.
+func (t *TCP) dialAndRegister(node, addr string) error {
 	if addr == "" {
 		return fmt.Errorf("transport: connect to %s: no address", node)
 	}
@@ -317,7 +394,11 @@ func (t *TCP) Connect(node, addr string) error {
 		c.Close()
 		return fmt.Errorf("transport: dialed %s but peer identifies as %s", node, theirs.Name)
 	}
-	t.register(node, c, version)
+	if !t.register(node, c, version, false) {
+		// Lost a simultaneous-open tie-break: the peer's own dial to us
+		// already registered, and both ends keep that socket. The pipe is up.
+		return nil
+	}
 	t.wg.Add(1)
 	go func() {
 		defer t.wg.Done()
@@ -344,7 +425,9 @@ func (t *TCP) ConnectAddr(addr string) (string, error) {
 		c.Close()
 		return "", fmt.Errorf("transport: %s dialed itself at %s", t.self, addr)
 	}
-	t.register(theirs.Name, c, version)
+	if !t.register(theirs.Name, c, version, false) {
+		return theirs.Name, nil // simultaneous open resolved to the peer's socket
+	}
 	t.wg.Add(1)
 	go func() {
 		defer t.wg.Done()
@@ -376,30 +459,93 @@ func (t *TCP) Send(to string, p msg.Payload) error {
 	env := msg.Envelope{From: t.self, Payload: p}
 	conn.writeMu.Lock()
 	defer conn.writeMu.Unlock()
+	return t.writeEnvelope(to, conn, env)
+}
+
+// writeEnvelope encodes env into one frame and writes it on conn; the caller
+// holds conn.writeMu. Encode-side failures — an unencodable payload, or a
+// body past the frame limit — return before anything touches the socket:
+// zero bytes reached the wire, the remote reader is still frame-aligned, and
+// the pipe stays up. Only a failed socket write tears the pipe down, because
+// a partial write leaves the remote mid-frame.
+func (t *TCP) writeEnvelope(to string, conn *tcpConn, env msg.Envelope) error {
 	// Reserve the frame header in the reused buffer so header and body go
 	// out in one write.
 	if cap(conn.buf) < wire.HeaderLen {
 		conn.buf = make([]byte, wire.HeaderLen, 4096)
 	}
 	frame, tag, err := msg.AppendEnvelope(conn.buf[:wire.HeaderLen], env)
-	if err == nil {
-		if len(frame)-wire.HeaderLen > maxFrame {
-			err = wire.ErrFrameTooBig
-		} else {
-			conn.buf = frame
-			wire.PutHeader(frame[:wire.HeaderLen], conn.version, byte(tag), frame[wire.HeaderLen:])
-			_, err = conn.c.Write(frame)
-		}
+	if err == nil && len(frame)-wire.HeaderLen > maxFrame {
+		err = wire.ErrFrameTooBig
 	}
 	if err != nil {
-		// Encode failures also kill the pipe: a half-written frame leaves
-		// the remote reader mid-stream.
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	conn.buf = frame
+	wire.PutHeader(frame[:wire.HeaderLen], conn.version, byte(tag), frame[wire.HeaderLen:])
+	if _, err := conn.c.Write(frame); err != nil {
 		t.dropConn(to, conn.c)
 		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	if cap(conn.buf) > bufRetain {
+		conn.buf = make([]byte, 0, bufRetain)
 	}
 	t.frames.Add(1)
 	t.bytes.Add(uint64(len(frame)))
 	return nil
+}
+
+// StartHeartbeats begins emitting one msg.Heartbeat frame per interval on
+// every pipe whose negotiated protocol version is at least wire.V2 — V1
+// peers predate the heartbeat tag and must never see one. Heartbeats are
+// control traffic below the peer layer: they reset the receiver's suspicion
+// timer but carry no session obligations and are not deficit-counted.
+// Subsequent calls are no-ops; the loop stops when the transport closes.
+func (t *TCP) StartHeartbeats(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	t.hbOnce.Do(func() {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return
+		}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.heartbeatLoop(interval)
+	})
+}
+
+func (t *TCP) heartbeatLoop(interval time.Duration) {
+	defer t.wg.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-t.done:
+			return
+		case <-tick.C:
+		}
+		seq++
+		t.mu.Lock()
+		targets := make(map[string]*tcpConn, len(t.conns))
+		for name, conn := range t.conns {
+			if conn.version >= wire.V2 {
+				targets[name] = conn
+			}
+		}
+		t.mu.Unlock()
+		for name, conn := range targets {
+			env := msg.Envelope{From: t.self, Payload: &msg.Heartbeat{Seq: seq}}
+			conn.writeMu.Lock()
+			// A write failure already dropped the conn; nothing to do here —
+			// the pipe-down notification reaches the peer layer on its own.
+			_ = t.writeEnvelope(name, conn, env)
+			conn.writeMu.Unlock()
+		}
+	}
 }
 
 // PeerVersion reports the wire protocol version negotiated with a piped
@@ -446,6 +592,7 @@ func (t *TCP) Close() error {
 		return nil
 	}
 	t.closed = true
+	close(t.done)
 	conns := t.conns
 	t.conns = make(map[string]*tcpConn)
 	t.mu.Unlock()

@@ -88,6 +88,7 @@ func goldenPayloads() []msg.Payload {
 			Bindings: tuples,
 		},
 		&msg.LinkDemand{RuleID: "r1", Mode: 1},
+		&msg.Heartbeat{Seq: 1 << 21},
 	}
 }
 
